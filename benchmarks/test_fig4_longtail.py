@@ -1,0 +1,19 @@
+"""Fig. 4 benchmark: long-tail frequency distributions."""
+
+from repro.experiments import get_prepared, render_fig4, run_fig4
+
+from conftest import publish
+
+
+def test_fig4_long_tail(benchmark, bench_scale, capsys):
+    stats = run_fig4(bench_scale)
+    publish("fig4_longtail", render_fig4(stats), capsys)
+
+    for dataset, s in stats.items():
+        # Paper shape: heavily skewed distributions on both KGs.
+        assert s.gini > 0.15, f"{dataset} should be long-tailed"
+        assert s.top1pct_share > 0.02
+
+    mkg, _ = get_prepared("drkg-mm", bench_scale)
+    benchmark(lambda: (mkg.graph.entity_degrees(),
+                       mkg.graph.relation_frequencies()))

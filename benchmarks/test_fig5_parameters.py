@@ -1,0 +1,31 @@
+"""Fig. 5 benchmark: hyperparameter sweeps (#heads, theta, lambda)."""
+
+import numpy as np
+
+from repro.core import TCAOperator
+from repro.experiments import render_fig5, run_fig5
+from repro.nn import Tensor
+
+from conftest import publish
+
+SWEEPS = {
+    "heads": (1, 2, 3),
+    "theta": (-2.0, -0.5, 0.5),
+    "interval": (1.0, 5.0, 10.0),
+}
+
+
+def test_fig5_parameter_sweeps(benchmark, sweep_scale, capsys):
+    results = run_fig5(sweep_scale, sweeps=SWEEPS)
+    publish("fig5_parameters", render_fig5(results), capsys)
+
+    # Paper shape: multi-head helps over single head on DRKG-MM.
+    heads = dict(results["heads"])
+    assert max(heads[2], heads[3]) >= heads[1] * 0.9, (
+        "multi-head TCA should not be clearly worse than single-head")
+
+    # Benchmark the TCA operator itself (the swept component).
+    op = TCAOperator(32, num_heads=2, rng=np.random.default_rng(0))
+    q = Tensor(np.random.default_rng(1).normal(size=(64, 32)))
+    d = Tensor(np.random.default_rng(2).normal(size=(64, 32)))
+    benchmark(lambda: op(q, d))

@@ -1,0 +1,31 @@
+"""Fig. 6 benchmark: ablation study of CamE's components."""
+
+import numpy as np
+
+from repro.core import CamE, CamEConfig
+from repro.experiments import get_prepared, render_fig6, run_fig6
+
+from conftest import publish
+
+
+def test_fig6_ablations(benchmark, ablation_scale, capsys):
+    results = run_fig6(ablation_scale)
+    publish("fig6_ablation", render_fig6(results), capsys)
+
+    full = results["full"].mrr
+    # Paper shape: removing both modules is clearly worse than full CamE
+    # (small tolerance for single-seed noise on the ~180-triple test set).
+    assert results["w/o M and R"].mrr <= full * 1.05, (
+        "removing MMF+RIC should hurt")
+    # Every single ablation should not beat full by a wide margin.
+    for name, metrics in results.items():
+        assert metrics.mrr <= full * 1.15, f"{name} unexpectedly beats full CamE"
+
+    # Benchmark: one full CamE forward pass (the ablated component cost).
+    mkg, feats = get_prepared("drkg-mm", ablation_scale)
+    model = CamE(mkg.num_entities, mkg.num_relations, feats,
+                 CamEConfig(entity_dim=ablation_scale.model_dim,
+                            relation_dim=ablation_scale.model_dim),
+                 rng=np.random.default_rng(0))
+    heads, rels = np.arange(32), np.zeros(32, dtype=np.int64)
+    benchmark(lambda: model.score_queries(heads, rels))

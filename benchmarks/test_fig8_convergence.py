@@ -1,0 +1,30 @@
+"""Fig. 8 benchmark: convergence (test MRR vs wall-clock)."""
+
+import numpy as np
+
+from repro.experiments import render_fig8, run_fig8a, run_fig8b, train_model
+
+from conftest import publish
+
+
+def test_fig8_convergence(benchmark, bench_scale, sweep_scale, capsys):
+    series_a = run_fig8a(bench_scale)
+    series_b = run_fig8b(sweep_scale)
+    publish("fig8_convergence", render_fig8(series_a, series_b), capsys)
+
+    # Paper shape (a): cheap baselines reach their first eval point long
+    # before CamE does (CamE pays per-epoch multimodal cost)...
+    first_time = {name: pts[0][0] for name, pts in series_a.items() if pts}
+    assert first_time["DistMult"] < first_time["CamE"]
+    # ...but CamE ends at the best MRR.
+    final_mrr = {name: pts[-1][1] for name, pts in series_a.items() if pts}
+    assert final_mrr["CamE"] >= max(v for k, v in final_mrr.items() if k != "CamE") * 0.88
+
+    # Paper shape (b): w/o TCA is faster to its first eval than full CamE.
+    first_b = {name: pts[0][0] for name, pts in series_b.items() if pts}
+    assert first_b["w/o TCA"] < first_b["full"]
+
+    # Benchmark one training epoch of the full model.
+    run = train_model("DistMult", "drkg-mm", bench_scale)
+    heads, rels = np.arange(16), np.zeros(16, dtype=np.int64)
+    benchmark(lambda: run.model.predict_tails(heads, rels))

@@ -1,0 +1,38 @@
+"""Fig. 9 benchmark: train/test time scaling with KG size."""
+
+import numpy as np
+
+from repro.experiments import render_fig9, run_fig9
+
+from conftest import publish
+
+
+def _slope(points):
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    return np.polyfit(xs, ys, 1)[0]
+
+
+def test_fig9_scalability(benchmark, sweep_scale, capsys):
+    points = run_fig9(sweep_scale)
+    publish("fig9_scalability", render_fig9(points), capsys)
+
+    by_variant: dict[str, list[tuple[float, float]]] = {}
+    for p in points:
+        by_variant.setdefault(p.variant, []).append((p.fraction, p.train_seconds))
+
+    # Paper shape: train time grows with KG size for the full model.
+    full = sorted(by_variant["full"])
+    assert full[-1][1] > full[0][1] * 0.8
+
+    # Paper shape: the TCA operator dominates cost -- variants without it
+    # are the cheapest.
+    mean_cost = {v: float(np.mean([t for _, t in pts]))
+                 for v, pts in by_variant.items()}
+    assert mean_cost["w/o M and R"] < mean_cost["full"]
+    assert mean_cost["w/o TCA"] < mean_cost["full"]
+
+    benchmark.pedantic(
+        lambda: run_fig9(sweep_scale, variants=("full",), fractions=(0.5,)),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,22 @@
+"""Table II benchmark: dataset statistics + generation cost."""
+
+import numpy as np
+
+from repro.datasets import DRKGConfig, generate_drkg_mm
+from repro.experiments import render_table2, run_table2
+
+from conftest import publish
+
+
+def test_table2_dataset_statistics(benchmark, bench_scale, capsys):
+    stats = run_table2(bench_scale)
+    publish("table2_datasets", render_table2(stats), capsys)
+
+    # Sanity: the 8:1:1 protocol of the paper holds.
+    for row in stats.values():
+        total = row["#Train"] + row["#Valid"] + row["#Test"]
+        assert row["#Train"] / total >= 0.75
+
+    # Benchmark: full DRKG-MM generation at a reduced size.
+    cfg = DRKGConfig().scaled(0.2)
+    benchmark(lambda: generate_drkg_mm(cfg))

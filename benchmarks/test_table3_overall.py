@@ -1,0 +1,79 @@
+"""Table III benchmark: the headline CamE-vs-baselines comparison.
+
+Trains all 14 models on both synthetic datasets (cached for reuse by
+later benchmarks), prints the paper-shaped table, asserts the paper's
+qualitative ordering, and times CamE inference as the measured kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    improvement_over_best_competitor,
+    render_table3,
+    run_table3,
+    train_model,
+)
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def table3_results(bench_scale):
+    # Mean over two independently seeded replicates (dataset + model),
+    # the resolution needed for a stable ordering at CPU scale.
+    return run_table3(bench_scale, num_seeds=2)
+
+
+def test_table3_drkg_mm(benchmark, bench_scale, table3_results, capsys):
+    results = table3_results["drkg-mm"]
+    publish("table3_drkg_mm", render_table3({"drkg-mm": results}), capsys)
+
+    # Paper shape, asserted at the resolution the ~180-triple test set
+    # affords (single-seed ordering inside the top cluster is noise; see
+    # EXPERIMENTS.md): CamE belongs to the top MRR cluster, and the
+    # co-attention family (CamE / MKGformer) beats every translational
+    # multimodal baseline on Hits@1, where deep entity-relation
+    # interaction matters most.
+    came = results["CamE"]
+    best_other_mrr = max(m.mrr for n, m in results.items() if n != "CamE")
+    assert came.mrr >= best_other_mrr * 0.90, "CamE fell out of the top MRR cluster"
+    for translational in ("IKRL", "MTAKGR", "TransAE"):
+        assert came.hits[1] > results[translational].hits[1], (
+            f"CamE should beat {translational} on Hits@1")
+    assert results["MKGformer"].mrr > results["TransAE"].mrr
+
+    run = train_model("CamE", "drkg-mm", bench_scale)
+    heads, rels = np.array([0, 1, 2, 3]), np.array([0, 1, 2, 0])
+    benchmark(lambda: run.model.predict_tails(heads, rels))
+
+
+def test_table3_omaha_mm(benchmark, bench_scale, table3_results, capsys):
+    results = table3_results["omaha-mm"]
+    publish("table3_omaha_mm", render_table3({"omaha-mm": results}), capsys)
+
+    came = results["CamE"]
+    # Paper shape on the sparser, molecule-free OMAHA-MM: the margin is
+    # much smaller than on DRKG-MM (paper: +4.8% vs +10.3% MRR).  At CPU
+    # scale seed variance is comparable to that margin, so assert CamE
+    # lands within tolerance of the second-best competitor.
+    others = sorted((m.mrr for n, m in results.items() if n != "CamE"),
+                    reverse=True)
+    assert came.mrr >= others[1] * 0.93, (
+        "CamE should rank at/near top-2 MRR on OMAHA-MM")
+
+    run = train_model("CamE", "omaha-mm", bench_scale, negatives_1ton=1000)
+    heads, rels = np.array([0, 1, 2, 3]), np.array([0, 1, 2, 0])
+    benchmark(lambda: run.model.predict_tails(heads, rels))
+
+
+def test_table3_improvement_summary(benchmark, table3_results, capsys):
+    lines = ["Table III summary: CamE improvement over best competitor"]
+    for dataset, results in table3_results.items():
+        mrr = improvement_over_best_competitor(results, "mrr")
+        h1 = improvement_over_best_competitor(results, "hits1")
+        lines.append(f"  {dataset:10s}  MRR {mrr:+.1f}%   Hits@1 {h1:+.1f}%"
+                     f"   (paper: +10.3% / +16.2% DRKG, +4.8% / +7.0% OMAHA)")
+    publish("table3_summary", "\n".join(lines), capsys)
+    benchmark(lambda: improvement_over_best_competitor(
+        table3_results["drkg-mm"], "mrr"))

@@ -1,0 +1,44 @@
+"""Tables IV & V benchmark: per-relation-family evaluation."""
+
+import numpy as np
+
+from repro.eval import evaluate_per_relation_family
+from repro.experiments import (
+    render_table4,
+    render_table5,
+    run_table4,
+    run_table5,
+    train_model,
+    get_prepared,
+)
+
+from conftest import publish
+
+
+def test_table5_family_counts(benchmark, bench_scale, capsys):
+    counts = run_table5(bench_scale)
+    publish("table5_family_counts", render_table5(counts), capsys)
+    # Paper shape: Gene-Gene and Compound-Compound dominate.
+    ordered = sorted(counts, key=counts.get, reverse=True)
+    assert set(ordered[:2]) == {"Gene-Gene", "Compound-Compound"}
+    benchmark(lambda: run_table5(bench_scale))
+
+
+def test_table4_per_relation(benchmark, bench_scale, capsys):
+    results = run_table4(bench_scale)
+    publish("table4_per_relation", render_table4(results), capsys)
+
+    # Paper shape: CamE leads Compound-Compound (molecule signal).
+    cc = "Compound-Compound"
+    came_cc = results["CamE"][cc].mrr
+    best_other = max(results[m][cc].mrr for m in results if m != "CamE")
+    assert came_cc >= best_other * 0.85, (
+        "CamE should be at/near the top on Compound-Compound relations")
+
+    mkg, _ = get_prepared("drkg-mm", bench_scale)
+    run = train_model("CamE", "drkg-mm", bench_scale)
+    benchmark.pedantic(
+        lambda: evaluate_per_relation_family(run.model, mkg.split,
+                                             max_queries_per_family=20),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Drug repurposing: rank candidate diseases for every drug.
+
+The Compound-Disease relation is the paper's motivating application —
+predicting missing (drug, treats, disease) links proposes repurposing
+hypotheses.  This example trains CamE, then for a handful of drugs
+prints the top diseases the model predicts beyond what the KG already
+contains, alongside the drug's scaffold and description so the
+multimodal rationale is visible.
+
+    python examples/drug_repurposing.py [--epochs N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import CamE, CamEConfig, OneToNTrainer
+from repro.datasets import build_features, get_dataset
+from repro.eval import build_filter
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=40)
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--drugs", type=int, default=5,
+                        help="number of example drugs to query")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    mkg = get_dataset("drkg-mm", scale=args.scale, seed=args.seed)
+    feats = build_features(mkg, rng, d_m=24, d_t=24, d_s=24)
+    model = CamE(mkg.num_entities, mkg.num_relations, feats,
+                 CamEConfig(entity_dim=48, relation_dim=48), rng=rng)
+    OneToNTrainer(model, mkg.split, rng, lr=1e-3, batch_size=128).fit(args.epochs)
+
+    graph = mkg.graph
+    treats = graph.relations.id("treats")
+    diseases = set(mkg.entities_of_type("Disease").tolist())
+    known = build_filter(mkg.split)
+
+    compounds = mkg.entities_of_type("Compound")
+    picks = rng.choice(compounds, size=min(args.drugs, len(compounds)), replace=False)
+    print("=== drug repurposing candidates (relation: treats) ===\n")
+    for drug in picks:
+        drug = int(drug)
+        scores = model.predict_tails(np.array([drug]), np.array([treats]))[0]
+        already = set(known.get((drug, treats), np.array([], dtype=np.int64)).tolist())
+        ranked = [int(e) for e in np.argsort(-scores)
+                  if int(e) in diseases and int(e) not in already][:3]
+        name = graph.entities.name(drug)
+        print(f"{name}  [{mkg.scaffold_of.get(drug, '?')}]")
+        print(f"  \"{mkg.descriptions.get(drug, '')}\"")
+        for rank, disease in enumerate(ranked, 1):
+            print(f"  candidate {rank}: {graph.entities.name(disease):20s} "
+                  f"score={scores[disease]:+.2f}  "
+                  f"({mkg.descriptions.get(disease, '')})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+Configuration lives in pyproject.toml; this file only enables
+`setup.py develop`-style editable installs in offline environments.
+"""
+from setuptools import setup
+
+setup()

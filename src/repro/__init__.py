@@ -1,0 +1,38 @@
+"""CamE: multimodal biological knowledge graph completion (ICDE 2023).
+
+A complete from-scratch reproduction of *"Multimodal Biological
+Knowledge Graph Completion via Triple Co-attention Mechanism"* (Xu et
+al., ICDE 2023), including every substrate the paper depends on:
+
+* :mod:`repro.nn`          — numpy autograd deep-learning framework
+* :mod:`repro.kg`          — knowledge-graph data structures & protocols
+* :mod:`repro.mol`         — molecular graphs, scaffolds, GIN pre-training
+* :mod:`repro.text`        — biomedical text corpus & character encoders
+* :mod:`repro.gnn`         — CompGCN structural embeddings
+* :mod:`repro.datasets`    — synthetic DRKG-MM / OMAHA-MM
+* :mod:`repro.core`        — the CamE model (TCA, MMF, RIC)
+* :mod:`repro.baselines`   — the 13 Table III comparison models
+* :mod:`repro.eval`        — filtered ranking metrics
+* :mod:`repro.experiments` — one harness per paper table/figure
+
+Quickstart::
+
+    import numpy as np
+    from repro.datasets import get_dataset, build_features
+    from repro.core import CamE, CamEConfig, OneToNTrainer
+    from repro.eval import evaluate_ranking
+
+    mkg = get_dataset("drkg-mm", scale=0.5)
+    feats = build_features(mkg, np.random.default_rng(0))
+    model = CamE(mkg.num_entities, mkg.num_relations, feats,
+                 CamEConfig(entity_dim=48, relation_dim=48))
+    OneToNTrainer(model, mkg.split, np.random.default_rng(1)).fit(epochs=60)
+    print(evaluate_ranking(model, mkg.split))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn", "kg", "mol", "text", "gnn", "datasets", "core", "baselines",
+    "eval", "experiments", "__version__",
+]

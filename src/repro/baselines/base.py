@@ -1,0 +1,168 @@
+"""Shared infrastructure for the baseline KG-completion models.
+
+Two training regimes cover all baselines, matching the original codes
+the paper used:
+
+* :class:`NegativeSamplingTrainer` — the RotatE-codebase regime
+  (TransE / DistMult / ComplEx / RotatE / a-RotatE / PairRE / DualE and
+  the multimodal translational models): positive triples vs sampled
+  corruptions under the log-sigmoid loss, optionally with
+  self-adversarial negative weighting (Sun et al., 2019).
+* :class:`repro.core.trainer.OneToNTrainer` — the ConvE regime (ConvE,
+  CompGCN, MKGformer and CamE itself): 1-to-N scoring with BCE.
+
+Every model exposes ``predict_tails(heads, rels) -> (B, num_entities)``
+so the evaluation protocol treats all of them identically.  All models
+allocate ``2x`` relation embeddings for inverse relations and are
+trained on inverse-augmented triples, so head-side queries rank through
+``r + num_relations``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..kg import KGSplit, NegativeSampler, add_inverse_relations, self_adversarial_weights
+from ..core.trainer import TrainReport
+from ..eval import evaluate_ranking
+
+__all__ = ["TripleScoringModel", "EmbeddingModel", "NegativeSamplingTrainer"]
+
+
+class TripleScoringModel(Protocol):
+    """Structural type for negative-sampling trainable models."""
+
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor: ...  # pragma: no cover
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray: ...  # pragma: no cover
+
+    def parameters(self): ...  # pragma: no cover
+
+
+class EmbeddingModel(nn.Module):
+    """Base class holding entity/relation embedding tables.
+
+    Subclasses implement :meth:`triple_scores` (autograd, for training)
+    and :meth:`predict_tails` (numpy, inference).  ``relation_factor``
+    lets models that need several vectors per relation (PairRE, DualE)
+    widen the relation table.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: np.random.Generator | None = None,
+                 relation_factor: int = 1, entity_factor: int = 1) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_embedding = nn.Embedding(num_entities, dim * entity_factor, rng=gen)
+        self.relation_embedding = nn.Embedding(2 * num_relations,
+                                               dim * relation_factor, rng=gen)
+
+    # Subclass hooks ----------------------------------------------------
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor:  # pragma: no cover
+        raise NotImplementedError
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    # Helpers -----------------------------------------------------------
+    def _gather(self, triples: np.ndarray) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor]:
+        """Embed the head/relation/tail columns of a triple batch."""
+        return (
+            self.entity_embedding(triples[:, 0]),
+            self.relation_embedding(triples[:, 1]),
+            self.entity_embedding(triples[:, 2]),
+        )
+
+
+class NegativeSamplingTrainer:
+    """Log-sigmoid loss over positive triples and sampled corruptions.
+
+    ``loss = -logsig(f(pos)) - sum_i w_i * logsig(-f(neg_i))`` where
+    ``w`` is uniform, or the softmax of negative scores when
+    ``self_adversarial`` is on (the a-RotatE / PairRE setting).
+    """
+
+    def __init__(self, model, split: KGSplit, rng: np.random.Generator,
+                 lr: float = 0.01, batch_size: int = 256,
+                 num_negatives: int = 8, self_adversarial: bool = False,
+                 adversarial_temperature: float = 1.0,
+                 bernoulli: bool = False, grad_clip: float = 5.0) -> None:
+        self.model = model
+        self.split = split
+        self.rng = rng
+        self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self.self_adversarial = self_adversarial
+        self.adversarial_temperature = adversarial_temperature
+        self.grad_clip = grad_clip
+        self.optimizer = nn.Adam(list(model.parameters()), lr=lr)
+        self.train_triples = add_inverse_relations(split.train, split.num_relations)
+        inverse_true = {(int(t), int(r) + split.num_relations, int(h))
+                        for h, r, t in split.train}
+        self.sampler = NegativeSampler(split.graph, self.train_triples, rng,
+                                       bernoulli=bernoulli, filtered=True,
+                                       extra_true=inverse_true)
+
+    def train_epoch(self) -> float:
+        """One pass over the (inverse-augmented) training triples."""
+        order = self.rng.permutation(len(self.train_triples))
+        losses = []
+        for start in range(0, len(order), self.batch_size):
+            positives = self.train_triples[order[start:start + self.batch_size]]
+            negatives = self.sampler.corrupt(positives, self.num_negatives)
+            self.optimizer.zero_grad()
+            pos_scores = self.model.triple_scores(positives)
+            neg_scores = self.model.triple_scores(negatives)
+            neg_matrix = F.reshape(neg_scores, (self.num_negatives, len(positives)))
+            pos_loss = F.neg(F.mean(F.logsigmoid(pos_scores)))
+            if self.self_adversarial:
+                weights = self_adversarial_weights(
+                    neg_matrix.data.T, temperature=self.adversarial_temperature
+                ).T  # (k, B), detached
+                weighted = F.mul(F.neg(F.logsigmoid(F.neg(neg_matrix))), weights)
+                neg_loss = F.mean(F.sum(weighted, axis=0))
+            else:
+                neg_loss = F.neg(F.mean(F.logsigmoid(F.neg(neg_matrix))))
+            loss = F.add(pos_loss, neg_loss)
+            loss.backward()
+            if self.grad_clip:
+                nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+            self.optimizer.step()
+            losses.append(float(loss.data))
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def fit(self, epochs: int, eval_every: int | None = None,
+            eval_part: str = "valid", eval_max_queries: int | None = 200,
+            keep_best: bool = True, verbose: bool = False) -> TrainReport:
+        """Train for ``epochs`` with the same reporting as OneToNTrainer."""
+        report = TrainReport()
+        start = time.perf_counter()
+        best_key = -np.inf
+        for epoch in range(1, epochs + 1):
+            tick = time.perf_counter()
+            loss = self.train_epoch()
+            report.epoch_seconds.append(time.perf_counter() - tick)
+            report.epoch_losses.append(loss)
+            if eval_every and (epoch % eval_every == 0 or epoch == epochs):
+                metrics = evaluate_ranking(self.model, self.split, part=eval_part,
+                                           max_queries=eval_max_queries, rng=self.rng)
+                report.eval_history.append((epoch, time.perf_counter() - start, metrics))
+                key = metrics.hits.get(10, metrics.mrr)
+                if keep_best and key > best_key:
+                    best_key = key
+                    report.best_metrics = metrics
+                    if hasattr(self.model, "state_dict"):
+                        report.best_state = self.model.state_dict()
+                if verbose:  # pragma: no cover
+                    print(f"epoch {epoch:3d} loss {loss:.4f} {metrics}")
+        if keep_best and report.best_state is not None and hasattr(self.model, "load_state_dict"):
+            self.model.load_state_dict(report.best_state)
+        return report

@@ -1,0 +1,53 @@
+"""ComplEx (Trouillon et al., 2016).
+
+Extends DistMult to the complex plane so antisymmetric relations are
+expressible: ``f(h, r, t) = Re(<h, r, conj(t)>)``.  Embeddings store the
+real and imaginary halves in one ``2*dim`` vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import EmbeddingModel
+
+__all__ = ["ComplEx"]
+
+
+class ComplEx(EmbeddingModel):
+    """ComplEx scorer; ``dim`` counts complex components."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(num_entities, num_relations, dim, rng=rng,
+                         relation_factor=2, entity_factor=2)
+
+    @staticmethod
+    def _split(x: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor]:
+        d = x.shape[-1] // 2
+        return x[:, :d], x[:, d:]
+
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor:
+        h, r, t = self._gather(triples)
+        h_re, h_im = self._split(h)
+        r_re, r_im = self._split(r)
+        t_re, t_im = self._split(t)
+        # Re(<h, r, conj(t)>) expanded into four trilinear terms.
+        term = F.add(
+            F.add(F.mul(F.mul(h_re, r_re), t_re), F.mul(F.mul(h_im, r_re), t_im)),
+            F.sub(F.mul(F.mul(h_re, r_im), t_im), F.mul(F.mul(h_im, r_im), t_re)),
+        )
+        return F.sum(term, axis=-1)
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        ent = self.entity_embedding.weight.data
+        rel = self.relation_embedding.weight.data
+        d = self.dim
+        h_re, h_im = ent[heads, :d], ent[heads, d:]
+        r_re, r_im = rel[rels, :d], rel[rels, d:]
+        e_re, e_im = ent[:, :d], ent[:, d:]
+        q_re = h_re * r_re - h_im * r_im
+        q_im = h_re * r_im + h_im * r_re
+        return q_re @ e_re.T + q_im @ e_im.T

@@ -1,0 +1,44 @@
+"""DistMult (Yang et al., 2015).
+
+Bilinear scoring with a diagonal relation matrix:
+``f(h, r, t) = <h, r, t> = sum_i h_i * r_i * t_i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import EmbeddingModel
+
+__all__ = ["DistMult"]
+
+
+class DistMult(EmbeddingModel):
+    """DistMult trilinear-product scorer."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 64,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(num_entities, num_relations, dim, rng=rng)
+
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor:
+        h, r, t = self._gather(triples)
+        return F.sum(F.mul(F.mul(h, r), t), axis=-1)
+
+    def score_queries(self, heads: np.ndarray, rels: np.ndarray,
+                      candidates: np.ndarray | None = None) -> nn.Tensor:
+        """1-to-N scoring (DistMult also trains well in the ConvE regime)."""
+        h = self.entity_embedding(heads)
+        r = self.relation_embedding(rels)
+        query = F.mul(h, r)
+        if candidates is None:
+            return F.matmul(query, F.transpose(self.entity_embedding.weight))
+        cand = F.embedding(self.entity_embedding.weight, candidates)
+        b, k = candidates.shape
+        return F.reshape(F.matmul(cand, F.reshape(query, (b, -1, 1))), (b, k))
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        ent = self.entity_embedding.weight.data
+        rel = self.relation_embedding.weight.data
+        return (ent[heads] * rel[rels]) @ ent.T

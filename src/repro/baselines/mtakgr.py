@@ -1,0 +1,69 @@
+"""MTAKGR (Mousselly-Sergieh et al., 2018).
+
+A multimodal translation-based approach: the energy of a triple is the
+sum of sub-energies over the structural embedding and the (projected)
+multimodal feature vector, including crossed head/tail combinations.
+Here the multimodal vector concatenates the textual and molecular
+features, mirroring the original's concatenated visual+linguistic
+feature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import EmbeddingModel
+
+__all__ = ["MTAKGR"]
+
+
+class MTAKGR(EmbeddingModel):
+    """Multimodal translation with crossed sub-energy functions."""
+
+    def __init__(self, num_entities: int, num_relations: int,
+                 text_features: np.ndarray, modal_features: np.ndarray,
+                 dim: int = 64, gamma: float = 12.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(num_entities, num_relations, dim, rng=rng)
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.gamma = gamma
+        self.multimodal = np.concatenate([text_features, modal_features], axis=1)
+        self.modal_proj = nn.Linear(self.multimodal.shape[1], dim, rng=gen)
+
+    def _modal(self, ids: np.ndarray) -> nn.Tensor:
+        return self.modal_proj(nn.Tensor(self.multimodal[ids]))
+
+    @staticmethod
+    def _energy(h: nn.Tensor, r: nn.Tensor, t: nn.Tensor) -> nn.Tensor:
+        return F.sum(F.abs(F.sub(F.add(h, r), t)), axis=-1)
+
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor:
+        h_s, r, t_s = self._gather(triples)
+        h_m = self._modal(triples[:, 0])
+        t_m = self._modal(triples[:, 2])
+        energy = F.add(
+            F.add(self._energy(h_s, r, t_s), self._energy(h_m, r, t_m)),
+            F.add(self._energy(h_m, r, t_s), self._energy(h_s, r, t_m)),
+        )
+        return F.sub(self.gamma, F.mul(energy, 0.25))
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        ent = self.entity_embedding.weight.data
+        rel = self.relation_embedding.weight.data[rels]
+        with nn.no_grad():
+            modal_all = self.modal_proj(nn.Tensor(self.multimodal)).data
+        q_s = ent[heads] + rel
+        q_m = modal_all[heads] + rel
+        scores = np.empty((len(heads), self.num_entities))
+        chunk = max(1, 2_000_000 // (len(heads) * self.dim))
+        for start in range(0, self.num_entities, chunk):
+            t_s = ent[start:start + chunk][None]
+            t_m = modal_all[start:start + chunk][None]
+            energy = (
+                np.abs(q_s[:, None] - t_s).sum(-1) + np.abs(q_m[:, None] - t_m).sum(-1)
+                + np.abs(q_m[:, None] - t_s).sum(-1) + np.abs(q_s[:, None] - t_m).sum(-1)
+            )
+            scores[:, start:start + chunk] = self.gamma - energy / 4.0
+        return scores

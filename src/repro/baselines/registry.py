@@ -1,0 +1,149 @@
+"""Model registry: build any paper model + its training regime by name.
+
+Mirrors the paper's experimental setup (Section V-C): TransE, DistMult
+and ComplEx run on the RotatE codebase's negative-sampling regime;
+ConvE, CompGCN, MKGformer and CamE train 1-to-N; a-RotatE and PairRE add
+self-adversarial negative weighting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core import CamE, CamEConfig, OneToNTrainer
+from ..datasets import ModalityFeatures, MultimodalKG
+from .base import NegativeSamplingTrainer
+from .complex_ import ComplEx
+from .compgcn_lp import CompGCNLinkPredictor
+from .conve import ConvE
+from .distmult import DistMult
+from .duale import DualE
+from .ikrl import IKRL
+from .mkgformer import MKGformer
+from .mtakgr import MTAKGR
+from .pairre import PairRE
+from .rotate import RotatE
+from .transae import TransAE
+from .transe import TransE
+
+__all__ = ["ModelSpec", "MODEL_REGISTRY", "model_names", "build_model"]
+
+
+@dataclass
+class ModelSpec:
+    """How to construct one named model and its trainer."""
+
+    name: str
+    group: str  # "unimodal" | "multimodal" | "ours"
+    builder: Callable  # (mkg, features, dim, rng) -> model
+    regime: str  # "neg" | "1toN"
+    self_adversarial: bool = False
+
+
+def _came_builder(config_overrides: dict | None = None):
+    def build(mkg: MultimodalKG, features: ModalityFeatures, dim: int,
+              rng: np.random.Generator):
+        cfg = CamEConfig(entity_dim=dim, relation_dim=dim)
+        if config_overrides:
+            cfg = cfg.variant(**config_overrides)
+        return CamE(mkg.num_entities, mkg.num_relations, features, cfg, rng=rng)
+    return build
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = {
+    "TransE": ModelSpec(
+        "TransE", "unimodal",
+        lambda mkg, feats, dim, rng: TransE(mkg.num_entities, mkg.num_relations, dim, rng=rng),
+        "neg"),
+    "DistMult": ModelSpec(
+        "DistMult", "unimodal",
+        lambda mkg, feats, dim, rng: DistMult(mkg.num_entities, mkg.num_relations, dim, rng=rng),
+        "neg"),
+    "ComplEx": ModelSpec(
+        "ComplEx", "unimodal",
+        lambda mkg, feats, dim, rng: ComplEx(mkg.num_entities, mkg.num_relations, dim // 2, rng=rng),
+        "neg"),
+    "ConvE": ModelSpec(
+        "ConvE", "unimodal",
+        lambda mkg, feats, dim, rng: ConvE(mkg.num_entities, mkg.num_relations, dim, rng=rng),
+        "1toN"),
+    "CompGCN": ModelSpec(
+        "CompGCN", "unimodal",
+        lambda mkg, feats, dim, rng: CompGCNLinkPredictor(
+            mkg.num_entities, mkg.num_relations, mkg.split.train, dim=min(dim, 32), rng=rng),
+        "1toN"),
+    "RotatE": ModelSpec(
+        "RotatE", "unimodal",
+        lambda mkg, feats, dim, rng: RotatE(mkg.num_entities, mkg.num_relations, dim // 2, rng=rng),
+        "neg"),
+    "a-RotatE": ModelSpec(
+        "a-RotatE", "unimodal",
+        lambda mkg, feats, dim, rng: RotatE(mkg.num_entities, mkg.num_relations, dim // 2, rng=rng),
+        "neg", self_adversarial=True),
+    "DualE": ModelSpec(
+        "DualE", "unimodal",
+        lambda mkg, feats, dim, rng: DualE(mkg.num_entities, mkg.num_relations, max(dim // 8, 4), rng=rng),
+        "neg"),
+    "PairRE": ModelSpec(
+        "PairRE", "unimodal",
+        lambda mkg, feats, dim, rng: PairRE(mkg.num_entities, mkg.num_relations, dim, rng=rng),
+        "neg", self_adversarial=True),
+    "IKRL": ModelSpec(
+        "IKRL", "multimodal",
+        lambda mkg, feats, dim, rng: IKRL(mkg.num_entities, mkg.num_relations,
+                                          feats.molecular, dim, rng=rng),
+        "neg"),
+    "MTAKGR": ModelSpec(
+        "MTAKGR", "multimodal",
+        lambda mkg, feats, dim, rng: MTAKGR(mkg.num_entities, mkg.num_relations,
+                                            feats.textual, feats.molecular, dim, rng=rng),
+        "neg"),
+    "TransAE": ModelSpec(
+        "TransAE", "multimodal",
+        lambda mkg, feats, dim, rng: TransAE(mkg.num_entities, mkg.num_relations,
+                                             feats.textual, feats.molecular, dim, rng=rng),
+        "neg"),
+    "MKGformer": ModelSpec(
+        "MKGformer", "multimodal",
+        lambda mkg, feats, dim, rng: MKGformer(mkg.num_entities, mkg.num_relations,
+                                               feats.textual, feats.molecular,
+                                               feats.structural, dim, rng=rng),
+        "1toN"),
+    "CamE": ModelSpec("CamE", "ours", _came_builder(), "1toN"),
+}
+
+
+def model_names(groups: tuple[str, ...] = ("unimodal", "multimodal", "ours")) -> list[str]:
+    """Names in registry order, filtered by group."""
+    return [name for name, spec in MODEL_REGISTRY.items() if spec.group in groups]
+
+
+def build_model(name: str, mkg: MultimodalKG, features: ModalityFeatures,
+                rng: np.random.Generator, dim: int = 64,
+                lr: float | None = None, batch_size: int = 128,
+                negatives_1ton: int | None = None):
+    """Construct ``(model, trainer)`` for a registered model name.
+
+    ``negatives_1ton`` switches 1-to-N models to 1-to-K candidate
+    sampling (the paper's OMAHA-MM setting).
+    """
+    try:
+        spec = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}") from None
+    model = spec.builder(mkg, features, dim, rng)
+    if spec.regime == "neg":
+        trainer = NegativeSamplingTrainer(
+            model, mkg.split, rng, lr=lr if lr is not None else 0.01,
+            batch_size=max(batch_size, 128), num_negatives=8,
+            self_adversarial=spec.self_adversarial,
+        )
+    else:
+        trainer = OneToNTrainer(
+            model, mkg.split, rng, lr=lr if lr is not None else 0.003,
+            batch_size=batch_size, negatives=negatives_1ton,
+        )
+    return model, trainer

@@ -1,0 +1,42 @@
+"""TransE (Bordes et al., 2013).
+
+Relations are translations: a true triple satisfies ``h + r ~ t``.  The
+score is ``gamma - ||h + r - t||_1`` so higher means more plausible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import EmbeddingModel
+
+__all__ = ["TransE"]
+
+
+class TransE(EmbeddingModel):
+    """TransE with L1 distance and a fixed margin ``gamma``."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 64,
+                 gamma: float = 12.0, rng: np.random.Generator | None = None) -> None:
+        super().__init__(num_entities, num_relations, dim, rng=rng)
+        self.gamma = gamma
+
+    def triple_scores(self, triples: np.ndarray) -> nn.Tensor:
+        h, r, t = self._gather(triples)
+        distance = F.sum(F.abs(F.sub(F.add(h, r), t)), axis=-1)
+        return F.sub(self.gamma, distance)
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        ent = self.entity_embedding.weight.data
+        rel = self.relation_embedding.weight.data
+        query = ent[heads] + rel[rels]                       # (B, d)
+        # Chunk over candidates to bound the (B, E, d) intermediate.
+        scores = np.empty((len(heads), self.num_entities))
+        chunk = max(1, 4_000_000 // (len(heads) * self.dim))
+        for start in range(0, self.num_entities, chunk):
+            block = ent[start:start + chunk]                 # (C, d)
+            dist = np.abs(query[:, None, :] - block[None, :, :]).sum(axis=-1)
+            scores[:, start:start + chunk] = self.gamma - dist
+        return scores

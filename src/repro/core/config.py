@@ -1,0 +1,109 @@
+"""Configuration for the CamE model and its ablation variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CamEConfig"]
+
+
+@dataclass
+class CamEConfig:
+    """Hyperparameters of CamE (Section V-B) plus ablation switches.
+
+    Paper defaults (DRKG-MM): fusion dim 200, 128 9x9 filters, lr 1e-3,
+    embedding dim 500, heads m=2, interval lambda=5, exchanging factor
+    theta=-0.5.  The reproduction defaults are scaled for CPU execution;
+    the geometry (reshape of the fusion vector into a 2-D feature map)
+    requires ``fusion_dim == fusion_height * fusion_width``.
+
+    Ablation switches map one-to-one onto the Fig. 6 variants:
+
+    * ``use_tca=False``     -> "w/o TCA"
+    * ``use_exchange=False``-> "w/o EX"
+    * ``use_mmf=False``     -> "w/o MMF" (fusion replaced by element product)
+    * ``use_ric=False``     -> "w/o RIC" (interaction replaced by concat)
+    * both off              -> "w/o M and R"
+    * ``use_text=False``    -> "w/o TD"
+    * ``use_molecule=False``-> "w/o MS"
+    """
+
+    # Embedding geometry -------------------------------------------------
+    # fusion_dim == entity_dim == relation_dim activates the native
+    # two-channel [h; r] feature map (see repro.core.came), which avoids
+    # bottlenecking the learned embeddings through a projection.
+    entity_dim: int = 48
+    relation_dim: int = 48
+    fusion_dim: int = 48
+    fusion_height: int = 6
+    fusion_width: int = 8
+
+    # TCA ----------------------------------------------------------------
+    # The paper's best full-scale settings are m=2, lambda=5 (Fig. 5); at
+    # CPU scale the grid search selects a sharper attention temperature
+    # (tau0=0.2, lambda=1) — with lambda=5 the softmaxes are near-uniform
+    # at d_f=48 and TCA degenerates to averaging.
+    num_heads: int = 2
+    temperature_init: float = 0.2
+    interval: float = 1.0
+
+    # Exchanging fusion ----------------------------------------------------
+    exchange_theta: float = -0.5
+
+    # Scoring head ---------------------------------------------------------
+    conv_channels: int = 16
+    kernel_size: int = 3
+    input_bn: bool = True        # ConvE-style BN on the stacked feature map
+    use_struct_term: bool = True  # the W_1 h_s scoring term of Eqn. 15
+
+    # Training ---------------------------------------------------------------
+    # The paper uses 1e-3 at d=500 on millions of triples; the CPU-scale
+    # reproduction converges best at 3e-3 (validated by grid search on
+    # the synthetic DRKG-MM valid split).
+    learning_rate: float = 3e-3
+    batch_size: int = 64
+    label_smoothing: float = 0.1
+    dropout: float = 0.2
+    negatives: int | None = None  # None = full 1-to-N; int = 1-to-K sampling
+
+    # Ablation switches ---------------------------------------------------
+    use_tca: bool = True
+    use_exchange: bool = True
+    use_mmf: bool = True
+    use_ric: bool = True
+    use_text: bool = True
+    use_molecule: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fusion_height * self.fusion_width != self.fusion_dim:
+            raise ValueError(
+                "fusion_dim must equal fusion_height * fusion_width "
+                f"({self.fusion_height}x{self.fusion_width} != {self.fusion_dim})"
+            )
+        if self.num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    def variant(self, **changes) -> "CamEConfig":
+        """Return a copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def ablation(cls, name: str, base: "CamEConfig | None" = None) -> "CamEConfig":
+        """Build a named Fig. 6 ablation variant from ``base``."""
+        cfg = base or cls()
+        variants = {
+            "full": {},
+            "w/o EX": {"use_exchange": False},
+            "w/o TCA": {"use_tca": False},
+            "w/o MMF": {"use_mmf": False},
+            "w/o RIC": {"use_ric": False},
+            "w/o M and R": {"use_mmf": False, "use_ric": False},
+            "w/o TD": {"use_text": False},
+            "w/o MS": {"use_molecule": False},
+        }
+        try:
+            return cfg.variant(**variants[name])
+        except KeyError:
+            raise KeyError(f"unknown ablation {name!r}; known: {sorted(variants)}") from None

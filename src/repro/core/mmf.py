@@ -1,0 +1,134 @@
+"""MultiModal TCA Fusion module (MMF) — Section IV-B of the paper.
+
+MMF turns the three unimodal entity representations (molecular ``h_m``,
+textual ``h_t``, structured ``h_s``) into one joint representation
+``h_f`` in three steps:
+
+1. **Pairwise TCA matching** (Eqn. 9): project each modality to the
+   fusion dimension with ``W_1/W_2/W_3`` and run TCA on each of the
+   three modality pairs.
+2. **Exchanging fusion** (Eqns. 10-12): EX each TCA output pair.
+3. **Low-rank bilinear pooling** (Eqn. 13): per pair,
+   ``P^T(sigmoid(U^T x) * sigmoid(V^T y)) + b``; the three pooled
+   vectors are combined by a Hadamard product ``Omega``.
+
+Ablation behaviour: with ``use_tca=False`` the matching step passes the
+projected vectors straight through; with ``use_exchange=False`` the EX
+step is skipped; an alternative ``SimpleFusion`` (element-wise product
+of projections) implements the "w/o MMF" variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .exchange import ExchangeFusion
+from .tca import TCAOperator
+
+__all__ = ["MultimodalTCAFusion", "SimpleFusion"]
+
+
+class _LowRankBilinear(nn.Module):
+    """One pairwise low-rank bilinear pooling term of Eqn. 13."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.u = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.v = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.p = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.bias = nn.Parameter(np.zeros(dim))
+
+    def forward(self, x: nn.Tensor, y: nn.Tensor) -> nn.Tensor:
+        pooled = F.mul(F.sigmoid(self.u(x)), F.sigmoid(self.v(y)))
+        return F.add(self.p(pooled), self.bias)
+
+
+class MultimodalTCAFusion(nn.Module):
+    """The full MMF module.
+
+    Parameters
+    ----------
+    input_dims:
+        ``(d_m, d_t, d_s)`` raw modality feature dimensions.
+    fusion_dim:
+        ``d_f``, the joint representation width.
+    num_heads, interval, temperature_init:
+        Multi-head TCA settings (Eqns. 7-8).
+    theta:
+        Exchanging factor (Eqns. 10-11).
+    use_tca / use_exchange:
+        Fig. 6 ablation switches.
+    """
+
+    def __init__(self, input_dims: tuple[int, int, int], fusion_dim: int,
+                 num_heads: int = 2, interval: float = 5.0,
+                 temperature_init: float = 1.0, theta: float = -0.5,
+                 use_tca: bool = True, use_exchange: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        d_m, d_t, d_s = input_dims
+        self.fusion_dim = fusion_dim
+        self.use_tca = use_tca
+        self.use_exchange = use_exchange
+        # Eqn. 9 projections W_1 (molecule), W_2 (text), W_3 (structure).
+        self.w1 = nn.Linear(d_m, fusion_dim, bias=False, rng=gen)
+        self.w2 = nn.Linear(d_t, fusion_dim, bias=False, rng=gen)
+        self.w3 = nn.Linear(d_s, fusion_dim, bias=False, rng=gen)
+        # One TCA + EX + bilinear block per modality pair: (m,t) (m,s) (t,s).
+        self.tca = nn.ModuleList([
+            TCAOperator(fusion_dim, num_heads=num_heads, interval=interval,
+                        temperature_init=temperature_init, rng=gen)
+            for _ in range(3)
+        ])
+        self.exchange = nn.ModuleList([
+            ExchangeFusion(fusion_dim, theta=theta) for _ in range(3)
+        ])
+        self.bilinear = nn.ModuleList([
+            _LowRankBilinear(fusion_dim, gen) for _ in range(3)
+        ])
+
+    def forward(self, h_m: nn.Tensor, h_t: nn.Tensor, h_s: nn.Tensor) -> nn.Tensor:
+        """Fuse the three modality batches into ``h_f`` of ``(B, d_f)``."""
+        x_m = self.w1(h_m)
+        x_t = self.w2(h_t)
+        x_s = self.w3(h_s)
+        pairs = [(x_m, x_t), (x_m, x_s), (x_t, x_s)]
+
+        pooled = []
+        for idx, (left, right) in enumerate(pairs):
+            if self.use_tca:
+                left, right = self.tca[idx](left, right)
+            if self.use_exchange:
+                left, right = self.exchange[idx](left, right)
+            pooled.append(self.bilinear[idx](left, right))
+
+        # Omega: Hadamard product over the three pooled vectors (Eqn. 13).
+        joint = pooled[0]
+        for vec in pooled[1:]:
+            joint = F.mul(joint, vec)
+        return joint
+
+
+class SimpleFusion(nn.Module):
+    """The "w/o MMF" variant: plain element-wise product of projections.
+
+    Mirrors the ablation description "MMF is replaced by simple
+    multiplication" — modalities are projected to the fusion dimension
+    and multiplied with no attention, exchange, or bilinear pooling.
+    """
+
+    def __init__(self, input_dims: tuple[int, int, int], fusion_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        d_m, d_t, d_s = input_dims
+        self.fusion_dim = fusion_dim
+        self.w1 = nn.Linear(d_m, fusion_dim, bias=False, rng=gen)
+        self.w2 = nn.Linear(d_t, fusion_dim, bias=False, rng=gen)
+        self.w3 = nn.Linear(d_s, fusion_dim, bias=False, rng=gen)
+
+    def forward(self, h_m: nn.Tensor, h_t: nn.Tensor, h_s: nn.Tensor) -> nn.Tensor:
+        return F.mul(F.mul(self.w1(h_m), self.w2(h_t)), self.w3(h_s))

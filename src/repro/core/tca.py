@@ -1,0 +1,161 @@
+"""The Triple Co-Attention (TCA) operator — Eqns. 1-8 of the paper.
+
+TCA takes a pair of same-dimensional modality vectors ``(Q, D)`` and
+returns a pair in which the semantic features shared by both inputs are
+mutually highlighted.  Three affinity matrices are learned per sample:
+
+* a **co-affinity** matrix ``M_co = sigmoid(Q W_co^q) (x) sigmoid(D W_co^d)``
+  (outer product) whose row/column softmaxes attend each input over the
+  other (Eqns. 1-3);
+* two **intra-affinity** matrices that reuse the co-projection on one
+  side (``W_co`` is shared, restricting both attentions to the same
+  subspace) and a private projection on the other (Eqns. 4-5).
+
+Co- and intra-attention outputs are summed (Eqn. 6).  Multi-head TCA
+concatenates ``m`` independent heads and projects back (Eqn. 7); head
+``i`` divides its affinities by a learnable temperature sequence
+``tau_i = tau_0 * (lambda * i)`` with fixed interval ``lambda`` (Eqn. 8)
+so head diversity is itself learnable.
+
+Shape note: the paper writes ``Q in R^{d1}``, ``D in R^{d2}`` but sums
+co-attention (length ``d2``) with intra-attention (length ``d1``) in
+Eqn. 6, which is only consistent when ``d1 == d2``; both call sites
+(MMF after the Eqn. 9 projections, RIC after relation projection)
+satisfy this, so this implementation requires equal dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["TCAHead", "TCAOperator"]
+
+
+class TCAHead(nn.Module):
+    """A single TCA head over batched vector pairs ``(B, d)``."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dim = dim
+        self.w_co_q = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.w_co_d = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.w_in_q = nn.Linear(dim, dim, bias=False, rng=rng)
+        self.w_in_d = nn.Linear(dim, dim, bias=False, rng=rng)
+
+    def forward(self, q: nn.Tensor, d: nn.Tensor, tau: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor]:
+        """Apply one TCA head.
+
+        Parameters
+        ----------
+        q, d:
+            ``(B, dim)`` modality vector batches.
+        tau:
+            Scalar temperature tensor for this head.
+        """
+        b = q.shape[0]
+        # Projected, squashed representations (Eqn. 1 & 4 share W_co).
+        q_co = F.sigmoid(self.w_co_q(q))          # (B, d)
+        d_co = F.sigmoid(self.w_co_d(d))          # (B, d)
+        q_in = F.sigmoid(self.w_in_q(q))          # (B, d)
+        d_in = F.sigmoid(self.w_in_d(d))          # (B, d)
+
+        inv_tau = F.div(1.0, tau)
+
+        # Co-affinity (B, d, d): outer product per sample (Eqn. 1).
+        m_co = F.matmul(F.reshape(q_co, (b, self.dim, 1)),
+                        F.reshape(d_co, (b, 1, self.dim)))
+        m_co = F.mul(m_co, inv_tau)
+        # Row-wise (dim=0 over Q axis) and column-wise softmax (Eqn. 2).
+        m_co_q = F.softmax(m_co, axis=1)
+        m_co_d = F.softmax(m_co, axis=2)
+        # Attend each input over the other (Eqn. 3).
+        q_att = F.reshape(F.matmul(F.reshape(q, (b, 1, self.dim)), m_co_q),
+                          (b, self.dim))
+        d_att = F.reshape(F.matmul(m_co_d, F.reshape(d, (b, self.dim, 1))),
+                          (b, self.dim))
+
+        # Intra-affinities share the co projections (Eqn. 4).
+        m_in_q = F.mul(F.matmul(F.reshape(q_co, (b, self.dim, 1)),
+                                F.reshape(q_in, (b, 1, self.dim))), inv_tau)
+        m_in_d = F.mul(F.matmul(F.reshape(d_co, (b, self.dim, 1)),
+                                F.reshape(d_in, (b, 1, self.dim))), inv_tau)
+        q_self = F.reshape(F.matmul(F.reshape(q, (b, 1, self.dim)),
+                                    F.softmax(m_in_q, axis=1)), (b, self.dim))
+        d_self = F.reshape(F.matmul(F.reshape(d, (b, 1, self.dim)),
+                                    F.softmax(m_in_d, axis=1)), (b, self.dim))
+
+        # Sum co- and intra-attention (Eqn. 6).
+        return F.add(q_att, q_self), F.add(d_att, d_self)
+
+
+class TCAOperator(nn.Module):
+    """Multi-head TCA with a learnable fixed-interval temperature sequence.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimension of both inputs.
+    num_heads:
+        ``m`` in Eqn. 7.
+    interval:
+        ``lambda`` in Eqn. 8.
+    temperature_init:
+        Initial value of the learnable base temperature ``tau_0``.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 2, interval: float = 5.0,
+                 temperature_init: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.interval = interval
+        self.heads = nn.ModuleList([TCAHead(dim, gen) for _ in range(num_heads)])
+        self.tau0 = nn.Parameter(np.asarray([temperature_init]))
+        self.w_head_q = nn.Linear(num_heads * dim, dim, bias=False, rng=gen)
+        self.w_head_d = nn.Linear(num_heads * dim, dim, bias=False, rng=gen)
+
+    def head_temperatures(self) -> list[nn.Tensor]:
+        """The Eqn. 8 sequence ``tau_i = tau_0 * (lambda * i)``, i = 1..m.
+
+        Temperatures are clamped away from zero for numerical safety
+        (``tau_0`` is learnable and unconstrained).
+        """
+        taus = []
+        for i in range(1, self.num_heads + 1):
+            tau = F.mul(self.tau0, self.interval * i)
+            taus.append(F.add(F.abs(tau), 1e-3))
+        return taus
+
+    def forward(self, q: nn.Tensor, d: nn.Tensor) -> tuple[nn.Tensor, nn.Tensor]:
+        """Apply multi-head TCA to ``(B, dim)`` input pairs (Eqn. 7).
+
+        A residual connection adds each input back to its multi-head
+        attended representation.  The attended vectors are convex
+        mixtures of input coordinates (softmax-weighted averages), so
+        without the residual the operator is strictly smoothing; the
+        residual preserves the identity signal the downstream fusion
+        needs — the same stabilisation every transformer block applies.
+        """
+        if q.shape[-1] != self.dim or d.shape[-1] != self.dim:
+            raise ValueError(
+                f"TCA expects inputs of dim {self.dim}, got {q.shape[-1]} and {d.shape[-1]}"
+            )
+        taus = self.head_temperatures()
+        outs_q, outs_d = [], []
+        for head, tau in zip(self.heads, taus):
+            out_q, out_d = head(q, d, tau)
+            outs_q.append(out_q)
+            outs_d.append(out_d)
+        if self.num_heads == 1:
+            att_q, att_d = self.w_head_q(outs_q[0]), self.w_head_d(outs_d[0])
+        else:
+            att_q = self.w_head_q(F.concat(outs_q, axis=-1))
+            att_d = self.w_head_d(F.concat(outs_d, axis=-1))
+        return F.add(q, att_q), F.add(d, att_d)

@@ -1,0 +1,26 @@
+"""``repro.datasets`` — synthetic multimodal BKG datasets.
+
+Schema-faithful stand-ins for the paper's DRKG-MM and OMAHA-MM
+(:mod:`repro.datasets.drkg_mm`, :mod:`repro.datasets.omaha_mm`), the
+modality feature pre-training pipeline (:mod:`repro.datasets.features`),
+and a cached registry (:mod:`repro.datasets.registry`).
+"""
+
+from .base import MultimodalKG
+from .drkg_mm import DRKGConfig, generate_drkg_mm
+from .features import ModalityFeatures, build_features
+from .omaha_mm import OMAHAConfig, generate_omaha_mm
+from .registry import clear_cache, dataset_names, get_dataset
+
+__all__ = [
+    "MultimodalKG",
+    "DRKGConfig",
+    "generate_drkg_mm",
+    "OMAHAConfig",
+    "generate_omaha_mm",
+    "ModalityFeatures",
+    "build_features",
+    "get_dataset",
+    "dataset_names",
+    "clear_cache",
+]

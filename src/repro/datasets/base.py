@@ -1,0 +1,77 @@
+"""Shared container for multimodal knowledge-graph datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kg import KGSplit
+from ..mol import Molecule
+
+__all__ = ["MultimodalKG"]
+
+
+@dataclass
+class MultimodalKG:
+    """A knowledge graph bundled with its non-structural modalities.
+
+    Attributes
+    ----------
+    split:
+        Train/valid/test partition (8:1:1, Table II protocol).
+    molecules:
+        Entity id -> molecular graph.  Only compound entities carry
+        molecules; on OMAHA-MM the map is empty (the paper's setting).
+    descriptions:
+        Entity id -> textual description string (name morphology plus a
+        one-sentence definition).  Present for every entity.
+    scaffold_of:
+        Compound entity id -> scaffold name (generator ground truth, used
+        only by analysis experiments, never leaked to models).
+    latent_family:
+        Entity id -> latent family index per type (generator ground
+        truth, analysis only).
+    """
+
+    split: KGSplit
+    molecules: dict[int, Molecule] = field(default_factory=dict)
+    descriptions: dict[int, str] = field(default_factory=dict)
+    scaffold_of: dict[int, str] = field(default_factory=dict)
+    latent_family: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def graph(self):
+        return self.split.graph
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def num_entities(self) -> int:
+        return self.graph.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        return self.graph.num_relations
+
+    @property
+    def has_molecules(self) -> bool:
+        return bool(self.molecules)
+
+    def entity_name(self, entity_id: int) -> str:
+        return self.graph.entities.name(entity_id)
+
+    def entity_text(self, entity_id: int) -> str:
+        """Name + description, the string the text encoder consumes."""
+        name = self.entity_name(entity_id)
+        desc = self.descriptions.get(entity_id, "")
+        return f"{name}. {desc}" if desc else name
+
+    def entities_of_type(self, entity_type: str) -> np.ndarray:
+        """Ids of all entities with the given semantic type."""
+        types = self.graph.entity_types
+        return np.asarray(
+            [i for i, t in enumerate(types) if t == entity_type], dtype=np.int64
+        )

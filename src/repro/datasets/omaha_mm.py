@@ -1,0 +1,243 @@
+"""Synthetic OMAHA-MM: a sparse text+structure medical knowledge graph.
+
+The real OMAHA-MM is extracted from the Open Medical and Healthcare
+Alliance KG: sparser than DRKG-MM, 17 relation types, and — crucially
+for the paper's experiments — its compound entities carry **no
+molecular information**, so models see only textual and structured
+modalities.  This generator reproduces those regime properties:
+
+* entity types Disease / Symptom / Gene / GeneMutation / Drug;
+* fewer relations, lower edge density (the paper notes OMAHA is sparse
+  and prunes entities of degree < 5; we generate a moderately sparse
+  graph directly);
+* descriptions on every entity, molecules on none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..kg import KnowledgeGraph, Vocabulary, split_triples
+from ..text import lexicon
+from .base import MultimodalKG
+
+__all__ = ["OMAHAConfig", "generate_omaha_mm"]
+
+RELATIONS = (
+    "has_symptom", "indicates", "disease_gene", "gene_mutation",
+    "mutation_disease", "drug_treats", "drug_gene", "contraindicates",
+    "comorbid_with", "symptom_of_gene", "drug_symptom", "stage_of",
+    "complication", "risk_factor", "biomarker", "pathway", "subtype_of",
+)
+
+#: Undirected medical relations materialised in both directions (see the
+#: symmetric-relation note in :mod:`repro.datasets.drkg_mm`).
+SYMMETRIC_RELATIONS = frozenset({"comorbid_with", "pathway"})
+
+_SYMPTOMS = (
+    "fever", "cough", "chest pain", "shortness of breath", "weight loss",
+    "night sweats", "joint pain", "swelling", "numbness", "blurred vision",
+    "abdominal pain", "vomiting", "palpitations", "seizure", "jaundice",
+)
+
+
+@dataclass
+class OMAHAConfig:
+    """Size/shape knobs for the synthetic OMAHA-MM build."""
+
+    num_diseases: int = 120
+    num_symptoms: int = 60
+    num_genes: int = 100
+    num_mutations: int = 60
+    num_drugs: int = 60
+    num_triples: int = 2200
+    noise: float = 0.12
+    zipf_exponent: float = 1.2
+    seed: int = 11
+
+    def scaled(self, factor: float) -> "OMAHAConfig":
+        """Copy with entity/triple counts scaled by ``factor``."""
+        return OMAHAConfig(
+            num_diseases=max(10, int(self.num_diseases * factor)),
+            num_symptoms=max(8, int(self.num_symptoms * factor)),
+            num_genes=max(8, int(self.num_genes * factor)),
+            num_mutations=max(6, int(self.num_mutations * factor)),
+            num_drugs=max(6, int(self.num_drugs * factor)),
+            num_triples=max(120, int(self.num_triples * factor)),
+            noise=self.noise,
+            zipf_exponent=self.zipf_exponent,
+            seed=self.seed,
+        )
+
+
+def generate_omaha_mm(config: OMAHAConfig | None = None) -> MultimodalKG:
+    """Build the synthetic OMAHA-MM dataset (text + structure only)."""
+    cfg = config or OMAHAConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    entities = Vocabulary()
+    entity_types: list[str] = []
+    descriptions: dict[int, str] = {}
+    latent_family: dict[int, int] = {}
+
+    def _add(name: str, etype: str, family: int, description: str) -> int:
+        base, k = name, 2
+        while name in entities:
+            name = f"{base} ({k})"
+            k += 1
+        idx = entities.add(name)
+        entity_types.append(etype)
+        latent_family[idx] = family
+        descriptions[idx] = description
+        return idx
+
+    n_disease_fams = len(lexicon.DISEASE_FAMILIES)
+    n_gene_fams = len(lexicon.GENE_FAMILIES)
+
+    diseases = []
+    disease_fams = rng.integers(0, n_disease_fams, size=cfg.num_diseases)
+    for fam in disease_fams:
+        name = lexicon.disease_name(int(fam), rng)
+        diseases.append(_add(name, "Disease", int(fam),
+                             lexicon.disease_description(int(fam), name)))
+
+    symptoms = []
+    for s in range(cfg.num_symptoms):
+        base = _SYMPTOMS[s % len(_SYMPTOMS)]
+        name = base if s < len(_SYMPTOMS) else f"{base} grade {s // len(_SYMPTOMS) + 1}"
+        symptoms.append(_add(name, "Symptom", s % n_disease_fams,
+                             f"{name.capitalize()} is a clinical symptom reported by patients."))
+
+    genes = []
+    gene_fams = rng.integers(0, n_gene_fams, size=cfg.num_genes)
+    for fam in gene_fams:
+        symbol = lexicon.gene_symbol(int(fam), rng)
+        genes.append(_add(symbol, "Gene", int(fam),
+                          lexicon.gene_description(int(fam), symbol)))
+
+    mutations = []
+    for m in range(cfg.num_mutations):
+        gene_pos = int(rng.integers(0, len(genes)))
+        symbol = entities.name(genes[gene_pos])
+        name = f"{symbol} c.{int(rng.integers(100, 9999))}{rng.choice(list('ACGT'))}>{rng.choice(list('ACGT'))}"
+        mutations.append(_add(name, "GeneMutation", latent_family[genes[gene_pos]],
+                              f"{name} is a point mutation of gene {symbol}."))
+
+    drugs = []
+    drug_fams = rng.integers(0, n_disease_fams, size=cfg.num_drugs)
+    for fam in drug_fams:
+        name = lexicon.drug_stem(rng) + str(rng.choice(["ol", "ine", "ide", "ate"]))
+        drugs.append(_add(name, "Drug", int(fam),
+                          f"{name} is a medication used in the management of chronic conditions."))
+
+    relations = Vocabulary(RELATIONS)
+
+    diseases_arr = np.asarray(diseases)
+    symptoms_arr = np.asarray(symptoms)
+    genes_arr = np.asarray(genes)
+    mutations_arr = np.asarray(mutations)
+    drugs_arr = np.asarray(drugs)
+
+    ranks = np.arange(1, len(entities) + 1, dtype=np.float64) ** (-cfg.zipf_exponent)
+    rng.shuffle(ranks)
+    popularity = ranks / ranks.sum()
+
+    def pick(pool: np.ndarray) -> int:
+        w = popularity[pool]
+        return int(rng.choice(pool, p=w / w.sum()))
+
+    triples: set[tuple[int, int, int]] = set()
+
+    def add_edge(h: int, rel: str, t: int) -> None:
+        if h == t:
+            return
+        triples.add((int(h), relations.id(rel), int(t)))
+        if rel in SYMMETRIC_RELATIONS:
+            triples.add((int(t), relations.id(rel), int(h)))
+
+    # Edge templates: (relation, head pool fn, tail pool fn, family-coupled?)
+    symptoms_by_fam = {f: symptoms_arr[np.array([latent_family[s] for s in symptoms]) == f]
+                       for f in range(n_disease_fams)}
+    genes_by_fam = {f: genes_arr[gene_fams == f] for f in range(n_gene_fams)}
+    disease_gene_map = {f: list(range(f, n_gene_fams, n_disease_fams)) for f in range(n_disease_fams)}
+
+    for _ in range(cfg.num_triples):
+        roll = rng.random()
+        noisy = rng.random() < cfg.noise
+        if roll < 0.28:  # Disease - Symptom
+            d = int(rng.choice(diseases_arr))
+            fam = latent_family[d]
+            pool = symptoms_by_fam.get(fam)
+            s = pick(symptoms_arr if noisy or pool is None or not len(pool) else pool)
+            rel = "has_symptom" if rng.random() < 0.7 else "indicates"
+            if rel == "indicates":
+                add_edge(s, rel, d)
+            else:
+                add_edge(d, rel, s)
+        elif roll < 0.48:  # Disease - Gene / biomarker / pathway
+            d = int(rng.choice(diseases_arr))
+            fams = disease_gene_map[latent_family[d]]
+            fam = int(rng.choice(fams)) if fams else int(rng.integers(0, n_gene_fams))
+            pool = genes_by_fam.get(fam)
+            g = pick(genes_arr if noisy or pool is None or not len(pool) else pool)
+            rel = ("disease_gene", "biomarker", "pathway")[latent_family[d] % 3]
+            add_edge(d, rel, g)
+        elif roll < 0.62:  # Gene - Mutation - Disease chain
+            m_pos = int(rng.integers(0, len(mutations)))
+            g = genes[int(rng.integers(0, len(genes)))] if noisy else None
+            if g is None:
+                # Recover the owning gene by name prefix.
+                mname = entities.name(mutations[m_pos])
+                symbol = mname.split(" c.")[0]
+                g = entities.id(symbol)
+            add_edge(g, "gene_mutation", mutations[m_pos])
+            if rng.random() < 0.5:
+                fam = latent_family[mutations[m_pos]] % n_disease_fams
+                pool = diseases_arr[np.array([latent_family[d] for d in diseases]) == fam]
+                d = pick(diseases_arr if noisy or not len(pool) else pool)
+                add_edge(mutations[m_pos], "mutation_disease", d)
+        elif roll < 0.82:  # Drug edges
+            dr = int(rng.choice(drugs_arr))
+            fam = latent_family[dr]
+            sub = rng.random()
+            if sub < 0.5:
+                pool = diseases_arr[np.array([latent_family[d] for d in diseases]) == fam]
+                d = pick(diseases_arr if noisy or not len(pool) else pool)
+                rel = "drug_treats" if rng.random() < 0.8 else "contraindicates"
+                add_edge(dr, rel, d)
+            elif sub < 0.8:
+                fams = disease_gene_map[fam]
+                gfam = int(rng.choice(fams)) if fams else 0
+                pool = genes_by_fam.get(gfam)
+                g = pick(genes_arr if noisy or pool is None or not len(pool) else pool)
+                add_edge(dr, "drug_gene", g)
+            else:
+                s = pick(symptoms_arr)
+                add_edge(dr, "drug_symptom", s)
+        else:  # Disease - Disease structure
+            a = int(rng.choice(diseases_arr))
+            fam = latent_family[a]
+            pool = diseases_arr[np.array([latent_family[d] for d in diseases]) == fam]
+            b = pick(diseases_arr if noisy or len(pool) < 2 else pool)
+            rel = ("comorbid_with", "complication", "risk_factor",
+                   "stage_of", "subtype_of")[int(rng.integers(0, 5))]
+            add_edge(a, rel, b)
+
+    triple_array = np.asarray(sorted(triples), dtype=np.int64)
+    graph = KnowledgeGraph(
+        entities=entities,
+        relations=relations,
+        triples=triple_array,
+        entity_types=entity_types,
+        name="OMAHA-MM(synthetic)",
+    )
+    split = split_triples(graph, rng)
+    return MultimodalKG(
+        split=split,
+        molecules={},
+        descriptions=descriptions,
+        scaffold_of={},
+        latent_family=latent_family,
+    )

@@ -1,0 +1,60 @@
+"""Dataset registry with in-process caching.
+
+Experiments and benchmarks request datasets by name + scale so every
+harness shares identical data (and pays the generation cost once per
+process).
+"""
+
+from __future__ import annotations
+
+from .base import MultimodalKG
+from .drkg_mm import DRKGConfig, generate_drkg_mm
+from .omaha_mm import OMAHAConfig, generate_omaha_mm
+
+__all__ = ["get_dataset", "dataset_names", "clear_cache"]
+
+_CACHE: dict[tuple[str, float, int], MultimodalKG] = {}
+
+_BUILDERS = {
+    "drkg-mm": lambda factor, seed: generate_drkg_mm(
+        DRKGConfig(seed=seed).scaled(factor)
+    ),
+    "omaha-mm": lambda factor, seed: generate_omaha_mm(
+        OMAHAConfig(seed=seed).scaled(factor)
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names accepted by :func:`get_dataset`."""
+    return sorted(_BUILDERS)
+
+
+def get_dataset(name: str, scale: float = 1.0, seed: int = 0) -> MultimodalKG:
+    """Build (or fetch the cached) dataset ``name`` at ``scale``.
+
+    Parameters
+    ----------
+    name:
+        ``"drkg-mm"`` or ``"omaha-mm"`` (case-insensitive).
+    scale:
+        Multiplier on the default entity/triple counts; experiments use
+        small fractions for smoke runs and 1.0 for the bench runs.
+    seed:
+        Offset added to the builder's base seed, giving independent
+        replicates.
+    """
+    key = (name.lower(), float(scale), int(seed))
+    if key not in _CACHE:
+        try:
+            builder = _BUILDERS[key[0]]
+        except KeyError:
+            raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}") from None
+        base_seed = 7 if key[0] == "drkg-mm" else 11
+        _CACHE[key] = builder(scale, base_seed + seed * 1000)
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached datasets (tests use this to control memory)."""
+    _CACHE.clear()

@@ -1,0 +1,25 @@
+"""``repro.eval`` — filtered link-prediction evaluation.
+
+MR / MRR / Hits metrics (:mod:`repro.eval.metrics`), the filtered
+ranking protocol over both query directions (:mod:`repro.eval.ranking`),
+and per-relation-family breakdowns (:mod:`repro.eval.per_relation`).
+"""
+
+from .metrics import RankingMetrics
+from .per_relation import (
+    evaluate_per_relation_family,
+    family_of_triples,
+    family_triple_counts,
+)
+from .ranking import TailScorer, build_filter, compute_ranks, evaluate_ranking
+
+__all__ = [
+    "RankingMetrics",
+    "TailScorer",
+    "build_filter",
+    "compute_ranks",
+    "evaluate_ranking",
+    "evaluate_per_relation_family",
+    "family_of_triples",
+    "family_triple_counts",
+]

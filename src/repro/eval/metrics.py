@@ -1,0 +1,62 @@
+"""Ranking metric containers (MR, MRR, Hits@n)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RankingMetrics"]
+
+
+@dataclass
+class RankingMetrics:
+    """Aggregated link-prediction metrics over a set of ranks.
+
+    All values follow the paper's conventions: MRR and Hits@n are
+    percentages (larger is better), MR is an absolute rank (smaller is
+    better).
+    """
+
+    mr: float
+    mrr: float
+    hits: dict[int, float] = field(default_factory=dict)
+    num_queries: int = 0
+
+    @classmethod
+    def from_ranks(cls, ranks: np.ndarray, hits_at: tuple[int, ...] = (1, 3, 10)) -> "RankingMetrics":
+        """Compute metrics from an array of 1-based ranks."""
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if not len(ranks):
+            return cls(mr=float("nan"), mrr=float("nan"),
+                       hits={n: float("nan") for n in hits_at}, num_queries=0)
+        return cls(
+            mr=float(ranks.mean()),
+            mrr=float((1.0 / ranks).mean() * 100.0),
+            hits={n: float((ranks <= n).mean() * 100.0) for n in hits_at},
+            num_queries=len(ranks),
+        )
+
+    @classmethod
+    def average(cls, metrics: list["RankingMetrics"]) -> "RankingMetrics":
+        """Mean of several runs (the multi-seed reporting convention)."""
+        if not metrics:
+            raise ValueError("cannot average an empty metrics list")
+        hits_keys = metrics[0].hits.keys()
+        return cls(
+            mr=float(np.mean([m.mr for m in metrics])),
+            mrr=float(np.mean([m.mrr for m in metrics])),
+            hits={k: float(np.mean([m.hits[k] for m in metrics])) for k in hits_keys},
+            num_queries=int(np.mean([m.num_queries for m in metrics])),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dict suitable for table rendering."""
+        row = {"MRR": round(self.mrr, 1), "MR": round(self.mr, 1)}
+        for n in sorted(self.hits):
+            row[f"Hits@{n}"] = round(self.hits[n], 1)
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hits = ", ".join(f"H@{n}={v:.1f}" for n, v in sorted(self.hits.items()))
+        return f"RankingMetrics(MRR={self.mrr:.1f}, MR={self.mr:.0f}, {hits}, n={self.num_queries})"

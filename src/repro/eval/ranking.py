@@ -1,0 +1,112 @@
+"""Filtered ranking evaluation (Bordes et al. protocol, Section V-B).
+
+Every model under test exposes ``predict_tails(heads, rels) ->
+(B, num_entities)`` scores.  For each test triple ``(h, r, t)`` the
+true tail is ranked against all entities with every *other* known-true
+tail filtered out; the inverse query ``(t, r^-1, h)`` ranks the head
+side, matching the paper's protocol of training with inverse triples
+and "ranking with whole entities".  Ties are broken by the mean-rank
+convention (average of optimistic and pessimistic rank), so constant
+scorers cannot cheat.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Protocol
+
+import numpy as np
+
+from ..kg import KGSplit
+from .metrics import RankingMetrics
+
+__all__ = ["TailScorer", "compute_ranks", "evaluate_ranking", "build_filter"]
+
+
+class TailScorer(Protocol):
+    """Anything that scores all candidate tails for (head, relation) queries."""
+
+    def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        """Return ``(B, num_entities)`` scores."""
+        ...  # pragma: no cover
+
+
+def build_filter(split: KGSplit) -> dict[tuple[int, int], np.ndarray]:
+    """Map every ``(h, r)`` query (both directions) to its true tails."""
+    num_relations = split.num_relations
+    grouped: dict[tuple[int, int], set[int]] = defaultdict(set)
+    for part in (split.train, split.valid, split.test):
+        for h, r, t in part:
+            grouped[(int(h), int(r))].add(int(t))
+            grouped[(int(t), int(r) + num_relations)].add(int(h))
+    return {key: np.fromiter(vals, dtype=np.int64) for key, vals in grouped.items()}
+
+
+def _ranks_for_queries(
+    model: TailScorer,
+    queries: np.ndarray,
+    targets: np.ndarray,
+    true_tails: dict[tuple[int, int], np.ndarray],
+    batch_size: int,
+) -> np.ndarray:
+    ranks = np.zeros(len(queries))
+    for start in range(0, len(queries), batch_size):
+        q = queries[start:start + batch_size]
+        tgt = targets[start:start + batch_size]
+        scores = np.array(model.predict_tails(q[:, 0], q[:, 1]), dtype=np.float64)
+        for row in range(len(q)):
+            target = int(tgt[row])
+            target_score = scores[row, target]
+            filtered = true_tails.get((int(q[row, 0]), int(q[row, 1])))
+            row_scores = scores[row]
+            if filtered is not None:
+                row_scores = row_scores.copy()
+                row_scores[filtered] = -np.inf
+            greater = int((row_scores > target_score).sum())
+            equal = int((row_scores == target_score).sum())  # target filtered out
+            # Mean-rank tie handling: 1 + #greater + (#equal)/2.
+            ranks[start + row] = 1.0 + greater + equal / 2.0
+    return ranks
+
+
+def compute_ranks(
+    model: TailScorer,
+    split: KGSplit,
+    triples: np.ndarray,
+    max_queries: int | None = None,
+    rng: np.random.Generator | None = None,
+    batch_size: int = 128,
+    both_directions: bool = True,
+) -> np.ndarray:
+    """Filtered ranks for ``triples`` (tail side, plus head side via inverses)."""
+    if max_queries is not None and len(triples) > max_queries:
+        gen = rng if rng is not None else np.random.default_rng(0)
+        triples = triples[gen.choice(len(triples), max_queries, replace=False)]
+    true_tails = build_filter(split)
+    num_relations = split.num_relations
+
+    tail_queries = triples[:, [0, 1]]
+    tail_targets = triples[:, 2]
+    ranks = [_ranks_for_queries(model, tail_queries, tail_targets, true_tails, batch_size)]
+    if both_directions:
+        head_queries = np.stack([triples[:, 2], triples[:, 1] + num_relations], axis=1)
+        head_targets = triples[:, 0]
+        ranks.append(_ranks_for_queries(model, head_queries, head_targets, true_tails, batch_size))
+    return np.concatenate(ranks)
+
+
+def evaluate_ranking(
+    model: TailScorer,
+    split: KGSplit,
+    part: str = "test",
+    max_queries: int | None = None,
+    rng: np.random.Generator | None = None,
+    batch_size: int = 128,
+    both_directions: bool = True,
+) -> RankingMetrics:
+    """Filtered MR / MRR / Hits@{1,3,10} on a split partition."""
+    triples = {"train": split.train, "valid": split.valid, "test": split.test}[part]
+    ranks = compute_ranks(model, split, triples, max_queries=max_queries,
+                          rng=rng, batch_size=batch_size,
+                          both_directions=both_directions)
+    return RankingMetrics.from_ranks(ranks)

@@ -1,0 +1,44 @@
+"""``repro.experiments`` — one module per paper table/figure.
+
+See DESIGN.md for the experiment index.  All experiments take a
+:class:`~repro.experiments.scale.Scale` preset and are deterministic
+given a seed; trained models are cached in-process so figures that
+share models (Table III / Table IV / Fig. 7 / Fig. 8a) train once.
+"""
+
+from .fig1_diamond import DiamondResult, mine_diamonds, render_fig1, run_fig1
+from .grid_search import GridPoint, grid_search_came
+from .fig4_longtail import LongTailStats, render_fig4, run_fig4
+from .fig5_parameters import render_fig5, run_fig5
+from .fig6_ablation import ABLATIONS, render_fig6, run_fig6
+from .fig7_case_study import CaseStudy, render_fig7, run_fig7
+from .fig8_convergence import render_fig8, run_fig8a, run_fig8b
+from .fig9_scalability import ScalabilityPoint, render_fig9, run_fig9
+from .reporting import format_histogram, format_series, format_table
+from .runner import RunResult, clear_run_cache, get_prepared, train_model
+from .scale import PAPER, SMALL, SMOKE, Scale, get_scale
+from .table2_datasets import render_table2, run_table2
+from .table3_overall import (
+    PAPER_TABLE3,
+    improvement_over_best_competitor,
+    render_table3,
+    run_table3,
+)
+from .table4_relations import render_table4, render_table5, run_table4, run_table5
+
+__all__ = [
+    "Scale", "SMOKE", "SMALL", "PAPER", "get_scale",
+    "RunResult", "train_model", "get_prepared", "clear_run_cache",
+    "format_table", "format_series", "format_histogram",
+    "run_table2", "render_table2",
+    "run_table3", "render_table3", "PAPER_TABLE3", "improvement_over_best_competitor",
+    "run_table4", "run_table5", "render_table4", "render_table5",
+    "run_fig1", "render_fig1", "mine_diamonds", "DiamondResult",
+    "run_fig4", "render_fig4", "LongTailStats",
+    "run_fig5", "render_fig5",
+    "run_fig6", "render_fig6", "ABLATIONS",
+    "run_fig7", "render_fig7", "CaseStudy",
+    "run_fig8a", "run_fig8b", "render_fig8",
+    "run_fig9", "render_fig9", "ScalabilityPoint",
+    "GridPoint", "grid_search_came",
+]

@@ -1,0 +1,86 @@
+"""Command-line experiment runner.
+
+Regenerate any paper table/figure from the shell::
+
+    python -m repro.experiments table2 --scale smoke
+    python -m repro.experiments fig1
+    python -m repro.experiments table3 --scale small --datasets drkg-mm
+    python -m repro.experiments all --scale smoke
+
+Output is the same rendered text the benchmarks write to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import (
+    get_scale,
+    render_fig1,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig9,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def _table3(scale, datasets):
+    return render_table3(run_table3(scale, datasets=tuple(datasets)))
+
+
+EXPERIMENTS = {
+    "table2": lambda scale, datasets: render_table2(run_table2(scale)),
+    "table3": _table3,
+    "table4": lambda scale, datasets: render_table4(run_table4(scale)),
+    "table5": lambda scale, datasets: render_table5(run_table5(scale)),
+    "fig1": lambda scale, datasets: render_fig1(run_fig1(scale)),
+    "fig4": lambda scale, datasets: render_fig4(run_fig4(scale)),
+    "fig5": lambda scale, datasets: render_fig5(run_fig5(scale)),
+    "fig6": lambda scale, datasets: render_fig6(run_fig6(scale)),
+    "fig7": lambda scale, datasets: render_fig7(run_fig7(scale)),
+    "fig8": lambda scale, datasets: render_fig8(run_fig8a(scale), run_fig8b(scale)),
+    "fig9": lambda scale, datasets: render_fig9(run_fig9(scale)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments",
+                                     description=__doc__)
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which paper table/figure to regenerate")
+    parser.add_argument("--scale", default="small",
+                        help="scale preset: smoke | small (default: small)")
+    parser.add_argument("--datasets", nargs="+",
+                        default=["drkg-mm", "omaha-mm"],
+                        help="datasets for table3 (default: both)")
+    args = parser.parse_args(argv)
+
+    scale = get_scale(args.scale)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](scale, args.datasets))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Fig. 1 — the diamond experiment.
+
+The paper's motivating measurement: take "diamonds"
+``<e0, e1, e2, e3>`` where ``e0, e1, e2`` are drugs, ``e3`` is a gene,
+``e0`` is connected to both ``e1`` and ``e2``, and ``e1 -r1-> e3``,
+``e2 -r2-> e3``.  A diamond is *Same* when ``r1 == r2``.  Sampling
+diamonds 50/50 Same/Not-Same, then re-sampling only pairs ``(e1, e2)``
+whose *molecular embeddings* are highly similar (top-100 inner product)
+shifts the Same rate from 50% to ~67% — proof the molecular modality
+carries relation signal.  The protocol repeats the top-100 selection
+100 times with different random seeds and averages (Section V-H1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import get_prepared
+from .scale import Scale
+
+__all__ = ["DiamondResult", "mine_diamonds", "run_fig1", "render_fig1"]
+
+#: Paper-reported accuracy after similarity filtering.
+PAPER_FIG1_ACCURACY = 66.98
+
+
+@dataclass
+class DiamondResult:
+    """Outcome of the diamond experiment."""
+
+    baseline_same_rate: float       # balanced sample, by construction ~50
+    filtered_same_rate: float       # after molecule-similarity filtering
+    repeats: int
+    num_diamonds: int
+
+    @property
+    def lift(self) -> float:
+        return self.filtered_same_rate - self.baseline_same_rate
+
+
+def mine_diamonds(mkg, max_diamonds: int = 20000,
+                  rng: np.random.Generator | None = None) -> list[tuple[int, int, int, int, bool]]:
+    """Enumerate diamonds ``(e0, e1, e2, e3, same)`` from the KG.
+
+    ``e1``/``e2`` are drugs connected to gene ``e3`` by relations
+    ``r1``/``r2``; ``e0`` is a drug adjacent to both ``e1`` and ``e2``.
+    """
+    graph = mkg.graph
+    types = graph.entity_types
+    gen = rng if rng is not None else np.random.default_rng(0)
+
+    # drug -> drugs adjacent through compound-compound edges.
+    drug_neighbors: dict[int, set[int]] = defaultdict(set)
+    # gene -> list of (drug, relation).
+    gene_links: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for h, r, t in graph.triples:
+        h, r, t = int(h), int(r), int(t)
+        if types[h] == "Compound" and types[t] == "Compound":
+            drug_neighbors[h].add(t)
+            drug_neighbors[t].add(h)
+        elif types[h] == "Compound" and types[t] == "Gene":
+            gene_links[t].append((h, r))
+
+    diamonds: list[tuple[int, int, int, int, bool]] = []
+    genes = list(gene_links)
+    gen.shuffle(genes)
+    for gene in genes:
+        links = gene_links[gene]
+        if len(links) < 2:
+            continue
+        for i in range(len(links)):
+            for j in range(i + 1, len(links)):
+                (e1, r1), (e2, r2) = links[i], links[j]
+                if e1 == e2:
+                    continue
+                shared = drug_neighbors[e1] & drug_neighbors[e2] - {e1, e2}
+                if not shared:
+                    continue
+                e0 = next(iter(shared))
+                diamonds.append((e0, e1, e2, gene, r1 == r2))
+                if len(diamonds) >= max_diamonds:
+                    return diamonds
+    return diamonds
+
+
+def run_fig1(scale: Scale, seed: int = 0, repeats: int = 100,
+             top_k: int = 100, balanced_per_class: int = 5000) -> DiamondResult:
+    """Run the full Fig. 1 protocol on synthetic DRKG-MM."""
+    mkg, feats = get_prepared("drkg-mm", scale, seed)
+    rng = np.random.default_rng(400 + seed)
+    diamonds = mine_diamonds(mkg, rng=rng)
+    same = [d for d in diamonds if d[4]]
+    diff = [d for d in diamonds if not d[4]]
+    per_class = min(balanced_per_class, len(same), len(diff))
+    if per_class == 0:
+        raise RuntimeError("no diamonds mined; increase dataset scale")
+    balanced = ([same[i] for i in rng.choice(len(same), per_class, replace=False)]
+                + [diff[i] for i in rng.choice(len(diff), per_class, replace=False)])
+
+    # Molecule-embedding similarity of each diamond's (e1, e2) pair —
+    # the inner product of pre-trained GIN features, as in the paper.
+    mol = feats.molecular
+    sims = np.array([float(mol[e1] @ mol[e2]) for _, e1, e2, _, _ in balanced])
+    labels = np.array([is_same for *_, is_same in balanced])
+
+    k = min(top_k, len(balanced))
+    accuracies = []
+    for rep in range(repeats):
+        rep_rng = np.random.default_rng(10_000 + seed * 100 + rep)
+        subset = rep_rng.choice(len(balanced), size=min(len(balanced), 10 * k),
+                                replace=False)
+        top = subset[np.argsort(-sims[subset])[:k]]
+        accuracies.append(float(labels[top].mean() * 100.0))
+    return DiamondResult(
+        baseline_same_rate=float(labels.mean() * 100.0),
+        filtered_same_rate=float(np.mean(accuracies)),
+        repeats=repeats,
+        num_diamonds=len(balanced),
+    )
+
+
+def render_fig1(result: DiamondResult) -> str:
+    return (
+        "Fig. 1: diamond experiment (molecular similarity vs relation agreement)\n"
+        f"  balanced sample Same-rate : {result.baseline_same_rate:6.2f}%  (construction: ~50%)\n"
+        f"  top-similar Same-rate     : {result.filtered_same_rate:6.2f}%  (paper: {PAPER_FIG1_ACCURACY}%)\n"
+        f"  lift                      : {result.lift:+6.2f} points over {result.repeats} repeats "
+        f"({result.num_diamonds} diamonds)"
+    )

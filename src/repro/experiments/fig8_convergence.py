@@ -1,0 +1,66 @@
+"""Fig. 8 — convergence: test-MRR versus training wall-clock (RQ6).
+
+(a) CamE against baselines: cheap models (DistMult, ConvE) converge
+    earlier; CamE starts slower (multimodal machinery costs time per
+    epoch) but reaches the best final accuracy.
+(b) CamE against its ablations: "w/o TCA" is faster per unit time but
+    plateaus lower — the paper's performance/efficiency trade-off.
+
+Both panels reuse the timed eval histories that the runner records
+during training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import CamE, CamEConfig, OneToNTrainer
+from .reporting import format_series
+from .runner import get_prepared, train_model
+from .scale import Scale
+
+__all__ = ["run_fig8a", "run_fig8b", "render_fig8"]
+
+FIG8A_MODELS = ("DistMult", "ConvE", "PairRE", "DualE", "MKGformer", "CamE")
+FIG8B_ABLATIONS = ("full", "w/o TCA", "w/o M and R")
+
+
+def run_fig8a(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
+              models: tuple[str, ...] = FIG8A_MODELS) -> dict[str, list[tuple[float, float]]]:
+    """Panel (a): ``{model: [(elapsed_seconds, valid MRR), ...]}``."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for name in models:
+        run = train_model(name, dataset, scale, seed=seed)
+        series[name] = [(elapsed, metrics.mrr)
+                        for _, elapsed, metrics in run.report.eval_history]
+    return series
+
+
+def run_fig8b(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
+              ablations: tuple[str, ...] = FIG8B_ABLATIONS) -> dict[str, list[tuple[float, float]]]:
+    """Panel (b): convergence of ablation variants."""
+    mkg, feats = get_prepared(dataset, scale, seed)
+    base = CamEConfig(entity_dim=scale.model_dim, relation_dim=scale.model_dim)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for name in ablations:
+        cfg = CamEConfig.ablation(name, base)
+        rng = np.random.default_rng(850 + seed)
+        model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
+        trainer = OneToNTrainer(model, mkg.split, rng, lr=cfg.learning_rate,
+                                batch_size=128)
+        report = trainer.fit(scale.epochs_came, eval_every=scale.eval_every,
+                             eval_max_queries=scale.eval_max_queries,
+                             keep_best=False)
+        series[name] = [(elapsed, metrics.mrr)
+                        for _, elapsed, metrics in report.eval_history]
+    return series
+
+
+def render_fig8(series_a: dict[str, list[tuple[float, float]]],
+                series_b: dict[str, list[tuple[float, float]]] | None = None) -> str:
+    parts = [format_series(series_a, x_label="seconds", y_label="MRR",
+                           title="Fig. 8(a): test MRR vs training time (baselines)")]
+    if series_b:
+        parts.append(format_series(series_b, x_label="seconds", y_label="MRR",
+                                   title="Fig. 8(b): test MRR vs training time (ablations)"))
+    return "\n\n".join(parts)

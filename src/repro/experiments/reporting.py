@@ -1,0 +1,50 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+Every experiment module returns structured data *and* can render it in
+the shape the paper prints (rows of a table, series of a figure), so
+benchmark runs produce directly comparable output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_histogram"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[tuple[float, float]]],
+                  x_label: str, y_label: str, title: str = "") -> str:
+    """Render named (x, y) series as aligned text, one block per series."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}]  ({x_label} -> {y_label})")
+        lines.append("  " + "  ".join(f"{x:g}:{y:.2f}" for x, y in points))
+    return "\n".join(lines)
+
+
+def format_histogram(counts: Sequence[int], bin_edges: Sequence[float],
+                     title: str = "", max_width: int = 50) -> str:
+    """Render histogram counts as a text bar chart."""
+    lines = [title] if title else []
+    peak = max(counts) if counts else 1
+    for count, lo, hi in zip(counts, bin_edges[:-1], bin_edges[1:]):
+        bar = "#" * max(1 if count else 0, int(count / max(peak, 1) * max_width))
+        lines.append(f"  [{lo:8.1f}, {hi:8.1f})  {count:8d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Shared experiment runner with in-process caching.
+
+Several tables/figures need the same trained models (Table III provides
+the trained CamE that Table IV, Fig. 7 and Fig. 8 reuse), so runs are
+cached by ``(dataset, scale, model, seed)``.  Everything is
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines import build_model
+from ..core import TrainReport
+from ..datasets import ModalityFeatures, MultimodalKG, build_features, get_dataset
+from ..eval import RankingMetrics, evaluate_ranking
+from .scale import Scale
+
+__all__ = ["RunResult", "get_prepared", "train_model", "clear_run_cache"]
+
+_FEATURE_CACHE: dict[tuple, tuple[MultimodalKG, ModalityFeatures]] = {}
+_RUN_CACHE: dict[tuple, "RunResult"] = {}
+
+
+@dataclass
+class RunResult:
+    """A trained model plus its training trace and test metrics."""
+
+    model_name: str
+    dataset: str
+    model: object
+    report: TrainReport
+    test_metrics: RankingMetrics
+
+
+def get_prepared(dataset: str, scale: Scale, seed: int = 0) -> tuple[MultimodalKG, ModalityFeatures]:
+    """Dataset + pre-trained modality features (cached)."""
+    key = (dataset, scale.name, seed)
+    if key not in _FEATURE_CACHE:
+        mkg = get_dataset(dataset, scale=scale.dataset_scale, seed=seed)
+        rng = np.random.default_rng(1000 + seed)
+        feats = build_features(
+            mkg, rng, d_m=scale.feature_dim, d_t=scale.feature_dim,
+            d_s=scale.feature_dim, gin_epochs=scale.pretrain_epochs,
+            compgcn_epochs=scale.pretrain_epochs,
+        )
+        _FEATURE_CACHE[key] = (mkg, feats)
+    return _FEATURE_CACHE[key]
+
+
+def _epochs_for(model_name: str, scale: Scale) -> int:
+    from ..baselines import MODEL_REGISTRY
+
+    if model_name == "CamE":
+        return scale.epochs_came
+    spec = MODEL_REGISTRY[model_name]
+    return scale.epochs_1ton if spec.regime == "1toN" else scale.epochs_neg
+
+
+def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
+                epochs: int | None = None, negatives_1ton: int | None = None) -> RunResult:
+    """Train ``model_name`` on ``dataset`` and evaluate on test (cached)."""
+    key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton)
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    mkg, feats = get_prepared(dataset, scale, seed)
+    rng = np.random.default_rng(2000 + seed)
+    model, trainer = build_model(model_name, mkg, feats, rng,
+                                 dim=scale.model_dim,
+                                 negatives_1ton=negatives_1ton)
+    budget = epochs if epochs is not None else _epochs_for(model_name, scale)
+    report = trainer.fit(budget, eval_every=scale.eval_every,
+                         eval_max_queries=scale.eval_max_queries)
+    metrics = evaluate_ranking(model, mkg.split, part="test",
+                               max_queries=scale.test_max_queries,
+                               rng=np.random.default_rng(3000 + seed))
+    result = RunResult(model_name=model_name, dataset=dataset, model=model,
+                       report=report, test_metrics=metrics)
+    _RUN_CACHE[key] = result
+    return result
+
+
+def clear_run_cache() -> None:
+    """Drop all cached runs and features (frees memory in long sessions)."""
+    _FEATURE_CACHE.clear()
+    _RUN_CACHE.clear()

@@ -1,0 +1,67 @@
+"""Scale presets for experiments.
+
+The paper runs on an RTX 3090 with d=500 embeddings and 500 epochs over
+millions of triples; this reproduction runs every experiment on one CPU
+core.  A :class:`Scale` bundles all the knobs that shrink consistently:
+dataset size, feature dims, model dims, training budgets, and
+evaluation sample sizes.
+
+* ``SMOKE`` — seconds; used by the test suite.
+* ``SMALL`` — minutes per experiment; the default for benchmarks and
+  the numbers recorded in EXPERIMENTS.md.
+* ``PAPER`` — the paper's actual parameters, documented for reference;
+  not runnable in this environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scale", "SMOKE", "SMALL", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Consistent experiment sizing."""
+
+    name: str
+    dataset_scale: float      # multiplier on dataset entity/triple counts
+    feature_dim: int          # d_m = d_t = d_s of the pre-trained features
+    model_dim: int            # entity/relation embedding dim
+    epochs_1ton: int          # ConvE-regime training epochs
+    epochs_came: int          # CamE epochs (converges slower, Fig. 8)
+    epochs_neg: int           # negative-sampling-regime epochs
+    eval_every: int           # validation cadence during training
+    eval_max_queries: int     # validation subset size
+    test_max_queries: int     # test subset size for reported metrics
+    pretrain_epochs: int      # GIN / CompGCN self-supervised epochs
+
+
+SMOKE = Scale(
+    name="smoke", dataset_scale=0.15, feature_dim=8, model_dim=16,
+    epochs_1ton=2, epochs_came=2, epochs_neg=2, eval_every=2,
+    eval_max_queries=30, test_max_queries=40, pretrain_epochs=1,
+)
+
+SMALL = Scale(
+    name="small", dataset_scale=0.5, feature_dim=24, model_dim=48,
+    epochs_1ton=40, epochs_came=60, epochs_neg=40, eval_every=10,
+    eval_max_queries=100, test_max_queries=300, pretrain_epochs=4,
+)
+
+#: The paper's settings (Section V-B); for documentation only.
+PAPER = Scale(
+    name="paper", dataset_scale=1.0, feature_dim=300, model_dim=500,
+    epochs_1ton=500, epochs_came=500, epochs_neg=500, eval_every=10,
+    eval_max_queries=10_000, test_max_queries=1_174_852, pretrain_epochs=100,
+)
+
+_PRESETS = {s.name: s for s in (SMOKE, SMALL, PAPER)}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a preset by name."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; known: {sorted(_PRESETS)}") from None

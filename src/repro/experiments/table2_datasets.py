@@ -1,0 +1,38 @@
+"""Table II — dataset statistics (#Ent, #Rel, #Train/#Valid/#Test)."""
+
+from __future__ import annotations
+
+from .reporting import format_table
+from .runner import get_prepared
+from .scale import Scale
+
+__all__ = ["run_table2", "render_table2"]
+
+#: The paper's reported numbers, for EXPERIMENTS.md comparison.
+PAPER_TABLE2 = {
+    "drkg-mm": {"#Ent": 97_238, "#Rel": 107, "#Train": 4_699_408,
+                "#Valid": 587_424, "#Test": 587_426},
+    "omaha-mm": {"#Ent": 74_061, "#Rel": 17, "#Train": 406_773,
+                 "#Valid": 50_846, "#Test": 50_846},
+}
+
+
+def run_table2(scale: Scale, seed: int = 0) -> dict[str, dict[str, int]]:
+    """Statistics of both synthetic datasets at ``scale``."""
+    stats = {}
+    for dataset in ("drkg-mm", "omaha-mm"):
+        mkg, _ = get_prepared(dataset, scale, seed)
+        stats[dataset] = mkg.split.summary()
+    return stats
+
+
+def render_table2(stats: dict[str, dict[str, int]]) -> str:
+    """Paper-style Table II rows plus the split-ratio check."""
+    headers = ["Dataset", "#Ent", "#Rel", "#Train", "#Valid", "#Test", "split"]
+    rows = []
+    for dataset, row in stats.items():
+        total = row["#Train"] + row["#Valid"] + row["#Test"]
+        ratio = "/".join(f"{row[k] / total:.2f}" for k in ("#Train", "#Valid", "#Test"))
+        rows.append([dataset, row["#Ent"], row["#Rel"], row["#Train"],
+                     row["#Valid"], row["#Test"], ratio])
+    return format_table(headers, rows, title="Table II: dataset statistics (synthetic, scaled)")

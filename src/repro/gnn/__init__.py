@@ -1,0 +1,10 @@
+"""``repro.gnn`` — structural-embedding substrate (CompGCN)."""
+
+from .compgcn import CompGCNEncoder, CompGCNLayer, compose, pretrain_structural_embeddings
+
+__all__ = [
+    "CompGCNEncoder",
+    "CompGCNLayer",
+    "compose",
+    "pretrain_structural_embeddings",
+]

@@ -1,0 +1,30 @@
+"""``repro.kg`` — knowledge-graph substrate.
+
+Data structures (:class:`KnowledgeGraph`, :class:`Vocabulary`), the 8:1:1
+split / inverse-relation / 1-to-N batching protocol of the paper
+(:mod:`repro.kg.dataset`), negative samplers (:mod:`repro.kg.sampling`)
+and TSV persistence (:mod:`repro.kg.io`).
+"""
+
+from .dataset import KGSplit, OneToNBatcher, add_inverse_relations, split_triples
+from .graph import KnowledgeGraph, Triple
+from .io import load_kg, read_triples_tsv, save_kg, write_triples_tsv
+from .sampling import NegativeSampler, bernoulli_probabilities, self_adversarial_weights
+from .vocab import Vocabulary
+
+__all__ = [
+    "KnowledgeGraph",
+    "Triple",
+    "Vocabulary",
+    "KGSplit",
+    "OneToNBatcher",
+    "add_inverse_relations",
+    "split_triples",
+    "NegativeSampler",
+    "bernoulli_probabilities",
+    "self_adversarial_weights",
+    "save_kg",
+    "load_kg",
+    "write_triples_tsv",
+    "read_triples_tsv",
+]

@@ -1,0 +1,237 @@
+"""Train/valid/test splits and 1-to-N training batches.
+
+Implements the paper's optimisation protocol (Section IV-D):
+
+* the KG is split 8:1:1 into train/valid/test (Table II);
+* every training triple ``(h, r, t)`` is augmented with an inverse triple
+  ``(t, r^-1, h)`` where ``r^-1`` is a fresh relation id, so tail ranking
+  covers both directions;
+* batches use *1-to-many scoring*: for each ``(h, r)`` query the model
+  scores all entities at once against a multi-hot label vector of every
+  true tail (optionally capped at ``1-to-K`` sampled negatives, the
+  OMAHA-MM setting of 1-to-1000).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["KGSplit", "split_triples", "add_inverse_relations", "OneToNBatcher"]
+
+
+@dataclass
+class KGSplit:
+    """A train/valid/test partition of one knowledge graph."""
+
+    graph: KnowledgeGraph
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+    @property
+    def num_entities(self) -> int:
+        return self.graph.num_entities
+
+    @property
+    def num_relations(self) -> int:
+        return self.graph.num_relations
+
+    def all_true(self) -> set[tuple[int, int, int]]:
+        """Union of all splits as a triple set (filtered-ranking support)."""
+        stacked = np.concatenate([self.train, self.valid, self.test])
+        return {(int(h), int(r), int(t)) for h, r, t in stacked}
+
+    def summary(self) -> dict[str, int]:
+        """Table II-style statistics for this split."""
+        return {
+            "#Ent": self.num_entities,
+            "#Rel": self.num_relations,
+            "#Train": len(self.train),
+            "#Valid": len(self.valid),
+            "#Test": len(self.test),
+        }
+
+
+def split_triples(
+    graph: KnowledgeGraph,
+    rng: np.random.Generator,
+    ratios: tuple[float, float, float] = (0.8, 0.1, 0.1),
+) -> KGSplit:
+    """Randomly split ``graph`` into train/valid/test by ``ratios``.
+
+    Two hygiene rules, both standard for KG completion benchmarks:
+
+    * every entity and relation appearing in valid/test is also seen in
+      train (violating triples are moved into train), so evaluation
+      never queries an untrained embedding;
+    * reciprocal duplicates of symmetric relations — ``(a, r, b)`` and
+      ``(b, r, a)`` both present — are kept in the *same* partition,
+      otherwise a model could read half of a symmetric fact in train and
+      be handed the other half as a test answer (the classic inverse-
+      leakage flaw of FB15k).
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError("split ratios must sum to 1")
+    triples = graph.triples.copy()
+    present = {(int(h), int(r), int(t)) for h, r, t in triples}
+
+    # Group reciprocal symmetric duplicates under one undirected key.
+    groups: dict[tuple[int, int, int], list[int]] = {}
+    for idx, (h, r, t) in enumerate(triples):
+        h, r, t = int(h), int(r), int(t)
+        if (t, r, h) in present and h != t:
+            key = (r, min(h, t), max(h, t))
+        else:
+            key = (r, h, -t - 1)  # unique key, cannot collide with pairs
+        groups.setdefault(key, []).append(idx)
+
+    group_ids = list(groups.values())
+    order = rng.permutation(len(group_ids))
+    shuffled: list[int] = []
+    for gi in order:
+        shuffled.extend(group_ids[gi])
+    triples = triples[shuffled]
+    n_train = int(len(triples) * ratios[0])
+    n_valid = int(len(triples) * ratios[1])
+    # Nudge the boundaries so reciprocal pairs are never separated.
+    def _aligned(boundary: int) -> int:
+        while 0 < boundary < len(triples):
+            h, r, t = (int(v) for v in triples[boundary - 1])
+            nh, nr, nt = (int(v) for v in triples[boundary])
+            if (nh, nr, nt) == (t, r, h):
+                boundary += 1
+                continue
+            break
+        return boundary
+
+    n_train = _aligned(n_train)
+    n_valid_end = _aligned(n_train + n_valid)
+    train = triples[:n_train]
+    valid = triples[n_train:n_valid_end]
+    test = triples[n_valid_end:]
+
+    seen_entities = set(train[:, 0]) | set(train[:, 2])
+    seen_relations = set(train[:, 1])
+
+    def _rescue(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ok = np.array([
+            h in seen_entities and t in seen_entities and r in seen_relations
+            for h, r, t in rows
+        ], dtype=bool) if len(rows) else np.zeros(0, dtype=bool)
+        return rows[ok], rows[~ok]
+
+    valid, rescued_v = _rescue(valid)
+    test, rescued_t = _rescue(test)
+    if len(rescued_v) or len(rescued_t):
+        train = np.concatenate([train, rescued_v, rescued_t])
+    return KGSplit(graph=graph, train=train, valid=valid, test=test)
+
+
+def add_inverse_relations(triples: np.ndarray, num_relations: int) -> np.ndarray:
+    """Append ``(t, r + num_relations, h)`` for every ``(h, r, t)``.
+
+    The returned array contains original and inverse triples; models
+    trained on it must allocate ``2 * num_relations`` relation embeddings.
+    """
+    inverse = triples[:, [2, 1, 0]].copy()
+    inverse[:, 1] += num_relations
+    return np.concatenate([triples, inverse])
+
+
+class OneToNBatcher:
+    """Batches of ``(head, relation)`` queries with multi-hot tail labels.
+
+    Parameters
+    ----------
+    triples:
+        Training triples (typically after inverse augmentation).
+    num_entities:
+        Size of the label vector.
+    batch_size:
+        Queries per batch.
+    rng:
+        Shuffling source.
+    label_smoothing:
+        Smoothing applied to the multi-hot targets (ConvE-style).
+    negatives:
+        ``None`` for full 1-to-N scoring; an integer ``K`` restricts each
+        query to its true tails plus ``K`` sampled negatives (the paper's
+        "1-to-1000" OMAHA-MM setting).
+    """
+
+    def __init__(
+        self,
+        triples: np.ndarray,
+        num_entities: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        label_smoothing: float = 0.1,
+        negatives: int | None = None,
+    ) -> None:
+        self.num_entities = num_entities
+        self.batch_size = batch_size
+        self.rng = rng
+        self.label_smoothing = label_smoothing
+        # Sampling K >= num_entities negatives is strictly worse than full
+        # 1-to-N scoring (duplicates, wider batches), so fall back.
+        if negatives is not None and negatives >= num_entities:
+            negatives = None
+        self.negatives = negatives
+        grouped: dict[tuple[int, int], set[int]] = defaultdict(set)
+        for h, r, t in triples:
+            grouped[(int(h), int(r))].add(int(t))
+        self.queries = np.array(sorted(grouped), dtype=np.int64)
+        self.tails = [np.fromiter(grouped[tuple(q)], dtype=np.int64) for q in self.queries]
+
+    def __len__(self) -> int:
+        return (len(self.queries) + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def epoch(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]]:
+        """Yield ``(heads, relations, labels, candidates)`` batches.
+
+        ``labels`` is ``(B, num_entities)`` for full 1-to-N, or
+        ``(B, K + max_true)`` aligned with ``candidates`` when sampled
+        negatives are used.  ``candidates`` is ``None`` in the full case.
+        """
+        order = self.rng.permutation(len(self.queries))
+        for start in range(0, len(order), self.batch_size):
+            batch_ids = order[start:start + self.batch_size]
+            heads = self.queries[batch_ids, 0]
+            rels = self.queries[batch_ids, 1]
+            if self.negatives is None:
+                labels = np.zeros((len(batch_ids), self.num_entities))
+                for row, qid in enumerate(batch_ids):
+                    labels[row, self.tails[qid]] = 1.0
+                if self.label_smoothing:
+                    labels = (1.0 - self.label_smoothing) * labels \
+                        + self.label_smoothing / self.num_entities
+                yield heads, rels, labels, None
+            else:
+                max_true = max(len(self.tails[qid]) for qid in batch_ids)
+                width = max_true + self.negatives
+                candidates = self.rng.integers(0, self.num_entities,
+                                               size=(len(batch_ids), width))
+                labels = np.zeros((len(batch_ids), width))
+                for row, qid in enumerate(batch_ids):
+                    true_tails = self.tails[qid]
+                    candidates[row, :len(true_tails)] = true_tails
+                    labels[row, :len(true_tails)] = 1.0
+                    # Knock out accidental positives among the negatives.
+                    true_set = set(int(t) for t in true_tails)
+                    for col in range(len(true_tails), width):
+                        if int(candidates[row, col]) in true_set:
+                            labels[row, col] = 1.0
+                if self.label_smoothing:
+                    labels = (1.0 - self.label_smoothing) * labels \
+                        + self.label_smoothing / width
+                yield heads, rels, labels, candidates

@@ -1,0 +1,82 @@
+"""TSV persistence for knowledge graphs (DRKG-style `h\\tr\\tt` files)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+from .vocab import Vocabulary
+
+__all__ = ["save_kg", "load_kg", "write_triples_tsv", "read_triples_tsv"]
+
+
+def write_triples_tsv(path: str, graph: KnowledgeGraph, triples: np.ndarray | None = None) -> None:
+    """Write triples as tab-separated entity/relation names, one per line."""
+    rows = graph.triples if triples is None else triples
+    with open(path, "w", encoding="utf-8") as handle:
+        for h, r, t in rows:
+            handle.write(
+                f"{graph.entities.name(int(h))}\t"
+                f"{graph.relations.name(int(r))}\t"
+                f"{graph.entities.name(int(t))}\n"
+            )
+
+
+def read_triples_tsv(path: str, graph: KnowledgeGraph) -> np.ndarray:
+    """Read a TSV written by :func:`write_triples_tsv` back into ids."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_no}: expected 3 columns, got {len(parts)}")
+            h, r, t = parts
+            rows.append((graph.entities.id(h), graph.relations.id(r), graph.entities.id(t)))
+    return np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+
+
+def save_kg(directory: str, graph: KnowledgeGraph) -> None:
+    """Persist a KG as ``entities.tsv``, ``relations.tsv``, ``triples.tsv``."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "entities.tsv"), "w", encoding="utf-8") as handle:
+        for idx, name in enumerate(graph.entities):
+            etype = graph.entity_types[idx] if graph.entity_types else ""
+            handle.write(f"{name}\t{etype}\n")
+    with open(os.path.join(directory, "relations.tsv"), "w", encoding="utf-8") as handle:
+        for name in graph.relations:
+            handle.write(f"{name}\n")
+    write_triples_tsv(os.path.join(directory, "triples.tsv"), graph)
+
+
+def load_kg(directory: str, name: str = "kg") -> KnowledgeGraph:
+    """Load a KG saved by :func:`save_kg`."""
+    entities = Vocabulary()
+    entity_types: list[str] = []
+    with open(os.path.join(directory, "entities.tsv"), encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            ename, _, etype = line.partition("\t")
+            entities.add(ename)
+            entity_types.append(etype)
+    relations = Vocabulary()
+    with open(os.path.join(directory, "relations.tsv"), encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                relations.add(line)
+    graph = KnowledgeGraph(
+        entities=entities,
+        relations=relations,
+        triples=np.zeros((0, 3), dtype=np.int64),
+        entity_types=entity_types,
+        name=name,
+    )
+    triples = read_triples_tsv(os.path.join(directory, "triples.tsv"), graph)
+    return graph.with_triples(triples)

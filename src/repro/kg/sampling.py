@@ -1,0 +1,121 @@
+"""Negative sampling strategies for triple-based (margin/NLL) training.
+
+Covers the schemes used by the baselines:
+
+* **uniform** corruption (TransE): replace head or tail uniformly;
+* **Bernoulli** corruption (TransH, adopted widely): corrupt head vs tail
+  with probability proportional to tails-per-head / heads-per-tail so
+  Many-to-1 relations are corrupted sensibly;
+* **filtered** sampling: never emit a corruption that is actually a true
+  triple anywhere in the dataset (the "filtered setting" of Bordes et
+  al. used in every experiment of the paper);
+* **self-adversarial** weighting (RotatE): not a sampler but a weighting
+  of negative scores — provided as a helper used by a-RotatE and PairRE.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from .graph import KnowledgeGraph
+
+__all__ = ["NegativeSampler", "bernoulli_probabilities", "self_adversarial_weights"]
+
+
+def bernoulli_probabilities(triples: np.ndarray, num_relations: int) -> np.ndarray:
+    """Per-relation probability of corrupting the *head*.
+
+    ``p_head = tph / (tph + hpt)`` where ``tph`` is the mean number of
+    tails per head and ``hpt`` the mean number of heads per tail (Wang et
+    al., 2014).
+    """
+    tails_per_head: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+    heads_per_tail: dict[int, dict[int, set[int]]] = defaultdict(lambda: defaultdict(set))
+    for h, r, t in triples:
+        tails_per_head[int(r)][int(h)].add(int(t))
+        heads_per_tail[int(r)][int(t)].add(int(h))
+    probs = np.full(num_relations, 0.5)
+    for r in range(num_relations):
+        if not tails_per_head[r]:
+            continue
+        tph = np.mean([len(s) for s in tails_per_head[r].values()])
+        hpt = np.mean([len(s) for s in heads_per_tail[r].values()])
+        probs[r] = tph / (tph + hpt)
+    return probs
+
+
+def self_adversarial_weights(negative_scores: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Softmax weights over negatives (Sun et al., 2019), detached.
+
+    Higher-scoring (harder) negatives receive larger weight.  The caller
+    multiplies per-negative losses by these weights.
+    """
+    scaled = temperature * negative_scores
+    scaled = scaled - scaled.max(axis=-1, keepdims=True)
+    e = np.exp(scaled)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class NegativeSampler:
+    """Corrupt triples into negatives, with optional filtering/Bernoulli.
+
+    Parameters
+    ----------
+    graph:
+        Source KG (provides entity count and, for filtering, true triples).
+    triples:
+        Training triples used to fit Bernoulli statistics.
+    rng:
+        Randomness source.
+    bernoulli:
+        Use per-relation head/tail corruption probabilities.
+    filtered:
+        Resample corruptions that collide with known true triples.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        triples: np.ndarray,
+        rng: np.random.Generator,
+        bernoulli: bool = False,
+        filtered: bool = True,
+        extra_true: set[tuple[int, int, int]] | None = None,
+    ) -> None:
+        self.num_entities = graph.num_entities
+        self.rng = rng
+        self.filtered = filtered
+        self._true = graph.triple_set()
+        if extra_true:
+            self._true |= extra_true
+        # Triples may be inverse-augmented, so size the per-relation table
+        # by the largest relation id actually present.
+        num_rel = max(graph.num_relations,
+                      int(triples[:, 1].max()) + 1 if len(triples) else 0)
+        self._head_prob = (
+            bernoulli_probabilities(triples, num_rel)
+            if bernoulli
+            else np.full(num_rel, 0.5)
+        )
+
+    def corrupt(self, triples: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+        """Return ``(len(triples) * num_negatives, 3)`` corrupted triples."""
+        batches = [self._corrupt_once(triples) for _ in range(num_negatives)]
+        return np.concatenate(batches)
+
+    def _corrupt_once(self, triples: np.ndarray) -> np.ndarray:
+        out = triples.copy()
+        corrupt_head = self.rng.random(len(triples)) < self._head_prob[triples[:, 1]]
+        replacements = self.rng.integers(0, self.num_entities, size=len(triples))
+        out[corrupt_head, 0] = replacements[corrupt_head]
+        out[~corrupt_head, 2] = replacements[~corrupt_head]
+        if self.filtered:
+            for i in range(len(out)):
+                tries = 0
+                while tuple(int(v) for v in out[i]) in self._true and tries < 20:
+                    slot = 0 if corrupt_head[i] else 2
+                    out[i, slot] = self.rng.integers(0, self.num_entities)
+                    tries += 1
+        return out

@@ -1,0 +1,52 @@
+"""Bidirectional string <-> integer id vocabularies for entities/relations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """An append-only mapping between names and contiguous integer ids.
+
+    Used for entity and relation dictionaries.  Ids are assigned in
+    insertion order starting at 0, which keeps embedding tables compact.
+    """
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its id."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_name)
+        self._name_to_id[name] = idx
+        self._id_to_name.append(name)
+        return idx
+
+    def id(self, name: str) -> int:
+        """Return the id of ``name``; raises ``KeyError`` if absent."""
+        return self._name_to_id[name]
+
+    def name(self, idx: int) -> str:
+        """Return the name for ``idx``; raises ``IndexError`` if absent."""
+        return self._id_to_name[idx]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_name)
+
+    def names(self) -> list[str]:
+        """All names in id order (a copy)."""
+        return list(self._id_to_name)

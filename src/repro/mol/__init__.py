@@ -1,0 +1,38 @@
+"""``repro.mol`` — molecular-structure substrate.
+
+Molecular graphs (:mod:`repro.mol.molecule`), the pharmacophore scaffold
+library coupling structure to text and biology
+(:mod:`repro.mol.scaffolds`), a synthetic molecule generator
+(:mod:`repro.mol.generator`), a GIN encoder with masked-attribute
+pre-training replacing the paper's pre-trained GNN features
+(:mod:`repro.mol.gin`, :mod:`repro.mol.pretrain`), and the similarity
+measures the Fig. 1 experiment uses (:mod:`repro.mol.similarity`).
+"""
+
+from .generator import MoleculeGenerator
+from .gin import GINEncoder, GINLayer, batch_molecules
+from .molecule import BOND_ORDERS, ELEMENTS, Atom, Bond, Molecule
+from .pretrain import MaskedAttributePretrainer, PretrainResult
+from .scaffolds import SCAFFOLDS, Scaffold, scaffold_by_name
+from .similarity import cosine_similarity, inner_product_similarity, pairwise_cosine, tanimoto
+
+__all__ = [
+    "Atom",
+    "Bond",
+    "Molecule",
+    "ELEMENTS",
+    "BOND_ORDERS",
+    "Scaffold",
+    "SCAFFOLDS",
+    "scaffold_by_name",
+    "MoleculeGenerator",
+    "GINEncoder",
+    "GINLayer",
+    "batch_molecules",
+    "MaskedAttributePretrainer",
+    "PretrainResult",
+    "tanimoto",
+    "inner_product_similarity",
+    "cosine_similarity",
+    "pairwise_cosine",
+]

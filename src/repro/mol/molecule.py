@@ -1,0 +1,204 @@
+"""Molecular graph representation.
+
+A :class:`Molecule` is an undirected labelled graph of atoms and bonds —
+the molecular-structure modality of the paper.  It supports conversion to
+``networkx`` for analysis, hashed substructure fingerprints (an ECFP-like
+scheme used by the Fig. 1 diamond experiment), and featurisation for the
+GIN encoder in :mod:`repro.mol.gin`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["Atom", "Bond", "Molecule", "ELEMENTS", "BOND_ORDERS"]
+
+#: Elements the synthetic chemistry uses; index = feature id.
+ELEMENTS: tuple[str, ...] = ("C", "N", "O", "S", "P", "F", "Cl", "Br")
+
+#: Bond order codes: single, double, triple, aromatic.
+BOND_ORDERS: tuple[str, ...] = ("single", "double", "triple", "aromatic")
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom: element symbol plus formal charge."""
+
+    element: str
+    charge: int = 0
+
+    def __post_init__(self) -> None:
+        if self.element not in ELEMENTS:
+            raise ValueError(f"unknown element {self.element!r}")
+
+    @property
+    def element_id(self) -> int:
+        return ELEMENTS.index(self.element)
+
+
+@dataclass(frozen=True)
+class Bond:
+    """An undirected bond between atom indices ``i < j``."""
+
+    i: int
+    j: int
+    order: str = "single"
+
+    def __post_init__(self) -> None:
+        if self.order not in BOND_ORDERS:
+            raise ValueError(f"unknown bond order {self.order!r}")
+        if self.i == self.j:
+            raise ValueError("self-bonds are not allowed")
+
+    @property
+    def order_id(self) -> int:
+        return BOND_ORDERS.index(self.order)
+
+    def normalized(self) -> "Bond":
+        """Return the bond with ``i < j``."""
+        if self.i <= self.j:
+            return self
+        return Bond(self.j, self.i, self.order)
+
+
+@dataclass
+class Molecule:
+    """An attributed molecular graph.
+
+    Attributes
+    ----------
+    atoms:
+        Atom list; index is the atom id.
+    bonds:
+        Undirected bonds between atom ids.
+    scaffold:
+        Name of the pharmacophore scaffold the molecule was grown from
+        (generator metadata; ``""`` for unknown).
+    """
+
+    atoms: list[Atom]
+    bonds: list[Bond]
+    scaffold: str = ""
+    _adjacency: dict[int, list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        n = len(self.atoms)
+        seen: set[tuple[int, int]] = set()
+        normalized = []
+        for bond in self.bonds:
+            if bond.i >= n or bond.j >= n or bond.i < 0 or bond.j < 0:
+                raise ValueError(f"bond {bond} references an atom out of range")
+            bond = bond.normalized()
+            key = (bond.i, bond.j)
+            if key in seen:
+                raise ValueError(f"duplicate bond between atoms {key}")
+            seen.add(key)
+            normalized.append(bond)
+        self.bonds = normalized
+
+    # ------------------------------------------------------------------
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def num_bonds(self) -> int:
+        return len(self.bonds)
+
+    def adjacency(self) -> dict[int, list[tuple[int, int]]]:
+        """Atom id -> list of ``(neighbor_id, bond_order_id)``."""
+        if self._adjacency is None:
+            adj: dict[int, list[tuple[int, int]]] = {i: [] for i in range(self.num_atoms)}
+            for bond in self.bonds:
+                adj[bond.i].append((bond.j, bond.order_id))
+                adj[bond.j].append((bond.i, bond.order_id))
+            self._adjacency = adj
+        return self._adjacency
+
+    def degrees(self) -> np.ndarray:
+        """Heavy-atom degree per atom."""
+        deg = np.zeros(self.num_atoms, dtype=np.int64)
+        for bond in self.bonds:
+            deg[bond.i] += 1
+            deg[bond.j] += 1
+        return deg
+
+    def element_counts(self) -> dict[str, int]:
+        """Histogram of element symbols (a molecular formula, roughly)."""
+        return dict(Counter(a.element for a in self.atoms))
+
+    def to_networkx(self) -> nx.Graph:
+        """Convert to an attributed ``networkx.Graph``."""
+        g = nx.Graph()
+        for idx, atom in enumerate(self.atoms):
+            g.add_node(idx, element=atom.element, charge=atom.charge)
+        for bond in self.bonds:
+            g.add_edge(bond.i, bond.j, order=bond.order)
+        return g
+
+    def is_connected(self) -> bool:
+        """Whether the molecular graph is a single connected component."""
+        if self.num_atoms <= 1:
+            return True
+        return nx.is_connected(self.to_networkx())
+
+    # ------------------------------------------------------------------
+    # Fingerprints (ECFP-like hashed circular substructures)
+    # ------------------------------------------------------------------
+    def fingerprint(self, n_bits: int = 256, radius: int = 2) -> np.ndarray:
+        """Hashed circular-substructure count fingerprint.
+
+        Each atom starts from an (element, degree) label; ``radius``
+        rounds of Weisfeiler-Lehman-style relabelling hash in sorted
+        neighbour labels.  Every intermediate label increments a bucket
+        of an ``n_bits``-wide count vector.  Same-scaffold molecules
+        share many substructure labels and therefore similar
+        fingerprints — the property the Fig. 1 experiment relies on.
+        """
+        import zlib
+
+        def stable_hash(obj) -> int:
+            # repr + crc32 is stable across processes, unlike hash().
+            return zlib.crc32(repr(obj).encode())
+
+        adj = self.adjacency()
+        labels = [stable_hash((atom.element, len(adj[i])))
+                  for i, atom in enumerate(self.atoms)]
+        fp = np.zeros(n_bits)
+        for label in labels:
+            fp[label % n_bits] += 1.0
+        for _ in range(radius):
+            new_labels = []
+            for i in range(self.num_atoms):
+                neighbourhood = tuple(sorted((labels[j], order) for j, order in adj[i]))
+                new_labels.append(stable_hash((labels[i], neighbourhood)))
+            labels = new_labels
+            for label in labels:
+                fp[label % n_bits] += 1.0
+        return fp
+
+    # ------------------------------------------------------------------
+    # GIN featurisation
+    # ------------------------------------------------------------------
+    def node_features(self, max_degree: int = 6) -> np.ndarray:
+        """Per-atom feature matrix: one-hot element ++ one-hot clipped degree."""
+        deg = np.minimum(self.degrees(), max_degree)
+        feats = np.zeros((self.num_atoms, len(ELEMENTS) + max_degree + 1))
+        for i, atom in enumerate(self.atoms):
+            feats[i, atom.element_id] = 1.0
+            feats[i, len(ELEMENTS) + deg[i]] = 1.0
+        return feats
+
+    def edge_index(self) -> np.ndarray:
+        """Directed edge list ``(2, 2*num_bonds)`` (both directions)."""
+        if not self.bonds:
+            return np.zeros((2, 0), dtype=np.int64)
+        src = [b.i for b in self.bonds] + [b.j for b in self.bonds]
+        dst = [b.j for b in self.bonds] + [b.i for b in self.bonds]
+        return np.asarray([src, dst], dtype=np.int64)

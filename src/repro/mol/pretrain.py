@@ -1,0 +1,98 @@
+"""Self-supervised GIN pre-training by masked attribute prediction.
+
+Reproduces the pre-training strategy the paper takes its molecular
+features from (Hu et al., 2020): randomly mask a fraction of atoms'
+element attributes, run the GIN, and predict the masked elements from
+the contextual node embeddings with a linear head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .gin import GINEncoder, batch_molecules
+from .molecule import ELEMENTS, Molecule
+
+__all__ = ["MaskedAttributePretrainer", "PretrainResult"]
+
+
+@dataclass
+class PretrainResult:
+    """Loss/accuracy trace of a pre-training run."""
+
+    losses: list[float]
+    accuracies: list[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracies[-1] if self.accuracies else float("nan")
+
+
+class MaskedAttributePretrainer:
+    """Train a :class:`GINEncoder` to recover masked atom elements.
+
+    Parameters
+    ----------
+    encoder:
+        The GIN to pre-train (updated in place).
+    rng:
+        Randomness for masking and batching.
+    mask_rate:
+        Fraction of atoms whose element one-hot is zeroed per batch.
+    lr:
+        Adam learning rate.
+    """
+
+    def __init__(self, encoder: GINEncoder, rng: np.random.Generator,
+                 mask_rate: float = 0.15, lr: float = 0.01) -> None:
+        if not 0.0 < mask_rate < 1.0:
+            raise ValueError("mask_rate must be in (0, 1)")
+        self.encoder = encoder
+        self.rng = rng
+        self.mask_rate = mask_rate
+        self.head = nn.Linear(encoder.hidden_dim, len(ELEMENTS), rng=rng)
+        params = list(encoder.parameters()) + list(self.head.parameters())
+        self.optimizer = nn.Adam(params, lr=lr)
+
+    def train(self, molecules: list[Molecule], epochs: int = 3,
+              batch_size: int = 32) -> PretrainResult:
+        """Run masked-attribute pre-training; returns the loss trace."""
+        losses: list[float] = []
+        accuracies: list[float] = []
+        for _ in range(epochs):
+            order = self.rng.permutation(len(molecules))
+            epoch_losses, epoch_accs = [], []
+            for start in range(0, len(order), batch_size):
+                batch = [molecules[i] for i in order[start:start + batch_size]]
+                loss, acc = self._step(batch)
+                epoch_losses.append(loss)
+                epoch_accs.append(acc)
+            losses.append(float(np.mean(epoch_losses)))
+            accuracies.append(float(np.mean(epoch_accs)))
+        return PretrainResult(losses=losses, accuracies=accuracies)
+
+    def _step(self, molecules: list[Molecule]) -> tuple[float, float]:
+        x, edge_index, _ = batch_molecules(molecules)
+        num_nodes = x.shape[0]
+        n_mask = max(1, int(num_nodes * self.mask_rate))
+        masked = self.rng.choice(num_nodes, size=n_mask, replace=False)
+        targets = x[masked, :len(ELEMENTS)].argmax(axis=1)
+        corrupted = x.copy()
+        corrupted[masked, :len(ELEMENTS)] = 0.0
+
+        self.optimizer.zero_grad()
+        h = self.encoder.node_embeddings(corrupted, edge_index)
+        logits = self.head(F.index(h, masked))
+        loss = F.cross_entropy(logits, targets)
+        loss.backward()
+        self.optimizer.step()
+        accuracy = float((logits.data.argmax(axis=1) == targets).mean())
+        return float(loss.data), accuracy

@@ -1,0 +1,195 @@
+"""Pharmacophore scaffold library.
+
+A *scaffold* is the latent variable the synthetic-data generator uses to
+couple every modality, mirroring the real-world correlations the paper
+exploits (Section I and the Fig. 7 case study):
+
+* the **molecular core**: a characteristic substructure (β-lactam ring,
+  sulfonamide group, phenol, ...);
+* the **name morphology**: the textual prefix/suffix pharmacology gives
+  drugs of that class ("-cillin", "Sulfa-", "-olol", ...);
+* the **biological profile**: which gene families the class targets and
+  which disease families it treats, which drives relation formation in
+  the synthetic BKG.
+
+Because scaffold -> {molecule substructure, name affix, relations} is a
+common cause, a model able to align molecule and text modalities gains
+real predictive signal — exactly the phenomenon Fig. 1 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .molecule import Atom, Bond
+
+__all__ = ["Scaffold", "SCAFFOLDS", "scaffold_by_name"]
+
+
+@dataclass(frozen=True)
+class Scaffold:
+    """One drug-class scaffold coupling molecule, text and biology."""
+
+    name: str
+    #: Name affix; ``("suffix", "cillin")`` or ``("prefix", "Sulfa")``.
+    affix: tuple[str, str]
+    #: Core substructure atoms.
+    core_atoms: tuple[str, ...]
+    #: Core bonds as ``(i, j, order)`` over ``core_atoms`` indices.
+    core_bonds: tuple[tuple[int, int, str], ...]
+    #: Gene families this class characteristically targets (indices into
+    #: the dataset generator's gene-family list).
+    target_gene_families: tuple[int, ...]
+    #: Disease families this class characteristically treats.
+    treated_disease_families: tuple[int, ...]
+    #: Phrase used in textual descriptions.
+    description_phrase: str
+
+    def affixed_name(self, stem: str) -> str:
+        """Attach this scaffold's affix to a name stem."""
+        kind, affix = self.affix
+        if kind == "prefix":
+            return f"{affix}{stem.lower()}"
+        return f"{stem}{affix}"
+
+
+def _ring(elements: str, aromatic: bool = False) -> tuple[tuple[str, ...], tuple[tuple[int, int, str], ...]]:
+    """Build a simple ring from an element string like ``"CCCCCN"``."""
+    atoms = tuple(elements)
+    order = "aromatic" if aromatic else "single"
+    n = len(atoms)
+    bonds = tuple((i, (i + 1) % n, order) for i in range(n))
+    return atoms, bonds
+
+
+_BENZENE_ATOMS, _BENZENE_BONDS = _ring("CCCCCC", aromatic=True)
+
+SCAFFOLDS: tuple[Scaffold, ...] = (
+    Scaffold(
+        name="beta_lactam",
+        affix=("suffix", "cillin"),
+        # Fused 4-membered β-lactam: N-C(=O)-C-C ring with carbonyl O.
+        core_atoms=("N", "C", "C", "C", "O", "S"),
+        core_bonds=((0, 1, "single"), (1, 2, "single"), (2, 3, "single"),
+                    (3, 0, "single"), (1, 4, "double"), (3, 5, "single")),
+        target_gene_families=(0, 1),
+        treated_disease_families=(0,),
+        description_phrase="a penicillin-type antibiotic effective against many bacterial infections",
+    ),
+    Scaffold(
+        name="sulfonamide",
+        affix=("prefix", "Sulfa"),
+        # S(=O)(=O)-N group on a ring carbon.
+        core_atoms=("S", "O", "O", "N", "C"),
+        core_bonds=((0, 1, "double"), (0, 2, "double"), (0, 3, "single"), (0, 4, "single")),
+        target_gene_families=(1, 2),
+        treated_disease_families=(0, 1),
+        description_phrase="a sulfonamide antibacterial that inhibits folate synthesis",
+    ),
+    Scaffold(
+        name="phenol_amine",
+        affix=("suffix", "phrine"),
+        # Aromatic ring with hydroxyl and amine-bearing side chain.
+        core_atoms=_BENZENE_ATOMS + ("O", "C", "N"),
+        core_bonds=_BENZENE_BONDS + ((0, 6, "single"), (3, 7, "single"), (7, 8, "single")),
+        target_gene_families=(3,),
+        treated_disease_families=(2,),
+        description_phrase="a phenolic sympathomimetic amine acting on adrenergic receptors",
+    ),
+    Scaffold(
+        name="piperazine",
+        affix=("suffix", "azine"),
+        core_atoms=("N", "C", "C", "N", "C", "C"),
+        core_bonds=((0, 1, "single"), (1, 2, "single"), (2, 3, "single"),
+                    (3, 4, "single"), (4, 5, "single"), (5, 0, "single")),
+        target_gene_families=(4,),
+        treated_disease_families=(3,),
+        description_phrase="a piperazine-derived compound with central nervous system activity",
+    ),
+    Scaffold(
+        name="statin",
+        affix=("suffix", "statin"),
+        # Dihydroxy acid chain: C-C(O)-C-C(O)-C-C(=O)-O.
+        core_atoms=("C", "C", "O", "C", "C", "O", "C", "O", "O"),
+        core_bonds=((0, 1, "single"), (1, 2, "single"), (1, 3, "single"),
+                    (3, 4, "single"), (4, 5, "single"), (4, 6, "single"),
+                    (6, 7, "double"), (6, 8, "single")),
+        target_gene_families=(5,),
+        treated_disease_families=(4,),
+        description_phrase="an HMG-CoA reductase inhibitor that lowers cholesterol",
+    ),
+    Scaffold(
+        name="quinolone",
+        affix=("suffix", "oxacin"),
+        core_atoms=_BENZENE_ATOMS + ("N", "C", "C", "O", "F"),
+        core_bonds=_BENZENE_BONDS + ((0, 6, "single"), (6, 7, "single"),
+                                     (7, 8, "single"), (8, 9, "double"),
+                                     (2, 10, "single")),
+        target_gene_families=(0, 2),
+        treated_disease_families=(0,),
+        description_phrase="a fluoroquinolone antibiotic targeting bacterial gyrase",
+    ),
+    Scaffold(
+        name="beta_blocker",
+        affix=("suffix", "olol"),
+        core_atoms=_BENZENE_ATOMS + ("O", "C", "C", "O", "C", "N"),
+        core_bonds=_BENZENE_BONDS + ((0, 6, "single"), (6, 7, "single"),
+                                     (7, 8, "single"), (8, 9, "single"),
+                                     (8, 10, "single"), (10, 11, "single")),
+        target_gene_families=(3, 6),
+        treated_disease_families=(2, 4),
+        description_phrase="a beta-adrenergic blocking agent used for hypertension",
+    ),
+    Scaffold(
+        name="ace_inhibitor",
+        affix=("suffix", "pril"),
+        core_atoms=("N", "C", "C", "O", "O", "C", "C", "O"),
+        core_bonds=((0, 1, "single"), (1, 2, "single"), (2, 3, "double"),
+                    (2, 4, "single"), (1, 5, "single"), (5, 6, "single"),
+                    (6, 7, "double")),
+        target_gene_families=(6,),
+        treated_disease_families=(4,),
+        description_phrase="an angiotensin-converting enzyme inhibitor for cardiovascular disease",
+    ),
+    Scaffold(
+        name="benzodiazepine",
+        affix=("suffix", "azepam"),
+        core_atoms=_BENZENE_ATOMS + ("N", "C", "O", "N", "C"),
+        core_bonds=_BENZENE_BONDS + ((0, 6, "single"), (6, 7, "single"),
+                                     (7, 8, "double"), (7, 9, "single"),
+                                     (9, 10, "single"), (10, 1, "single")),
+        target_gene_families=(4, 7),
+        treated_disease_families=(3,),
+        description_phrase="a benzodiazepine sedative modulating GABA receptors",
+    ),
+    Scaffold(
+        name="sartan",
+        affix=("suffix", "sartan"),
+        # Tetrazole ring attached to biphenyl-like carbon.
+        core_atoms=("N", "N", "N", "N", "C") + _BENZENE_ATOMS,
+        core_bonds=((0, 1, "single"), (1, 2, "double"), (2, 3, "single"),
+                    (3, 4, "double"), (4, 0, "single"), (4, 5, "single"))
+        + tuple((i + 5, (i + 1) % 6 + 5, "aromatic") for i in range(6)),
+        target_gene_families=(6, 8),
+        treated_disease_families=(4,),
+        description_phrase="an angiotensin II receptor antagonist for blood pressure control",
+    ),
+)
+
+
+_BY_NAME = {s.name: s for s in SCAFFOLDS}
+
+
+def scaffold_by_name(name: str) -> Scaffold:
+    """Look up a scaffold by its identifier."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown scaffold {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def core_molecule_parts(scaffold: Scaffold) -> tuple[list[Atom], list[Bond]]:
+    """Materialise a scaffold's core substructure as atoms and bonds."""
+    atoms = [Atom(e) for e in scaffold.core_atoms]
+    bonds = [Bond(i, j, order) for i, j, order in scaffold.core_bonds]
+    return atoms, bonds

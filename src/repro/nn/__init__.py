@@ -1,0 +1,62 @@
+"""``repro.nn`` — a compact numpy deep-learning framework.
+
+This package is the reproduction's substitute for PyTorch: a
+reverse-mode autograd engine (:mod:`repro.nn.tensor`), an operator zoo
+(:mod:`repro.nn.functional`), layers and containers
+(:mod:`repro.nn.layers`, :mod:`repro.nn.module`), Xavier/He
+initialisation (:mod:`repro.nn.init`), Adam/SGD optimisers
+(:mod:`repro.nn.optim`), checkpointing (:mod:`repro.nn.serialize`), and
+a finite-difference gradient checker (:mod:`repro.nn.gradcheck`).
+"""
+
+from . import functional, gradcheck, init, optim, serialize
+from .layers import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .module import Module, ModuleList
+from .optim import SGD, Adam, ExponentialLR, StepLR, clip_grad_norm
+from .serialize import load_module, save_module
+from .tensor import Parameter, Tensor, no_grad
+
+__all__ = [
+    "functional",
+    "gradcheck",
+    "init",
+    "optim",
+    "serialize",
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "Conv2d",
+    "LayerNorm",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "Sequential",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Flatten",
+    "Adam",
+    "SGD",
+    "StepLR",
+    "ExponentialLR",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+]

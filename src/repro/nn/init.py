@@ -1,0 +1,72 @@
+"""Weight initialisation schemes.
+
+The paper initialises all learnable parameters with Xavier normalisation
+(Glorot & Bengio, 2010); we also provide uniform variants used by
+individual baselines (e.g. TransE's uniform init in the original code).
+All functions take an explicit ``numpy.random.Generator`` so experiment
+runs are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_normal",
+    "xavier_uniform",
+    "kaiming_normal",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight of the given shape."""
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: ``std = gain * sqrt(2 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: ``bound = gain * sqrt(6 / (fan_in + fan_out))``."""
+    fan_in, fan_out = _fans(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal (for ReLU networks): ``std = sqrt(2 / fan_in)``."""
+    fan_in, _ = _fans(tuple(shape))
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Plain uniform initialisation in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,32 @@
+"""Checkpoint save/load for modules (``.npz`` based)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialise a module's parameters and buffers to ``path`` (npz).
+
+    The file is written atomically (tmp file + rename) so a crash mid-save
+    never corrupts an existing checkpoint.
+    """
+    state = module.state_dict()
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **state)
+    os.replace(tmp, path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load a checkpoint produced by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

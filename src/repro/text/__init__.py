@@ -1,0 +1,39 @@
+"""``repro.text`` — textual-description substrate.
+
+Biomedical name/description lexicon (:mod:`repro.text.lexicon`),
+character vocabulary (:mod:`repro.text.vocab`), two character-level
+encoders replacing CharacterBERT (:mod:`repro.text.encoder`), and a
+masked-character pre-trainer (:mod:`repro.text.pretrain`).
+"""
+
+from .encoder import CharCNNEncoder, NgramHashEncoder
+from .lexicon import (
+    DISEASE_FAMILIES,
+    GENE_FAMILIES,
+    SIDE_EFFECTS,
+    disease_description,
+    disease_name,
+    drug_stem,
+    gene_description,
+    gene_symbol,
+    side_effect_description,
+)
+from .pretrain import MaskedCharPretrainer, TextPretrainResult
+from .vocab import CharVocab
+
+__all__ = [
+    "CharVocab",
+    "NgramHashEncoder",
+    "CharCNNEncoder",
+    "MaskedCharPretrainer",
+    "TextPretrainResult",
+    "GENE_FAMILIES",
+    "DISEASE_FAMILIES",
+    "SIDE_EFFECTS",
+    "drug_stem",
+    "gene_symbol",
+    "disease_name",
+    "gene_description",
+    "disease_description",
+    "side_effect_description",
+]

@@ -1,0 +1,138 @@
+"""Character-level text encoders.
+
+The paper feeds entity names/descriptions through CharacterBERT (BERT
+for OMAHA's Chinese text) and consumes the resulting fixed vectors.  We
+provide two stand-ins that operate at the same character granularity:
+
+* :class:`NgramHashEncoder` — a deterministic hashed character-n-gram
+  bag projected to the target dimension.  Like CharacterBERT, names that
+  share morphemes ("-cillin", "Sulfa-") land close together; it needs no
+  training and is the fast default for dataset feature building.
+* :class:`CharCNNEncoder` — a trainable character CNN (embedding ->
+  multi-width convolutions -> max-over-time pooling -> projection), the
+  classic char-level encoder, pre-trainable with masked-character
+  modelling (:mod:`repro.text.pretrain`).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .vocab import CharVocab
+
+__all__ = ["NgramHashEncoder", "CharCNNEncoder"]
+
+
+class NgramHashEncoder:
+    """Hashed character n-gram featuriser with a fixed random projection.
+
+    Parameters
+    ----------
+    dim:
+        Output embedding dimension.
+    n_values:
+        N-gram sizes to extract (with boundary markers, so affixes like
+        ``"cillin$"`` become dedicated features).
+    n_buckets:
+        Width of the hashed count vector before projection.
+    seed:
+        Seed of the (fixed) Gaussian projection matrix.
+    """
+
+    def __init__(self, dim: int = 32, n_values: tuple[int, ...] = (3, 4, 5),
+                 n_buckets: int = 2048, seed: int = 13) -> None:
+        self.dim = dim
+        self.n_values = n_values
+        self.n_buckets = n_buckets
+        rng = np.random.default_rng(seed)
+        self._projection = rng.normal(0.0, 1.0 / np.sqrt(n_buckets), size=(n_buckets, dim))
+
+    def _counts(self, text: str) -> np.ndarray:
+        marked = f"^{text.lower()}$"
+        counts = np.zeros(self.n_buckets)
+        for n in self.n_values:
+            for i in range(max(0, len(marked) - n + 1)):
+                gram = marked[i:i + n]
+                # zlib.crc32 is stable across processes (unlike hash()),
+                # keeping features reproducible run to run.
+                counts[zlib.crc32(gram.encode()) % self.n_buckets] += 1.0
+        total = counts.sum()
+        if total > 0:
+            counts /= np.sqrt(total)
+        return counts
+
+    def encode(self, texts: list[str]) -> np.ndarray:
+        """Embed ``texts`` to ``(B, dim)``."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        counts = np.stack([self._counts(t) for t in texts])
+        return counts @ self._projection
+
+
+class CharCNNEncoder(nn.Module):
+    """Character CNN producing fixed-size text embeddings.
+
+    Architecture: char embedding ``(L, d_char)`` -> parallel width-k
+    convolutions (as dense maps over unfolded windows) -> ReLU ->
+    max-over-time pooling -> linear projection to ``dim``.
+    """
+
+    def __init__(self, vocab: CharVocab, dim: int = 32, char_dim: int = 16,
+                 kernel_widths: tuple[int, ...] = (3, 5), channels: int = 16,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        gen = rng if rng is not None else np.random.default_rng()
+        self.vocab = vocab
+        self.dim = dim
+        self.char_dim = char_dim
+        self.kernel_widths = kernel_widths
+        self.channels = channels
+        self.char_embedding = nn.Embedding(len(vocab), char_dim, rng=gen)
+        self.kernels = nn.ModuleList(
+            [nn.Linear(w * char_dim, channels, rng=gen) for w in kernel_widths]
+        )
+        self.out_proj = nn.Linear(channels * len(kernel_widths), dim, rng=gen)
+
+    def _windows(self, emb: nn.Tensor, width: int) -> nn.Tensor:
+        """Unfold ``(B, L, d)`` char embeddings into width-``width`` windows."""
+        b, length, d = emb.shape
+        num = length - width + 1
+        data = emb.data
+        strides = (data.strides[0], data.strides[1], data.strides[1], data.strides[2])
+        view = np.lib.stride_tricks.as_strided(
+            data, shape=(b, num, width, d), strides=strides
+        ).reshape(b, num, width * d)
+
+        parent = emb
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad.reshape(b, num, width, d)
+            buf = np.zeros((b, length, d))
+            for k in range(width):
+                buf[:, k:k + num] += g[:, :, k]
+            parent._accumulate(buf)
+
+        return nn.Tensor.make(view.copy(), (parent,), backward)
+
+    def token_states(self, char_ids: np.ndarray) -> list[nn.Tensor]:
+        """Per-kernel pre-pooling feature maps (used by pre-training)."""
+        emb = self.char_embedding(char_ids)
+        return [F.relu(kernel(self._windows(emb, w)))
+                for kernel, w in zip(self.kernels, self.kernel_widths)]
+
+    def forward(self, char_ids: np.ndarray) -> nn.Tensor:
+        """Embed ``(B, L)`` char-id batches to ``(B, dim)``."""
+        pooled = [F.max(states, axis=1) for states in self.token_states(char_ids)]
+        return self.out_proj(F.concat(pooled, axis=1))
+
+    def encode(self, texts: list[str]) -> np.ndarray:
+        """Inference-mode embeddings for raw strings."""
+        if not texts:
+            return np.zeros((0, self.dim))
+        ids = self.vocab.encode_batch(texts)
+        with nn.no_grad():
+            return self.forward(ids).data

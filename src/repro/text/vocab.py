@@ -1,0 +1,52 @@
+"""Character vocabulary for the text encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CharVocab"]
+
+_DEFAULT_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 -.,"
+
+
+class CharVocab:
+    """Fixed character vocabulary with PAD=0, UNK=1, MASK=2.
+
+    Text is lower-cased; unknown characters map to UNK.  Encoding pads or
+    truncates to ``max_len`` so batches are rectangular.
+    """
+
+    PAD = 0
+    UNK = 1
+    MASK = 2
+
+    def __init__(self, alphabet: str = _DEFAULT_ALPHABET, max_len: int = 96) -> None:
+        self.alphabet = alphabet
+        self.max_len = max_len
+        self._char_to_id = {c: i + 3 for i, c in enumerate(alphabet)}
+
+    def __len__(self) -> int:
+        return len(self.alphabet) + 3
+
+    def encode(self, text: str) -> np.ndarray:
+        """Encode ``text`` into a fixed-length int array."""
+        ids = np.zeros(self.max_len, dtype=np.int64)
+        for i, ch in enumerate(text.lower()[: self.max_len]):
+            ids[i] = self._char_to_id.get(ch, self.UNK)
+        return ids
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Encode a list of strings into a ``(B, max_len)`` array."""
+        return np.stack([self.encode(t) for t in texts]) if texts else \
+            np.zeros((0, self.max_len), dtype=np.int64)
+
+    def decode(self, ids: np.ndarray) -> str:
+        """Best-effort inverse of :meth:`encode` (PAD dropped, UNK = '?')."""
+        rev = {v: k for k, v in self._char_to_id.items()}
+        chars = []
+        for idx in ids:
+            idx = int(idx)
+            if idx == self.PAD:
+                break
+            chars.append(rev.get(idx, "?" if idx == self.UNK else "#"))
+        return "".join(chars)

@@ -1,0 +1,122 @@
+"""Exchanging fusion, MMF and RIC modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExchangeFusion, MultimodalTCAFusion, RelationInteractiveTCA, SimpleFusion
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(9)
+
+
+class TestExchangeFusion:
+    def test_very_negative_theta_no_exchange(self):
+        ex = ExchangeFusion(6, theta=-100.0)
+        x, y = Tensor(RNG.normal(size=(3, 6))), Tensor(RNG.normal(size=(3, 6)))
+        new_x, new_y = ex(x, y)
+        np.testing.assert_allclose(new_x.data, x.data)
+        np.testing.assert_allclose(new_y.data, y.data)
+
+    def test_very_positive_theta_full_swap(self):
+        ex = ExchangeFusion(6, theta=100.0)
+        x, y = Tensor(RNG.normal(size=(3, 6))), Tensor(RNG.normal(size=(3, 6)))
+        new_x, new_y = ex(x, y)
+        np.testing.assert_allclose(new_x.data, y.data)
+        np.testing.assert_allclose(new_y.data, x.data)
+
+    def test_swap_uses_original_values(self):
+        """new_y takes values from the ORIGINAL x, not the modified one."""
+        ex = ExchangeFusion(4, theta=100.0)
+        x = Tensor(np.arange(4.0).reshape(1, 4))
+        y = Tensor(np.arange(4.0, 8.0).reshape(1, 4))
+        new_x, new_y = ex(x, y)
+        np.testing.assert_allclose(new_y.data, x.data)
+
+    def test_exchange_fraction_monotone_in_theta(self):
+        x, y = Tensor(RNG.normal(size=(10, 8))), Tensor(RNG.normal(size=(10, 8)))
+        frac_low = ExchangeFusion(8, theta=-2.0).exchange_fraction(x, y)[0]
+        frac_high = ExchangeFusion(8, theta=0.5).exchange_fraction(x, y)[0]
+        assert frac_low < frac_high
+
+    def test_gradients_flow_through_selected(self):
+        ex = ExchangeFusion(4, theta=0.0)
+        x = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+        y = Tensor(RNG.normal(size=(2, 4)), requires_grad=True)
+        new_x, new_y = ex(x, y)
+        (new_x.sum() + new_y.sum()).backward()
+        assert x.grad is not None and y.grad is not None
+
+
+class TestMMF:
+    def _inputs(self, b=4, dims=(5, 6, 7)):
+        return tuple(Tensor(RNG.normal(size=(b, d))) for d in dims)
+
+    def test_output_shape(self):
+        mmf = MultimodalTCAFusion((5, 6, 7), fusion_dim=8, rng=np.random.default_rng(0))
+        h_f = mmf(*self._inputs())
+        assert h_f.shape == (4, 8)
+
+    def test_without_tca_still_works(self):
+        mmf = MultimodalTCAFusion((5, 6, 7), fusion_dim=8, use_tca=False,
+                                  rng=np.random.default_rng(0))
+        assert mmf(*self._inputs()).shape == (4, 8)
+
+    def test_without_exchange_still_works(self):
+        mmf = MultimodalTCAFusion((5, 6, 7), fusion_dim=8, use_exchange=False,
+                                  rng=np.random.default_rng(0))
+        assert mmf(*self._inputs()).shape == (4, 8)
+
+    def test_ablations_change_output(self):
+        full = MultimodalTCAFusion((5, 6, 7), 8, rng=np.random.default_rng(0))
+        no_tca = MultimodalTCAFusion((5, 6, 7), 8, use_tca=False,
+                                     rng=np.random.default_rng(0))
+        inputs = self._inputs()
+        assert not np.allclose(full(*inputs).data, no_tca(*inputs).data)
+
+    def test_gradients_reach_all_projections(self):
+        mmf = MultimodalTCAFusion((5, 6, 7), 8, rng=np.random.default_rng(0))
+        mmf(*self._inputs()).sum().backward()
+        for proj in (mmf.w1, mmf.w2, mmf.w3):
+            assert proj.weight.grad is not None
+
+    def test_simple_fusion_shape(self):
+        fusion = SimpleFusion((5, 6, 7), 8, rng=np.random.default_rng(0))
+        assert fusion(*self._inputs()).shape == (4, 8)
+
+    def test_simple_fusion_is_product_of_projections(self):
+        fusion = SimpleFusion((4, 4, 4), 4, rng=np.random.default_rng(0))
+        h_m, h_t, h_s = self._inputs(b=2, dims=(4, 4, 4))
+        out = fusion(h_m, h_t, h_s).data
+        expected = (h_m.data @ fusion.w1.weight.data.T) \
+            * (h_t.data @ fusion.w2.weight.data.T) \
+            * (h_s.data @ fusion.w3.weight.data.T)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+class TestRIC:
+    def test_outputs_all_modalities(self):
+        ric = RelationInteractiveTCA((5, 6, 7), relation_dim=9, fusion_dim=8,
+                                     rng=np.random.default_rng(0))
+        h_t, h_m, h_s = (Tensor(RNG.normal(size=(3, d))) for d in (6, 5, 7))
+        rel = Tensor(RNG.normal(size=(3, 9)))
+        out = ric(h_t, h_m, h_s, rel)
+        assert set(out) == {"t", "m", "s"}
+        for v in out.values():
+            assert v.shape == (3, 16)  # 2 * fusion_dim
+
+    def test_without_tca_concatenates_projections(self):
+        ric = RelationInteractiveTCA((4, 4, 4), relation_dim=4, fusion_dim=4,
+                                     use_tca=False, rng=np.random.default_rng(0))
+        h = Tensor(RNG.normal(size=(2, 4)))
+        rel = Tensor(RNG.normal(size=(2, 4)))
+        out = ric(h, h, h, rel)
+        expected_rel = rel.data @ ric.proj_r.weight.data.T
+        np.testing.assert_allclose(out["t"].data[:, 4:], expected_rel, atol=1e-12)
+
+    def test_relation_changes_interactive_representation(self):
+        ric = RelationInteractiveTCA((4, 4, 4), relation_dim=4, fusion_dim=4,
+                                     rng=np.random.default_rng(0))
+        h = Tensor(RNG.normal(size=(2, 4)))
+        out1 = ric(h, h, h, Tensor(RNG.normal(size=(2, 4))))
+        out2 = ric(h, h, h, Tensor(RNG.normal(size=(2, 4))))
+        assert not np.allclose(out1["t"].data, out2["t"].data)

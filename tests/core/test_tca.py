@@ -1,0 +1,110 @@
+"""TCA operator: shapes, attention structure, temperatures, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import TCAHead, TCAOperator
+from repro.nn import Tensor
+
+
+RNG = np.random.default_rng(5)
+
+
+class TestTCAHead:
+    def test_output_shapes_match_inputs(self):
+        head = TCAHead(8, np.random.default_rng(0))
+        q, d = Tensor(RNG.normal(size=(3, 8))), Tensor(RNG.normal(size=(3, 8)))
+        out_q, out_d = head(q, d, Tensor(np.array([1.0])))
+        assert out_q.shape == (3, 8)
+        assert out_d.shape == (3, 8)
+
+    def test_shared_co_projection(self):
+        """W_co is used by both the co- and intra-affinity matrices."""
+        head = TCAHead(4, np.random.default_rng(0))
+        q = Tensor(RNG.normal(size=(2, 4)), requires_grad=False)
+        d = Tensor(RNG.normal(size=(2, 4)))
+        out_q, out_d = head(q, d, Tensor(np.array([1.0])))
+        (out_q.sum() + out_d.sum()).backward()
+        # The shared projection receives gradient from both paths.
+        assert head.w_co_q.weight.grad is not None
+        assert head.w_in_q.weight.grad is not None
+
+    def test_temperature_changes_output(self):
+        head = TCAHead(6, np.random.default_rng(0))
+        q, d = Tensor(RNG.normal(size=(2, 6))), Tensor(RNG.normal(size=(2, 6)))
+        cold, _ = head(q, d, Tensor(np.array([0.1])))
+        hot, _ = head(q, d, Tensor(np.array([10.0])))
+        assert not np.allclose(cold.data, hot.data)
+
+
+class TestTCAOperator:
+    def test_multihead_output_shape(self):
+        op = TCAOperator(8, num_heads=3, rng=np.random.default_rng(0))
+        q, d = Tensor(RNG.normal(size=(4, 8))), Tensor(RNG.normal(size=(4, 8)))
+        out_q, out_d = op(q, d)
+        assert out_q.shape == (4, 8) and out_d.shape == (4, 8)
+
+    def test_single_head(self):
+        op = TCAOperator(8, num_heads=1, rng=np.random.default_rng(0))
+        out_q, out_d = op(Tensor(RNG.normal(size=(2, 8))), Tensor(RNG.normal(size=(2, 8))))
+        assert out_q.shape == (2, 8)
+
+    def test_invalid_heads(self):
+        with pytest.raises(ValueError):
+            TCAOperator(8, num_heads=0)
+
+    def test_dim_mismatch_raises(self):
+        op = TCAOperator(8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="dim"):
+            op(Tensor(np.zeros((2, 8))), Tensor(np.zeros((2, 4))))
+
+    def test_temperature_sequence_fixed_interval(self):
+        op = TCAOperator(4, num_heads=3, interval=5.0, temperature_init=2.0,
+                         rng=np.random.default_rng(0))
+        taus = [float(t.data.reshape(-1)[0]) for t in op.head_temperatures()]
+        # tau_i = tau0 * (lambda * i): 2*5, 2*10, 2*15 (plus epsilon).
+        np.testing.assert_allclose(taus, [10.0, 20.0, 30.0], atol=0.01)
+
+    def test_temperature_is_learnable(self):
+        op = TCAOperator(4, num_heads=2, rng=np.random.default_rng(0))
+        names = {n for n, _ in op.named_parameters()}
+        assert "tau0" in names
+        q, d = Tensor(RNG.normal(size=(2, 4))), Tensor(RNG.normal(size=(2, 4)))
+        out_q, out_d = op(q, d)
+        (out_q.sum() + out_d.sum()).backward()
+        assert op.tau0.grad is not None
+
+    def test_temperature_clamped_positive(self):
+        op = TCAOperator(4, num_heads=1, temperature_init=-3.0,
+                         rng=np.random.default_rng(0))
+        assert float(op.head_temperatures()[0].data.reshape(-1)[0]) > 0
+
+    def test_gradients_flow_to_inputs(self):
+        op = TCAOperator(6, num_heads=2, rng=np.random.default_rng(0))
+        q = Tensor(RNG.normal(size=(3, 6)), requires_grad=True)
+        d = Tensor(RNG.normal(size=(3, 6)), requires_grad=True)
+        out_q, out_d = op(q, d)
+        (out_q.sum() + out_d.sum()).backward()
+        assert q.grad is not None and d.grad is not None
+
+    def test_numeric_gradient_small(self):
+        """Full operator passes a finite-difference check end to end."""
+        from repro.nn.gradcheck import check_gradients
+        op = TCAOperator(3, num_heads=1, rng=np.random.default_rng(0))
+
+        def fn(q, d):
+            out_q, out_d = op(q, d)
+            return out_q.sum() + out_d.sum()
+
+        check_gradients(fn, [RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))],
+                        atol=1e-4, rtol=1e-3)
+
+    def test_batch_independence(self):
+        """Each row's output depends only on that row's inputs."""
+        op = TCAOperator(4, num_heads=2, rng=np.random.default_rng(0))
+        q = RNG.normal(size=(3, 4))
+        d = RNG.normal(size=(3, 4))
+        full_q, _ = op(Tensor(q), Tensor(d))
+        solo_q, _ = op(Tensor(q[:1]), Tensor(d[:1]))
+        np.testing.assert_allclose(full_q.data[0], solo_q.data[0], atol=1e-12)

@@ -1,0 +1,77 @@
+"""Modality feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import ModalityFeatures, build_features, generate_drkg_mm, generate_omaha_mm
+from repro.datasets import DRKGConfig, OMAHAConfig
+
+
+@pytest.fixture(scope="module")
+def drkg():
+    return generate_drkg_mm(DRKGConfig().scaled(0.15))
+
+
+@pytest.fixture(scope="module")
+def feats(drkg):
+    return build_features(drkg, np.random.default_rng(0), d_m=8, d_t=8, d_s=8,
+                          gin_epochs=1, compgcn_epochs=1)
+
+
+class TestBuildFeatures:
+    def test_dims(self, drkg, feats):
+        assert feats.dims == (8, 8, 8)
+        assert feats.molecular.shape == (drkg.num_entities, 8)
+
+    def test_has_molecule_mask_matches_compounds(self, drkg, feats):
+        compounds = set(drkg.entities_of_type("Compound").tolist())
+        assert set(np.where(feats.has_molecule)[0].tolist()) == compounds
+
+    def test_missing_molecules_are_zero(self, drkg, feats):
+        non = ~feats.has_molecule
+        np.testing.assert_allclose(feats.molecular[non], 0.0)
+
+    def test_present_features_standardised(self, feats):
+        present = feats.molecular[feats.has_molecule]
+        np.testing.assert_allclose(present.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(present.std(axis=0), 1.0, atol=1e-6)
+
+    def test_textual_standardised(self, feats):
+        np.testing.assert_allclose(feats.textual.mean(axis=0), 0.0, atol=1e-8)
+
+    def test_charcnn_encoder_option(self, drkg):
+        out = build_features(drkg, np.random.default_rng(0), d_m=4, d_t=4, d_s=4,
+                             text_encoder="charcnn", gin_epochs=1,
+                             text_epochs=1, compgcn_epochs=1)
+        assert out.textual.shape == (drkg.num_entities, 4)
+
+    def test_unknown_encoder_raises(self, drkg):
+        with pytest.raises(ValueError):
+            build_features(drkg, np.random.default_rng(0), text_encoder="word2vec")
+
+    def test_omaha_has_all_zero_molecular(self):
+        omaha = generate_omaha_mm(OMAHAConfig().scaled(0.15))
+        out = build_features(omaha, np.random.default_rng(0), d_m=4, d_t=4, d_s=4,
+                             gin_epochs=1, compgcn_epochs=1)
+        np.testing.assert_allclose(out.molecular, 0.0)
+        assert not out.has_molecule.any()
+
+
+class TestDropModality:
+    def test_drop_textual(self, feats):
+        dropped = feats.drop_modality("textual")
+        np.testing.assert_allclose(dropped.textual, 0.0)
+        assert dropped.molecular is feats.molecular
+
+    def test_drop_molecular_clears_mask(self, feats):
+        dropped = feats.drop_modality("molecular")
+        np.testing.assert_allclose(dropped.molecular, 0.0)
+        assert not dropped.has_molecule.any()
+
+    def test_drop_unknown_raises(self, feats):
+        with pytest.raises(ValueError):
+            feats.drop_modality("audio")
+
+    def test_original_untouched(self, feats):
+        feats.drop_modality("textual")
+        assert np.abs(feats.textual).sum() > 0

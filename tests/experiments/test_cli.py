@@ -1,0 +1,36 @@
+"""The `python -m repro.experiments` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "table5",
+            "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_table2_smoke(self, capsys):
+        assert main(["table2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_fig4_smoke(self, capsys):
+        assert main(["fig4", "--scale", "smoke"]) == 0
+        assert "degree histogram" in capsys.readouterr().out
+
+    def test_table3_single_dataset(self, capsys):
+        assert main(["table3", "--scale", "smoke",
+                     "--datasets", "drkg-mm"]) == 0
+        out = capsys.readouterr().out
+        assert "drkg-mm" in out and "omaha" not in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            main(["table2", "--scale", "galactic"])

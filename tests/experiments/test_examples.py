@@ -1,0 +1,39 @@
+"""The shipped examples stay runnable (smoke-run with tiny budgets)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py", "--epochs", "2", "--scale", "0.15")
+        assert proc.returncode == 0, proc.stderr
+        assert "test" in proc.stdout
+
+    def test_drug_repurposing(self):
+        proc = _run("drug_repurposing.py", "--epochs", "2",
+                    "--scale", "0.15", "--drugs", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "candidate" in proc.stdout
+
+    def test_drug_drug_interaction(self):
+        proc = _run("drug_drug_interaction.py", "--epochs", "2", "--scale", "0.15")
+        assert proc.returncode == 0, proc.stderr
+        assert "DDI" in proc.stdout or "ddi" in proc.stdout.lower()
+
+    def test_custom_multimodal_kg(self):
+        proc = _run("custom_multimodal_kg.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Oxacillin" in proc.stdout

@@ -1,0 +1,200 @@
+"""Experiment harnesses run end-to-end at smoke scale and render output."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ABLATIONS,
+    SMOKE,
+    PAPER_TABLE3,
+    clear_run_cache,
+    format_histogram,
+    format_series,
+    format_table,
+    get_scale,
+    improvement_over_best_competitor,
+    mine_diamonds,
+    render_fig1,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig9,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    train_model,
+    get_prepared,
+)
+
+
+class TestScalePresets:
+    def test_lookup(self):
+        assert get_scale("smoke") is SMOKE
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["A", "BB"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+
+    def test_format_series(self):
+        out = format_series({"m": [(1, 2.0)]}, "x", "y", title="S")
+        assert "[m]" in out and "1:2.00" in out
+
+    def test_format_histogram(self):
+        out = format_histogram([5, 0], [0.0, 1.0, 2.0], title="H")
+        assert "#" in out
+
+
+class TestRunnerCaching:
+    def test_train_model_cached(self):
+        a = train_model("DistMult", "drkg-mm", SMOKE)
+        b = train_model("DistMult", "drkg-mm", SMOKE)
+        assert a is b
+
+    def test_get_prepared_cached(self):
+        a = get_prepared("drkg-mm", SMOKE)
+        b = get_prepared("drkg-mm", SMOKE)
+        assert a[0] is b[0]
+
+
+class TestTable2:
+    def test_stats_and_render(self):
+        stats = run_table2(SMOKE)
+        assert set(stats) == {"drkg-mm", "omaha-mm"}
+        out = render_table2(stats)
+        assert "Table II" in out and "drkg-mm" in out
+
+    def test_split_ratio_near_811(self):
+        stats = run_table2(SMOKE)
+        for row in stats.values():
+            total = row["#Train"] + row["#Valid"] + row["#Test"]
+            assert row["#Train"] / total >= 0.75
+
+
+class TestTable3:
+    def test_subset_run_and_render(self):
+        results = run_table3(SMOKE, datasets=("drkg-mm",),
+                             models=("DistMult", "CamE"))
+        assert set(results["drkg-mm"]) == {"DistMult", "CamE"}
+        out = render_table3(results)
+        assert "Table III" in out and "improvement" in out
+
+    def test_improvement_math(self):
+        from repro.eval import RankingMetrics
+        results = {
+            "CamE": RankingMetrics(mr=1, mrr=50.0, hits={1: 40.0}),
+            "Best": RankingMetrics(mr=1, mrr=40.0, hits={1: 20.0}),
+        }
+        assert improvement_over_best_competitor(results, "mrr") == pytest.approx(25.0)
+        assert improvement_over_best_competitor(results, "hits1") == pytest.approx(100.0)
+
+    def test_paper_reference_table_complete(self):
+        for dataset in ("drkg-mm", "omaha-mm"):
+            assert len(PAPER_TABLE3[dataset]) == 14
+
+
+class TestTable45:
+    def test_table5_families(self):
+        counts = run_table5(SMOKE)
+        assert "Gene-Gene" in counts
+        assert "Table V" in render_table5(counts)
+
+    def test_table4_runs(self):
+        results = run_table4(SMOKE, models=("DistMult",))
+        assert "DistMult" in results
+        assert "Table IV" in render_table4(results)
+
+
+class TestFig1:
+    def test_diamond_mining_structure(self):
+        mkg, _ = get_prepared("drkg-mm", SMOKE)
+        diamonds = mine_diamonds(mkg, rng=np.random.default_rng(0))
+        types = mkg.graph.entity_types
+        for e0, e1, e2, e3, same in diamonds[:20]:
+            assert types[e0] == types[e1] == types[e2] == "Compound"
+            assert types[e3] == "Gene"
+            assert isinstance(same, bool)
+
+    def test_run_and_render(self):
+        result = run_fig1(SMOKE, repeats=3, top_k=10)
+        assert result.baseline_same_rate == pytest.approx(50.0, abs=1.0)
+        assert 0.0 <= result.filtered_same_rate <= 100.0
+        assert "diamond" in render_fig1(result)
+
+
+class TestFig4:
+    def test_run_and_render(self):
+        stats = run_fig4(SMOKE)
+        assert stats["drkg-mm"].gini >= 0.0
+        out = render_fig4(stats)
+        assert "degree histogram" in out
+
+
+class TestFig5:
+    def test_single_sweep(self):
+        results = run_fig5(SMOKE, sweeps={"heads": (1, 2)})
+        assert [v for v, _ in results["heads"]] == [1, 2]
+        assert "Fig. 5" in render_fig5(results)
+
+
+class TestFig6:
+    def test_ablation_names(self):
+        assert "w/o TCA" in ABLATIONS and "full" in ABLATIONS
+
+    def test_two_variants(self):
+        results = run_fig6(SMOKE, ablations=("full", "w/o TD"))
+        assert set(results) == {"full", "w/o TD"}
+        assert "ablation" in render_fig6(results)
+
+
+class TestFig7:
+    def test_case_study(self):
+        case = run_fig7(SMOKE, max_queries=5)
+        assert case.predictions
+        assert case.head_name
+        out = render_fig7(case)
+        assert "top-1" in out
+
+
+class TestFig8:
+    def test_histories(self):
+        series = run_fig8a(SMOKE, models=("DistMult",))
+        assert series["DistMult"]
+        series_b = run_fig8b(SMOKE, ablations=("full",))
+        out = render_fig8(series, series_b)
+        assert "Fig. 8(a)" in out and "Fig. 8(b)" in out
+
+
+class TestFig9:
+    def test_timings_positive_and_rendered(self):
+        points = run_fig9(SMOKE, variants=("full",), fractions=(0.5, 1.0))
+        assert len(points) == 2
+        assert all(p.train_seconds > 0 and p.test_seconds > 0 for p in points)
+        assert "training time" in render_fig9(points)
+
+    def test_larger_fraction_not_faster(self):
+        points = run_fig9(SMOKE, variants=("full",), fractions=(0.25, 1.0))
+        by_frac = {p.fraction: p.train_seconds for p in points}
+        assert by_frac[1.0] >= by_frac[0.25] * 0.8  # allow timer noise

@@ -1,0 +1,150 @@
+"""Splits, inverse relations, and 1-to-N batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import (
+    KnowledgeGraph,
+    OneToNBatcher,
+    Vocabulary,
+    add_inverse_relations,
+    split_triples,
+)
+
+
+def random_graph(num_entities=30, num_relations=4, num_triples=200, seed=0):
+    rng = np.random.default_rng(seed)
+    triples = np.unique(np.stack([
+        rng.integers(0, num_entities, num_triples),
+        rng.integers(0, num_relations, num_triples),
+        rng.integers(0, num_entities, num_triples),
+    ], axis=1), axis=0)
+    return KnowledgeGraph(
+        entities=Vocabulary([f"e{i}" for i in range(num_entities)]),
+        relations=Vocabulary([f"r{i}" for i in range(num_relations)]),
+        triples=triples,
+    )
+
+
+class TestSplit:
+    def test_partition_is_exact(self):
+        g = random_graph()
+        split = split_triples(g, np.random.default_rng(0))
+        total = len(split.train) + len(split.valid) + len(split.test)
+        assert total == g.num_triples
+        all_rows = {tuple(t) for t in np.concatenate([split.train, split.valid, split.test])}
+        assert all_rows == g.triple_set()
+
+    def test_ratios_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            split_triples(random_graph(), np.random.default_rng(0), ratios=(0.5, 0.2, 0.2))
+
+    def test_eval_entities_seen_in_train(self):
+        g = random_graph(num_entities=50, num_triples=120, seed=3)
+        split = split_triples(g, np.random.default_rng(1))
+        seen = set(split.train[:, 0]) | set(split.train[:, 2])
+        for part in (split.valid, split.test):
+            for h, r, t in part:
+                assert h in seen and t in seen
+                assert r in set(split.train[:, 1])
+
+    def test_summary_keys(self):
+        split = split_triples(random_graph(), np.random.default_rng(0))
+        assert set(split.summary()) == {"#Ent", "#Rel", "#Train", "#Valid", "#Test"}
+
+    def test_all_true_covers_everything(self):
+        g = random_graph()
+        split = split_triples(g, np.random.default_rng(0))
+        assert split.all_true() == g.triple_set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_split_property_random_seeds(self, seed):
+        g = random_graph(seed=seed % 5)
+        split = split_triples(g, np.random.default_rng(seed))
+        assert len(split.train) >= int(0.8 * g.num_triples) - 1
+        assert len(split.train) + len(split.valid) + len(split.test) == g.num_triples
+
+
+class TestInverseRelations:
+    def test_doubles_triples(self):
+        triples = np.array([[0, 1, 2], [3, 0, 4]])
+        out = add_inverse_relations(triples, num_relations=2)
+        assert len(out) == 4
+        np.testing.assert_array_equal(out[2], [2, 3, 0])
+        np.testing.assert_array_equal(out[3], [4, 2, 3])
+
+    def test_original_kept_first(self):
+        triples = np.array([[0, 0, 1]])
+        out = add_inverse_relations(triples, num_relations=1)
+        np.testing.assert_array_equal(out[0], triples[0])
+
+
+class TestOneToNBatcher:
+    def test_every_query_appears_once_per_epoch(self):
+        g = random_graph()
+        triples = add_inverse_relations(g.triples, g.num_relations)
+        batcher = OneToNBatcher(triples, g.num_entities, batch_size=7,
+                                rng=np.random.default_rng(0))
+        seen = []
+        for heads, rels, labels, cands in batcher.epoch():
+            seen.extend(zip(heads.tolist(), rels.tolist()))
+        assert len(seen) == batcher.num_queries
+        assert len(set(seen)) == len(seen)
+
+    def test_full_labels_mark_all_true_tails(self):
+        triples = np.array([[0, 0, 1], [0, 0, 2], [3, 0, 1]])
+        batcher = OneToNBatcher(triples, num_entities=5, batch_size=10,
+                                rng=np.random.default_rng(0), label_smoothing=0.0)
+        for heads, rels, labels, cands in batcher.epoch():
+            assert cands is None
+            for row, (h, r) in enumerate(zip(heads, rels)):
+                if (h, r) == (0, 0):
+                    np.testing.assert_array_equal(labels[row], [0, 1, 1, 0, 0])
+
+    def test_label_smoothing_bounds(self):
+        triples = np.array([[0, 0, 1]])
+        batcher = OneToNBatcher(triples, num_entities=4, batch_size=1,
+                                rng=np.random.default_rng(0), label_smoothing=0.1)
+        __, __, labels, __ = next(iter(batcher.epoch()))
+        assert labels.max() < 1.0 and labels.min() > 0.0
+
+    def test_negative_sampling_mode_includes_true_tails(self):
+        triples = np.array([[0, 0, 1], [0, 0, 2]])
+        batcher = OneToNBatcher(triples, num_entities=50, batch_size=4,
+                                rng=np.random.default_rng(0),
+                                label_smoothing=0.0, negatives=10)
+        heads, rels, labels, cands = next(iter(batcher.epoch()))
+        assert cands is not None
+        assert cands.shape == labels.shape
+        # The first columns carry the true tails with label 1.
+        assert labels[0, 0] == 1.0 and labels[0, 1] == 1.0
+
+    def test_negative_mode_accidental_positive_relabelled(self):
+        # Half the entities are true tails, so sampled negatives collide
+        # often; colliding columns must be relabelled positive.
+        triples = np.array([[0, 0, t] for t in range(1, 4)])
+        true_tails = {1, 2, 3}
+        batcher = OneToNBatcher(triples, num_entities=6, batch_size=1,
+                                rng=np.random.default_rng(0),
+                                label_smoothing=0.0, negatives=4)
+        __, __, labels, cands = next(iter(batcher.epoch()))
+        for col in range(cands.shape[1]):
+            if int(cands[0, col]) in true_tails:
+                assert labels[0, col] == 1.0
+
+    def test_len_counts_batches(self):
+        g = random_graph()
+        batcher = OneToNBatcher(g.triples, g.num_entities, batch_size=8,
+                                rng=np.random.default_rng(0))
+        assert len(batcher) == (batcher.num_queries + 7) // 8
+
+    def test_negatives_fallback_to_full_when_too_many(self):
+        triples = np.array([[0, 0, 1], [2, 0, 3]])
+        batcher = OneToNBatcher(triples, num_entities=4, batch_size=4,
+                                rng=np.random.default_rng(0), negatives=1000)
+        assert batcher.negatives is None
+        __, __, labels, cands = next(iter(batcher.epoch()))
+        assert cands is None and labels.shape[1] == 4

@@ -1,0 +1,115 @@
+"""KnowledgeGraph and Vocabulary behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, Vocabulary
+
+
+def toy_graph() -> KnowledgeGraph:
+    entities = Vocabulary(["d1", "d2", "g1", "g2", "dis1"])
+    relations = Vocabulary(["targets", "treats"])
+    triples = np.array([
+        [0, 0, 2],  # d1 targets g1
+        [1, 0, 2],  # d2 targets g1
+        [0, 1, 4],  # d1 treats dis1
+        [1, 0, 3],  # d2 targets g2
+    ])
+    return KnowledgeGraph(entities=entities, relations=relations, triples=triples,
+                          entity_types=["Compound", "Compound", "Gene", "Gene", "Disease"])
+
+
+class TestVocabulary:
+    def test_add_idempotent(self):
+        v = Vocabulary()
+        assert v.add("a") == v.add("a") == 0
+
+    def test_bidirectional_lookup(self):
+        v = Vocabulary(["x", "y"])
+        assert v.id("y") == 1
+        assert v.name(1) == "y"
+
+    def test_contains_len_iter(self):
+        v = Vocabulary(["a", "b"])
+        assert "a" in v and "z" not in v
+        assert len(v) == 2
+        assert list(v) == ["a", "b"]
+
+    def test_missing_name_raises(self):
+        with pytest.raises(KeyError):
+            Vocabulary().id("ghost")
+
+    def test_names_returns_copy(self):
+        v = Vocabulary(["a"])
+        names = v.names()
+        names.append("b")
+        assert len(v) == 1
+
+
+class TestKnowledgeGraph:
+    def test_sizes(self):
+        g = toy_graph()
+        assert (g.num_entities, g.num_relations, g.num_triples) == (5, 2, 4)
+        assert len(g) == 4
+
+    def test_out_of_range_entity_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(Vocabulary(["a"]), Vocabulary(["r"]),
+                           np.array([[0, 0, 5]]))
+
+    def test_out_of_range_relation_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(Vocabulary(["a", "b"]), Vocabulary(["r"]),
+                           np.array([[0, 3, 1]]))
+
+    def test_entity_types_length_checked(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(Vocabulary(["a", "b"]), Vocabulary(["r"]),
+                           np.array([[0, 0, 1]]), entity_types=["X"])
+
+    def test_entity_degrees(self):
+        g = toy_graph()
+        np.testing.assert_array_equal(g.entity_degrees(), [2, 2, 2, 1, 1])
+
+    def test_relation_frequencies(self):
+        np.testing.assert_array_equal(toy_graph().relation_frequencies(), [3, 1])
+
+    def test_type_counts(self):
+        assert toy_graph().type_counts() == {"Compound": 2, "Gene": 2, "Disease": 1}
+
+    def test_relation_family(self):
+        g = toy_graph()
+        assert g.relation_family(0) == "Compound-Gene"
+        assert g.relation_family(1) == "Compound-Disease"
+
+    def test_family_triple_counts_canonical(self):
+        counts = toy_graph().family_triple_counts()
+        assert counts == {"Compound-Gene": 3, "Compound-Disease": 1}
+
+    def test_adjacency(self):
+        adj = toy_graph().adjacency()
+        assert (0, 2) in adj[0] and (1, 4) in adj[0]
+
+    def test_undirected_neighbors_symmetric(self):
+        neigh = toy_graph().undirected_neighbors()
+        assert 0 in neigh[2] and 2 in neigh[0]
+
+    def test_triple_set(self):
+        s = toy_graph().triple_set()
+        assert (0, 0, 2) in s and len(s) == 4
+
+    def test_subsample_keeps_vocab(self):
+        g = toy_graph()
+        sub = g.subsample(0.5, np.random.default_rng(0))
+        assert sub.num_entities == g.num_entities
+        assert sub.num_triples <= g.num_triples
+
+    def test_subsample_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            toy_graph().subsample(0.0, np.random.default_rng(0))
+
+    def test_with_triples_shares_vocab(self):
+        g = toy_graph()
+        g2 = g.with_triples(g.triples[:2], suffix="-half")
+        assert g2.num_triples == 2
+        assert g2.entities is g.entities

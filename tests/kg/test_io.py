@@ -1,0 +1,52 @@
+"""TSV persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, Vocabulary, load_kg, read_triples_tsv, save_kg, write_triples_tsv
+
+
+def sample_graph():
+    return KnowledgeGraph(
+        entities=Vocabulary(["aspirin", "COX1", "pain"]),
+        relations=Vocabulary(["inhibits", "treats"]),
+        triples=np.array([[0, 0, 1], [0, 1, 2]]),
+        entity_types=["Compound", "Gene", "Disease"],
+        name="toy",
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        g = sample_graph()
+        save_kg(str(tmp_path), g)
+        loaded = load_kg(str(tmp_path), name="toy")
+        assert loaded.entities.names() == g.entities.names()
+        assert loaded.relations.names() == g.relations.names()
+        np.testing.assert_array_equal(loaded.triples, g.triples)
+        assert loaded.entity_types == g.entity_types
+
+    def test_triples_tsv_roundtrip(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "t.tsv")
+        write_triples_tsv(path, g)
+        back = read_triples_tsv(path, g)
+        np.testing.assert_array_equal(back, g.triples)
+
+    def test_write_subset(self, tmp_path):
+        g = sample_graph()
+        path = str(tmp_path / "sub.tsv")
+        write_triples_tsv(path, g, triples=g.triples[:1])
+        assert len(read_triples_tsv(path, g)) == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\n")
+        with pytest.raises(ValueError, match="bad.tsv:1"):
+            read_triples_tsv(str(path), sample_graph())
+
+    def test_blank_lines_skipped(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "t.tsv"
+        path.write_text("aspirin\tinhibits\tCOX1\n\n")
+        assert len(read_triples_tsv(str(path), g)) == 1

@@ -1,0 +1,104 @@
+"""Negative sampling: corruption, Bernoulli statistics, filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import (
+    KnowledgeGraph,
+    NegativeSampler,
+    Vocabulary,
+    bernoulli_probabilities,
+    self_adversarial_weights,
+)
+
+
+def line_graph(n=20):
+    """A path graph: entity i -> i+1 with relation 0."""
+    triples = np.array([[i, 0, i + 1] for i in range(n - 1)])
+    return KnowledgeGraph(
+        entities=Vocabulary([f"e{i}" for i in range(n)]),
+        relations=Vocabulary(["next"]),
+        triples=triples,
+    )
+
+
+class TestBernoulliProbabilities:
+    def test_one_to_many_relation_prefers_head_corruption(self):
+        # Relation 0: head 0 links to many tails (1-to-N) -> tph high ->
+        # corrupt the head more often.
+        triples = np.array([[0, 0, t] for t in range(1, 8)])
+        probs = bernoulli_probabilities(triples, 1)
+        assert probs[0] > 0.8
+
+    def test_many_to_one_relation_prefers_tail_corruption(self):
+        triples = np.array([[h, 0, 9] for h in range(7)])
+        probs = bernoulli_probabilities(triples, 1)
+        assert probs[0] < 0.2
+
+    def test_unseen_relation_defaults_half(self):
+        triples = np.array([[0, 0, 1]])
+        probs = bernoulli_probabilities(triples, 3)
+        assert probs[1] == probs[2] == 0.5
+
+
+class TestSelfAdversarialWeights:
+    def test_weights_sum_to_one(self):
+        scores = np.random.default_rng(0).normal(size=(4, 6))
+        w = self_adversarial_weights(scores)
+        np.testing.assert_allclose(w.sum(axis=-1), np.ones(4))
+
+    def test_harder_negatives_weighted_more(self):
+        scores = np.array([[1.0, 5.0, 0.0]])
+        w = self_adversarial_weights(scores)[0]
+        assert w[1] == w.max()
+
+    def test_temperature_sharpens(self):
+        scores = np.array([[0.0, 1.0]])
+        cold = self_adversarial_weights(scores, temperature=0.1)[0]
+        hot = self_adversarial_weights(scores, temperature=5.0)[0]
+        assert hot[1] > cold[1]
+
+
+class TestNegativeSampler:
+    def test_output_shape(self):
+        g = line_graph()
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(0))
+        neg = sampler.corrupt(g.triples, num_negatives=3)
+        assert neg.shape == (3 * len(g.triples), 3)
+
+    def test_corrupts_exactly_one_slot(self):
+        g = line_graph()
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(0), filtered=False)
+        neg = sampler.corrupt(g.triples, 1)
+        for pos, cor in zip(g.triples, neg):
+            changed = (pos != cor).sum()
+            assert changed <= 1  # relation never changes; one endpoint may
+
+    def test_filtered_avoids_true_triples(self):
+        g = line_graph(8)
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(0), filtered=True)
+        true = g.triple_set()
+        for _ in range(10):
+            neg = sampler.corrupt(g.triples, 2)
+            collisions = sum(tuple(map(int, row)) in true for row in neg)
+            # Resampling caps at 20 tries, so collisions are rare not impossible.
+            assert collisions <= len(neg) * 0.05
+
+    def test_handles_inverse_relation_ids(self):
+        g = line_graph()
+        augmented = g.triples.copy()
+        augmented[:, 1] += g.num_relations  # simulate inverse ids
+        sampler = NegativeSampler(g, augmented, np.random.default_rng(0))
+        neg = sampler.corrupt(augmented, 1)
+        assert (neg[:, 1] == g.num_relations).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1_000_000))
+    def test_entities_in_range_property(self, seed):
+        g = line_graph()
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(seed))
+        neg = sampler.corrupt(g.triples, 2)
+        assert neg[:, [0, 2]].min() >= 0
+        assert neg[:, [0, 2]].max() < g.num_entities

@@ -1,0 +1,141 @@
+"""Molecule generation, scaffolds, GIN encoding and pre-training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mol import (
+    SCAFFOLDS,
+    GINEncoder,
+    MaskedAttributePretrainer,
+    MoleculeGenerator,
+    batch_molecules,
+    scaffold_by_name,
+    tanimoto,
+)
+from repro.mol.scaffolds import core_molecule_parts
+
+
+class TestScaffolds:
+    def test_registry_complete(self):
+        assert len(SCAFFOLDS) == 10
+        names = {s.name for s in SCAFFOLDS}
+        assert "beta_lactam" in names and "statin" in names
+
+    def test_lookup(self):
+        assert scaffold_by_name("sulfonamide").affix == ("prefix", "Sulfa")
+
+    def test_unknown_scaffold_raises(self):
+        with pytest.raises(KeyError):
+            scaffold_by_name("unobtainium")
+
+    def test_affixed_name(self):
+        bl = scaffold_by_name("beta_lactam")
+        assert bl.affixed_name("Amoxi") == "Amoxicillin"
+        sa = scaffold_by_name("sulfonamide")
+        assert sa.affixed_name("Methoxazole") == "Sulfamethoxazole"
+
+    @pytest.mark.parametrize("scaffold", SCAFFOLDS, ids=lambda s: s.name)
+    def test_cores_are_valid_molecules(self, scaffold):
+        atoms, bonds = core_molecule_parts(scaffold)
+        from repro.mol import Molecule
+        mol = Molecule(atoms=atoms, bonds=bonds)
+        assert mol.is_connected()
+
+    def test_gene_families_in_range(self):
+        from repro.text.lexicon import GENE_FAMILIES, DISEASE_FAMILIES
+        for s in SCAFFOLDS:
+            assert all(0 <= f < len(GENE_FAMILIES) for f in s.target_gene_families)
+            assert all(0 <= f < len(DISEASE_FAMILIES) for f in s.treated_disease_families)
+
+
+class TestGenerator:
+    def test_generated_molecules_connected(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        for _ in range(20):
+            assert gen.generate_random().is_connected()
+
+    def test_scaffold_recorded(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        mol = gen.generate(scaffold_by_name("statin"))
+        assert mol.scaffold == "statin"
+
+    def test_batch_size(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        assert len(gen.generate_batch(SCAFFOLDS[0], 5)) == 5
+
+    def test_invalid_decoration_range(self):
+        with pytest.raises(ValueError):
+            MoleculeGenerator(np.random.default_rng(0), min_decorations=5, max_decorations=2)
+
+    def test_deterministic_given_rng(self):
+        a = MoleculeGenerator(np.random.default_rng(7)).generate_random()
+        b = MoleculeGenerator(np.random.default_rng(7)).generate_random()
+        assert a.scaffold == b.scaffold and a.num_atoms == b.num_atoms
+
+    def test_same_scaffold_more_similar_than_cross(self):
+        gen = MoleculeGenerator(np.random.default_rng(1))
+        bl = gen.generate_batch(scaffold_by_name("beta_lactam"), 8)
+        st_ = gen.generate_batch(scaffold_by_name("statin"), 8)
+        same = np.mean([tanimoto(bl[i], bl[j]) for i in range(8) for j in range(i + 1, 8)])
+        cross = np.mean([tanimoto(a, b) for a in bl for b in st_])
+        assert same > cross
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_connectivity_property(self, seed):
+        gen = MoleculeGenerator(np.random.default_rng(seed))
+        assert gen.generate_random().is_connected()
+
+
+class TestGIN:
+    def test_batching_offsets(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        mols = [gen.generate_random() for _ in range(3)]
+        x, edges, batch = batch_molecules(mols)
+        assert x.shape[0] == sum(m.num_atoms for m in mols)
+        assert batch.max() == 2
+        assert edges.max() < x.shape[0]
+
+    def test_empty_batch(self):
+        x, edges, batch = batch_molecules([])
+        assert x.shape[0] == 0 and edges.shape == (2, 0)
+
+    def test_encoder_output_shape(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        mols = [gen.generate_random() for _ in range(4)]
+        enc = GINEncoder(hidden_dim=8, num_layers=2, rng=np.random.default_rng(0))
+        emb = enc.encode(mols)
+        assert emb.shape == (4, 8)
+
+    def test_encoder_permutation_invariant(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        mols = [gen.generate_random() for _ in range(3)]
+        enc = GINEncoder(hidden_dim=8, num_layers=2, rng=np.random.default_rng(0))
+        emb_a = enc.encode(mols)
+        emb_b = enc.encode(mols[::-1])
+        np.testing.assert_allclose(emb_a, emb_b[::-1], atol=1e-10)
+
+    def test_pretraining_improves_mask_accuracy(self):
+        rng = np.random.default_rng(2)
+        gen = MoleculeGenerator(rng)
+        mols = [gen.generate_random() for _ in range(40)]
+        enc = GINEncoder(hidden_dim=16, num_layers=2, rng=rng)
+        pre = MaskedAttributePretrainer(enc, rng, lr=0.02)
+        result = pre.train(mols, epochs=4, batch_size=20)
+        assert result.final_accuracy > result.accuracies[0]
+        assert result.final_loss < result.losses[0]
+
+    def test_invalid_mask_rate(self):
+        enc = GINEncoder(hidden_dim=4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MaskedAttributePretrainer(enc, np.random.default_rng(0), mask_rate=1.5)
+
+    def test_gradients_flow_through_encoder(self):
+        gen = MoleculeGenerator(np.random.default_rng(0))
+        mols = [gen.generate_random() for _ in range(2)]
+        enc = GINEncoder(hidden_dim=8, num_layers=1, rng=np.random.default_rng(0))
+        out = enc(mols)
+        out.sum().backward()
+        assert all(p.grad is not None for p in enc.parameters())

@@ -1,0 +1,112 @@
+"""Molecular graph representation and fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.mol import Atom, Bond, ELEMENTS, Molecule
+
+
+def ethanol() -> Molecule:
+    # C-C-O
+    return Molecule(atoms=[Atom("C"), Atom("C"), Atom("O")],
+                    bonds=[Bond(0, 1), Bond(1, 2)])
+
+
+class TestAtomBond:
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("Xx")
+
+    def test_element_id(self):
+        assert Atom("C").element_id == ELEMENTS.index("C")
+
+    def test_self_bond_rejected(self):
+        with pytest.raises(ValueError):
+            Bond(1, 1)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            Bond(0, 1, order="quadruple")
+
+    def test_normalized_orders_indices(self):
+        b = Bond(3, 1).normalized()
+        assert (b.i, b.j) == (1, 3)
+
+
+class TestMolecule:
+    def test_counts(self):
+        m = ethanol()
+        assert m.num_atoms == 3 and m.num_bonds == 2
+
+    def test_bond_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(atoms=[Atom("C")], bonds=[Bond(0, 5)])
+
+    def test_duplicate_bond_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(atoms=[Atom("C"), Atom("C")],
+                     bonds=[Bond(0, 1), Bond(1, 0)])
+
+    def test_adjacency_symmetric(self):
+        adj = ethanol().adjacency()
+        assert (1, 0) in adj[0] and (0, 0) in adj[1]
+
+    def test_degrees(self):
+        np.testing.assert_array_equal(ethanol().degrees(), [1, 2, 1])
+
+    def test_element_counts(self):
+        assert ethanol().element_counts() == {"C": 2, "O": 1}
+
+    def test_to_networkx(self):
+        g = ethanol().to_networkx()
+        assert g.number_of_nodes() == 3
+        assert g.nodes[2]["element"] == "O"
+
+    def test_is_connected(self):
+        assert ethanol().is_connected()
+        disconnected = Molecule(atoms=[Atom("C"), Atom("C")], bonds=[])
+        assert not disconnected.is_connected()
+
+    def test_single_atom_connected(self):
+        assert Molecule(atoms=[Atom("C")], bonds=[]).is_connected()
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        m = ethanol()
+        np.testing.assert_array_equal(m.fingerprint(), m.fingerprint())
+
+    def test_isomorphic_molecules_same_fingerprint(self):
+        a = ethanol()
+        # Same graph with atom order permuted.
+        b = Molecule(atoms=[Atom("O"), Atom("C"), Atom("C")],
+                     bonds=[Bond(0, 1), Bond(1, 2)])
+        np.testing.assert_array_equal(a.fingerprint(), b.fingerprint())
+
+    def test_different_molecules_differ(self):
+        a = ethanol()
+        b = Molecule(atoms=[Atom("C"), Atom("N"), Atom("O")],
+                     bonds=[Bond(0, 1), Bond(1, 2)])
+        assert not np.array_equal(a.fingerprint(), b.fingerprint())
+
+    def test_counts_nonnegative_and_sized(self):
+        fp = ethanol().fingerprint(n_bits=64)
+        assert fp.shape == (64,)
+        assert (fp >= 0).all()
+
+
+class TestFeaturisation:
+    def test_node_features_shape_and_onehot(self):
+        feats = ethanol().node_features()
+        assert feats.shape == (3, len(ELEMENTS) + 7)
+        np.testing.assert_allclose(feats.sum(axis=1), np.full(3, 2.0))  # element + degree
+
+    def test_edge_index_both_directions(self):
+        edges = ethanol().edge_index()
+        assert edges.shape == (2, 4)
+        pairs = set(map(tuple, edges.T))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_edge_index_empty(self):
+        m = Molecule(atoms=[Atom("C")], bonds=[])
+        assert m.edge_index().shape == (2, 0)

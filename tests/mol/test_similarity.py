@@ -1,0 +1,51 @@
+"""Molecular similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.mol import (
+    MoleculeGenerator,
+    cosine_similarity,
+    inner_product_similarity,
+    pairwise_cosine,
+    tanimoto,
+)
+
+
+class TestTanimoto:
+    def test_self_similarity_is_one(self):
+        mol = MoleculeGenerator(np.random.default_rng(0)).generate_random()
+        assert tanimoto(mol, mol) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        gen = MoleculeGenerator(np.random.default_rng(1))
+        a, b = gen.generate_random(), gen.generate_random()
+        assert tanimoto(a, b) == pytest.approx(tanimoto(b, a))
+
+    def test_bounded(self):
+        gen = MoleculeGenerator(np.random.default_rng(2))
+        for _ in range(5):
+            v = tanimoto(gen.generate_random(), gen.generate_random())
+            assert 0.0 <= v <= 1.0
+
+
+class TestVectorSimilarities:
+    def test_inner_product(self):
+        assert inner_product_similarity(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 11.0
+
+    def test_cosine_bounds(self):
+        a = np.array([1.0, 0.0])
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+        assert cosine_similarity(a, np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_cosine_zero_vector_safe(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_pairwise_matches_pairwise_calls(self):
+        emb = np.random.default_rng(0).normal(size=(4, 5))
+        matrix = pairwise_cosine(emb)
+        assert matrix.shape == (4, 4)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(4), atol=1e-9)
+        assert matrix[0, 1] == pytest.approx(cosine_similarity(emb[0], emb[1]), abs=1e-9)
+        np.testing.assert_allclose(matrix, matrix.T)

@@ -1,0 +1,150 @@
+"""Finite-difference verification of every analytic gradient."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+
+RNG = np.random.default_rng(42)
+
+
+def arr(*shape):
+    return RNG.normal(size=shape)
+
+
+ELEMENTWISE_CASES = [
+    ("add", lambda a, b: F.add(a, b), [arr(3, 4), arr(3, 4)]),
+    ("add_broadcast", lambda a, b: F.add(a, b), [arr(3, 4), arr(4)]),
+    ("sub", lambda a, b: F.sub(a, b), [arr(3), arr(3)]),
+    ("mul", lambda a, b: F.mul(a, b), [arr(2, 3), arr(2, 3)]),
+    ("mul_broadcast", lambda a, b: F.mul(a, b), [arr(2, 3), arr(1, 3)]),
+    ("div", lambda a, b: F.div(a, b), [arr(4), arr(4) + 3.0]),
+    ("neg", lambda a: F.neg(a), [arr(3)]),
+    ("pow3", lambda a: F.pow(a, 3.0), [arr(4)]),
+    ("exp", lambda a: F.exp(a), [arr(3)]),
+    ("log", lambda a: F.log(a), [np.abs(arr(4)) + 0.5]),
+    ("sqrt", lambda a: F.sqrt(a), [np.abs(arr(4)) + 0.5]),
+    ("abs", lambda a: F.abs(a), [arr(4) + 2.0]),  # keep away from 0
+    ("sigmoid", lambda a: F.sigmoid(a), [arr(5)]),
+    ("tanh", lambda a: F.tanh(a), [arr(5)]),
+    ("relu", lambda a: F.relu(a), [arr(5) + 0.3]),
+    ("leaky_relu", lambda a: F.leaky_relu(a, 0.1), [arr(5) + 0.3]),
+    ("logsigmoid", lambda a: F.logsigmoid(a), [arr(5) * 3]),
+    ("maximum", lambda a, b: F.maximum(a, b), [arr(4), arr(4) + 0.2]),
+    ("minimum", lambda a, b: F.minimum(a, b), [arr(4), arr(4) + 0.2]),
+    ("clip", lambda a: F.clip(a, -0.5, 0.5), [arr(6) * 2 + 0.01]),
+]
+
+
+@pytest.mark.parametrize("name,fn,inputs", ELEMENTWISE_CASES, ids=[c[0] for c in ELEMENTWISE_CASES])
+def test_elementwise_gradients(name, fn, inputs):
+    check_gradients(fn, inputs)
+
+
+MATMUL_CASES = [
+    ("mat_mat", [arr(3, 4), arr(4, 5)]),
+    ("vec_vec", [arr(4), arr(4)]),
+    ("vec_mat", [arr(4), arr(4, 3)]),
+    ("mat_vec", [arr(3, 4), arr(4)]),
+    ("batched", [arr(2, 3, 4), arr(2, 4, 5)]),
+    ("batched_broadcast", [arr(2, 3, 4), arr(4, 5)]),
+]
+
+
+@pytest.mark.parametrize("name,inputs", MATMUL_CASES, ids=[c[0] for c in MATMUL_CASES])
+def test_matmul_gradients(name, inputs):
+    check_gradients(lambda a, b: F.matmul(a, b), inputs)
+
+
+SOFTMAX_CASES = [
+    ("softmax_ax0", lambda a: F.softmax(a, axis=0), [arr(4, 3)]),
+    ("softmax_ax1", lambda a: F.softmax(a, axis=1), [arr(4, 3)]),
+    ("softmax_axm1_3d", lambda a: F.softmax(a, axis=-1), [arr(2, 3, 4)]),
+    ("log_softmax", lambda a: F.log_softmax(a), [arr(3, 4)]),
+]
+
+
+@pytest.mark.parametrize("name,fn,inputs", SOFTMAX_CASES, ids=[c[0] for c in SOFTMAX_CASES])
+def test_softmax_gradients(name, fn, inputs):
+    check_gradients(fn, inputs)
+
+
+REDUCTION_CASES = [
+    ("sum_all", lambda a: F.sum(a), [arr(3, 4)]),
+    ("sum_axis", lambda a: F.sum(a, axis=1), [arr(3, 4)]),
+    ("sum_keepdims", lambda a: F.sum(a, axis=0, keepdims=True), [arr(3, 4)]),
+    ("sum_tuple_axes", lambda a: F.sum(a, axis=(0, 2)), [arr(2, 3, 4)]),
+    ("mean_all", lambda a: F.mean(a), [arr(3, 4)]),
+    ("mean_axis", lambda a: F.mean(a, axis=0), [arr(3, 4)]),
+    ("max_axis", lambda a: F.max(a, axis=1), [arr(3, 4)]),
+    ("max_all", lambda a: F.max(a), [arr(5)]),
+    ("min_axis", lambda a: F.min(a, axis=0), [arr(3, 4)]),
+    ("norm", lambda a: F.norm(a, axis=1), [arr(3, 4)]),
+    ("l2_normalize", lambda a: F.l2_normalize(a), [arr(2, 4)]),
+]
+
+
+@pytest.mark.parametrize("name,fn,inputs", REDUCTION_CASES, ids=[c[0] for c in REDUCTION_CASES])
+def test_reduction_gradients(name, fn, inputs):
+    check_gradients(fn, inputs)
+
+
+SHAPE_CASES = [
+    ("reshape", lambda a: F.reshape(a, (6,)), [arr(2, 3)]),
+    ("transpose_default", lambda a: F.transpose(a), [arr(2, 3)]),
+    ("transpose_axes", lambda a: F.transpose(a, (1, 2, 0)), [arr(2, 3, 4)]),
+    ("index_ints", lambda a: F.index(a, np.array([0, 2, 2])), [arr(4, 3)]),
+    ("index_slice", lambda a: F.index(a, (slice(None), slice(0, 2))), [arr(3, 4)]),
+    ("index_pair", lambda a: F.index(a, (np.array([0, 1]), np.array([2, 0]))), [arr(3, 4)]),
+    ("concat", lambda a, b: F.concat([a, b], axis=1), [arr(2, 3), arr(2, 2)]),
+    ("stack", lambda a, b: F.stack([a, b], axis=0), [arr(2, 3), arr(2, 3)]),
+    ("where", lambda a, b: F.where(np.array([True, False, True]), a, b), [arr(3), arr(3)]),
+]
+
+
+@pytest.mark.parametrize("name,fn,inputs", SHAPE_CASES, ids=[c[0] for c in SHAPE_CASES])
+def test_shape_gradients(name, fn, inputs):
+    check_gradients(fn, inputs)
+
+
+NN_CASES = [
+    ("embedding", lambda w: F.embedding(w, np.array([0, 2, 2, 1])), [arr(4, 3)]),
+    ("layer_norm", lambda a, g, b: F.layer_norm(a, g, b), [arr(3, 6), arr(6), arr(6)]),
+    ("conv2d", lambda x, w, b: F.conv2d(x, w, b, stride=1, padding=1),
+     [arr(2, 3, 5, 5), arr(4, 3, 3, 3), arr(4)]),
+    ("conv2d_stride2", lambda x, w: F.conv2d(x, w, stride=2, padding=0),
+     [arr(1, 2, 6, 6), arr(3, 2, 2, 2)]),
+    ("max_pool2d", lambda x: F.max_pool2d(x, 2), [arr(1, 2, 4, 4)]),
+    ("bce", lambda z: F.bce_with_logits(z, np.array([[1.0, 0.0], [0.0, 1.0]])), [arr(2, 2)]),
+    ("bce_smoothed", lambda z: F.bce_with_logits(z, np.eye(3), label_smoothing=0.1), [arr(3, 3)]),
+    ("cross_entropy", lambda z: F.cross_entropy(z, np.array([0, 2, 1])), [arr(3, 4)]),
+    ("scatter_sum", lambda s: F.scatter_sum(s, np.array([0, 1, 0, 2]), 3), [arr(4, 3)]),
+    ("scatter_mean", lambda s: F.scatter_mean(s, np.array([0, 1, 0, 2]), 4), [arr(4, 3)]),
+]
+
+
+@pytest.mark.parametrize("name,fn,inputs", NN_CASES, ids=[c[0] for c in NN_CASES])
+def test_nn_primitive_gradients(name, fn, inputs):
+    check_gradients(fn, inputs)
+
+
+def test_batch_norm_gradient_training_mode():
+    running_mean = np.zeros(4)
+    running_var = np.ones(4)
+
+    def fn(a, g, b):
+        rm, rv = running_mean.copy(), running_var.copy()
+        return F.batch_norm(a, g, b, rm, rv, training=True)
+
+    check_gradients(fn, [arr(6, 4), arr(4), arr(4)], atol=1e-4, rtol=1e-3)
+
+
+def test_batch_norm_gradient_eval_mode():
+    running_mean = RNG.normal(size=4)
+    running_var = np.abs(RNG.normal(size=4)) + 0.5
+
+    def fn(a, g, b):
+        return F.batch_norm(a, g, b, running_mean, running_var, training=False)
+
+    check_gradients(fn, [arr(5, 4), arr(4), arr(4)])

@@ -1,0 +1,183 @@
+"""Forward-value correctness of the op zoo against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(7)
+
+finite_floats = st.floats(min_value=-10, max_value=10, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def small_arrays(max_side: int = 4):
+    return arrays(np.float64, st.tuples(st.integers(1, max_side), st.integers(1, max_side)),
+                  elements=finite_floats)
+
+
+class TestForwardValues:
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(5, 7))), axis=1).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+
+    def test_softmax_extreme_values_stable(self):
+        out = F.softmax(Tensor(np.array([[1000.0, 0.0], [-1000.0, 0.0]]))).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data),
+            atol=1e-12)
+
+    def test_sigmoid_bounds_and_symmetry(self):
+        x = RNG.normal(size=100) * 5
+        s = F.sigmoid(Tensor(x)).data
+        assert ((s > 0) & (s < 1)).all()
+        np.testing.assert_allclose(s + F.sigmoid(Tensor(-x)).data, np.ones(100),
+                                   atol=1e-12)
+
+    def test_bce_with_logits_matches_manual(self):
+        z = RNG.normal(size=(4, 3))
+        q = (RNG.random((4, 3)) > 0.5).astype(float)
+        p = 1.0 / (1.0 + np.exp(-z))
+        manual = -(q * np.log(p) + (1 - q) * np.log(1 - p)).mean()
+        assert float(F.bce_with_logits(Tensor(z), q).data) == pytest.approx(manual)
+
+    def test_bce_extreme_logits_finite(self):
+        z = np.array([[500.0, -500.0]])
+        q = np.array([[1.0, 0.0]])
+        assert np.isfinite(float(F.bce_with_logits(Tensor(z), q).data))
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.full((2, 4), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 3] = 20.0
+        loss = float(F.cross_entropy(Tensor(logits), np.array([1, 3])).data)
+        assert loss < 1e-8
+
+    def test_conv2d_identity_kernel(self):
+        x = RNG.normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1).data
+        np.testing.assert_allclose(out, x, atol=1e-12)
+
+    def test_conv2d_output_shape(self):
+        out = F.conv2d(Tensor(np.zeros((2, 3, 8, 8))), Tensor(np.zeros((5, 3, 3, 3))),
+                       stride=2, padding=1)
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_conv2d_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="channel"):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))), Tensor(np.zeros((3, 5, 3, 3))))
+
+    def test_max_pool2d_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2).data
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = RNG.normal(size=(6, 10)) * 5 + 3
+        out = F.layer_norm(Tensor(x), Tensor(np.ones(10)), Tensor(np.zeros(10))).data
+        np.testing.assert_allclose(out.mean(axis=1), np.zeros(6), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=1), np.ones(6), atol=1e-2)
+
+    def test_batch_norm_updates_running_stats(self):
+        rm, rv = np.zeros(3), np.ones(3)
+        x = RNG.normal(size=(50, 3)) + 5.0
+        F.batch_norm(Tensor(x), Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                     rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.mean(axis=0))
+        np.testing.assert_allclose(rv, x.var(axis=0))
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        rm, rv = np.array([1.0, 2.0]), np.array([4.0, 9.0])
+        x = np.array([[1.0, 2.0]])
+        out = F.batch_norm(Tensor(x), Tensor(np.ones(2)), Tensor(np.zeros(2)),
+                           rm, rv, training=False)
+        np.testing.assert_allclose(out.data, [[0.0, 0.0]], atol=1e-3)
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.normal(size=(4, 4)))
+        assert F.dropout(x, 0.5, training=False) is x
+
+    def test_dropout_zero_p_is_identity(self):
+        x = Tensor(RNG.normal(size=(4, 4)))
+        assert F.dropout(x, 0.0, training=True) is x
+
+    def test_dropout_preserves_expectation(self):
+        gen = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=gen).data
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_embedding_gathers_rows(self):
+        w = RNG.normal(size=(5, 3))
+        out = F.embedding(Tensor(w), np.array([4, 0]))
+        np.testing.assert_allclose(out.data, w[[4, 0]])
+
+    def test_scatter_sum_values(self):
+        src = np.array([[1.0], [2.0], [3.0]])
+        out = F.scatter_sum(Tensor(src), np.array([1, 1, 0]), 3).data
+        np.testing.assert_allclose(out, [[3.0], [3.0], [0.0]])
+
+    def test_scatter_mean_empty_segment_is_zero(self):
+        src = np.ones((2, 2))
+        out = F.scatter_mean(Tensor(src), np.array([0, 0]), 3).data
+        np.testing.assert_allclose(out[1:], np.zeros((2, 2)))
+
+    def test_logsigmoid_matches_reference(self):
+        x = RNG.normal(size=20) * 10
+        np.testing.assert_allclose(F.logsigmoid(Tensor(x)).data,
+                                   np.log(1.0 / (1.0 + np.exp(-x))), atol=1e-9)
+
+    def test_concat_roundtrip(self):
+        a, b = RNG.normal(size=(2, 3)), RNG.normal(size=(2, 4))
+        out = F.concat([Tensor(a), Tensor(b)], axis=1).data
+        np.testing.assert_allclose(out, np.concatenate([a, b], axis=1))
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays())
+    def test_softmax_is_distribution(self, x):
+        out = F.softmax(Tensor(x), axis=-1).data
+        assert (out >= 0).all()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(x.shape[0]), atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays())
+    def test_add_commutes(self, x):
+        y = x[::-1].copy()
+        np.testing.assert_allclose(F.add(Tensor(x), Tensor(y)).data,
+                                   F.add(Tensor(y), Tensor(x)).data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays())
+    def test_relu_idempotent(self, x):
+        once = F.relu(Tensor(x)).data
+        twice = F.relu(Tensor(once)).data
+        np.testing.assert_allclose(once, twice)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays())
+    def test_l2_normalize_unit_norm(self, x):
+        assume(np.all(np.linalg.norm(x, axis=-1) > 1e-3))
+        norms = np.linalg.norm(F.l2_normalize(Tensor(x)).data, axis=-1)
+        np.testing.assert_allclose(norms, np.ones(x.shape[0]), atol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_arrays(), st.integers(0, 1))
+    def test_sum_matches_numpy(self, x, axis):
+        np.testing.assert_allclose(F.sum(Tensor(x), axis=axis).data, x.sum(axis=axis))

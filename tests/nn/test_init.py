@@ -1,0 +1,64 @@
+"""Weight initialisation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestFans:
+    def test_linear_weight(self):
+        assert init._fans((8, 4)) == (4, 8)
+
+    def test_conv_weight(self):
+        # (out, in, kh, kw): receptive field multiplies both fans.
+        assert init._fans((8, 3, 5, 5)) == (75, 200)
+
+    def test_vector(self):
+        assert init._fans((6,)) == (6, 6)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            init._fans(())
+
+
+class TestDistributions:
+    def test_xavier_normal_std(self):
+        w = init.xavier_normal((400, 600), RNG)
+        expected = np.sqrt(2.0 / (400 + 600))
+        assert w.std() == pytest.approx(expected, rel=0.05)
+        assert w.mean() == pytest.approx(0.0, abs=0.001)
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((300, 500), RNG)
+        bound = np.sqrt(6.0 / 800)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((500, 200), RNG)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.05)
+
+    def test_uniform_range(self):
+        w = init.uniform((100, 100), RNG, low=-0.2, high=0.2)
+        assert w.min() >= -0.2 and w.max() < 0.2
+
+    def test_normal_std(self):
+        w = init.normal((500, 100), RNG, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.05)
+
+    def test_zeros_ones(self):
+        assert init.zeros((3, 3)).sum() == 0
+        assert init.ones((3, 3)).sum() == 9
+
+    def test_gain_scales(self):
+        a = init.xavier_normal((1000, 1000), np.random.default_rng(1), gain=1.0)
+        b = init.xavier_normal((1000, 1000), np.random.default_rng(1), gain=2.0)
+        assert b.std() == pytest.approx(2 * a.std(), rel=0.02)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = init.xavier_normal((4, 4), np.random.default_rng(3))
+        b = init.xavier_normal((4, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

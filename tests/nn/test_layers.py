@@ -1,0 +1,119 @@
+"""Layer behaviour: shapes, modes, parameter discovery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = nn.Linear(5, 3, rng=RNG)
+        out = layer(nn.Tensor(RNG.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(5, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_affine_correct(self):
+        layer = nn.Linear(2, 2, rng=RNG)
+        x = RNG.normal(size=(3, 2))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(nn.Tensor(x)).data, expected)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = nn.Embedding(10, 4, rng=RNG)
+        out = emb(np.array([1, 1, 9]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[1])
+
+    def test_gradient_accumulates_for_repeated_ids(self):
+        emb = nn.Embedding(5, 2, rng=RNG)
+        out = emb(np.array([3, 3]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[3], [2.0, 2.0])
+
+
+class TestConv2d:
+    def test_shape_with_padding(self):
+        conv = nn.Conv2d(3, 8, 3, padding=1, rng=RNG)
+        out = conv(nn.Tensor(RNG.normal(size=(2, 3, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_parameters_counted(self):
+        conv = nn.Conv2d(3, 8, 3, rng=RNG)
+        assert conv.weight.data.shape == (8, 3, 3, 3)
+        assert conv.bias.data.shape == (8,)
+
+
+class TestNormalization:
+    def test_layernorm_shape_and_params(self):
+        ln = nn.LayerNorm(6)
+        out = ln(nn.Tensor(RNG.normal(size=(4, 6))))
+        assert out.shape == (4, 6)
+        assert len(list(ln.parameters())) == 2
+
+    def test_batchnorm1d_train_vs_eval(self):
+        bn = nn.BatchNorm1d(3)
+        x = nn.Tensor(RNG.normal(size=(16, 3)) * 3 + 2)
+        bn.train()
+        out_train = bn(x).data
+        np.testing.assert_allclose(out_train.mean(axis=0), np.zeros(3), atol=1e-9)
+        bn.eval()
+        out_eval = bn(x).data
+        assert not np.allclose(out_train, out_eval)
+
+    def test_batchnorm2d_normalises_per_channel(self):
+        bn = nn.BatchNorm2d(2)
+        x = nn.Tensor(RNG.normal(size=(4, 2, 3, 3)) + 10)
+        out = bn(x).data
+        assert out.mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_batchnorm_buffers_registered(self):
+        bn = nn.BatchNorm1d(3)
+        names = {n for n, _ in bn.buffers()}
+        assert names == {"running_mean", "running_var"}
+
+
+class TestDropout:
+    def test_eval_identity(self):
+        drop = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = nn.Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(drop(x).data, np.ones((3, 3)))
+
+    def test_train_zeroes_some(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        out = drop(nn.Tensor(np.ones((20, 20)))).data
+        assert (out == 0).sum() > 0
+
+
+class TestSequentialAndActivations:
+    def test_sequential_chains(self):
+        net = nn.Sequential(nn.Linear(4, 8, rng=RNG), nn.ReLU(),
+                            nn.Linear(8, 2, rng=RNG), nn.Sigmoid())
+        out = net(nn.Tensor(RNG.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_sequential_parameter_discovery(self):
+        net = nn.Sequential(nn.Linear(4, 8, rng=RNG), nn.Tanh(), nn.Linear(8, 2, rng=RNG))
+        assert len(list(net.parameters())) == 4
+
+    def test_flatten(self):
+        out = nn.Flatten()(nn.Tensor(np.zeros((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2, rng=RNG))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())

@@ -1,0 +1,127 @@
+"""Module system: discovery, state dicts, buffers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.fc1 = nn.Linear(3, 4, rng=rng)
+        self.fc2 = nn.Linear(4, 1, rng=rng)
+        self.scale = nn.Parameter(np.ones(1))
+
+    def forward(self, x):
+        from repro.nn import functional as F
+        return F.mul(self.fc2(F.tanh(self.fc1(x))), self.scale)
+
+
+class TestDiscovery:
+    def test_named_parameters_paths(self):
+        net = TinyNet()
+        names = {n for n, _ in net.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale"}
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        assert net.num_parameters() == 3 * 4 + 4 + 4 + 1 + 1
+
+    def test_modules_traversal(self):
+        net = TinyNet()
+        assert len(list(net.modules())) == 3  # net + 2 Linear
+
+    def test_zero_grad_clears_all(self):
+        net = TinyNet()
+        out = net(nn.Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.fc1.weight.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net1.fc1.weight.data, net2.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] += 100.0
+        assert not np.allclose(net.fc1.weight.data, state["fc1.weight"])
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_buffers_serialised(self):
+        bn = nn.BatchNorm1d(2)
+        bn(nn.Tensor(np.random.default_rng(0).normal(size=(8, 2)) + 5))
+        state = bn.state_dict()
+        fresh = nn.BatchNorm1d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+
+
+class TestModuleList:
+    def test_iteration_and_indexing(self):
+        ml = nn.ModuleList([nn.LayerNorm(2), nn.LayerNorm(3)])
+        assert len(ml) == 2
+        assert ml[1] is list(ml)[1]
+
+    def test_parameters_discovered_through_list(self):
+        class Holder(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.items = nn.ModuleList([nn.LayerNorm(2), nn.LayerNorm(2)])
+
+        names = {n for n, _ in Holder().named_parameters()}
+        assert "items.0.gamma" in names and "items.1.beta" in names
+
+    def test_append(self):
+        ml = nn.ModuleList()
+        ml.append(nn.LayerNorm(2))
+        assert len(ml) == 1
+
+    def test_calling_container_raises(self):
+        with pytest.raises(RuntimeError):
+            nn.ModuleList()()
+
+
+class TestSerializeToDisk:
+    def test_save_load_roundtrip(self, tmp_path):
+        net1, net2 = TinyNet(), TinyNet()
+        path = str(tmp_path / "model.npz")
+        nn.save_module(net1, path)
+        nn.load_module(net2, path)
+        for (n1, p1), (n2, p2) in zip(net1.named_parameters(), net2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        net = TinyNet()
+        path = str(tmp_path / "model.npz")
+        nn.save_module(net, path)
+        assert not (tmp_path / "model.npz.tmp").exists()

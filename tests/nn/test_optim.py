@@ -1,0 +1,125 @@
+"""Optimisers: convergence, state, clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def quadratic_loss(p: nn.Parameter) -> nn.Tensor:
+    target = nn.Tensor(np.array([3.0, -2.0]))
+    diff = F.sub(p, target)
+    return F.sum(F.mul(diff, diff))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(2))
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = nn.Parameter(np.zeros(2))
+            opt = nn.SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss = quadratic_loss(p)
+                loss.backward()
+                opt.step()
+            return float(quadratic_loss(p).data)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = nn.Parameter(np.array([10.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        # No loss gradient, only decay.
+        p.grad = np.zeros(1)
+        opt.step()
+        assert abs(p.data[0]) < 10.0
+
+    def test_skips_params_without_grad(self):
+        p = nn.Parameter(np.ones(2))
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no grad -> no change, no crash
+        np.testing.assert_allclose(p.data, [1.0, 1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.zeros(2))
+        opt = nn.Adam([p], lr=0.3)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_bias_correction_first_step_magnitude(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = nn.Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        # With bias correction the first step is ~ lr regardless of betas.
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+
+class TestClipGradNorm:
+    def test_scales_down_when_over(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_untouched_when_under(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_exponential_lr(self):
+        p = nn.Parameter(np.zeros(1))
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.ExponentialLR(opt, gamma=0.9)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.81)
+
+
+class TestEndToEndTraining:
+    def test_xor_learnable(self):
+        rng = np.random.default_rng(0)
+        net = nn.Sequential(nn.Linear(2, 8, rng=rng), nn.Tanh(), nn.Linear(8, 1, rng=rng))
+        opt = nn.Adam(net.parameters(), lr=0.05)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        for _ in range(300):
+            opt.zero_grad()
+            loss = F.bce_with_logits(net(nn.Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.05

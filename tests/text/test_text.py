@@ -1,0 +1,134 @@
+"""Text substrate: vocab, lexicon, encoders, masked pre-training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import (
+    CharCNNEncoder,
+    CharVocab,
+    MaskedCharPretrainer,
+    NgramHashEncoder,
+    disease_name,
+    drug_stem,
+    gene_symbol,
+)
+
+
+class TestCharVocab:
+    def test_pad_unk_mask_reserved(self):
+        v = CharVocab()
+        assert (v.PAD, v.UNK, v.MASK) == (0, 1, 2)
+
+    def test_encode_pads_to_max_len(self):
+        v = CharVocab(max_len=10)
+        ids = v.encode("abc")
+        assert ids.shape == (10,)
+        assert (ids[3:] == v.PAD).all()
+
+    def test_encode_truncates(self):
+        v = CharVocab(max_len=4)
+        assert v.encode("abcdefgh").shape == (4,)
+
+    def test_unknown_char_maps_to_unk(self):
+        v = CharVocab(max_len=5)
+        assert v.encode("a@b")[1] == v.UNK
+
+    def test_lowercases(self):
+        v = CharVocab(max_len=5)
+        np.testing.assert_array_equal(v.encode("ABC"), v.encode("abc"))
+
+    def test_decode_roundtrip(self):
+        v = CharVocab(max_len=20)
+        assert v.decode(v.encode("amoxicillin")) == "amoxicillin"
+
+    def test_encode_batch_shape(self):
+        v = CharVocab(max_len=8)
+        assert v.encode_batch(["a", "bb", "ccc"]).shape == (3, 8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="abcdefghij -.", min_size=0, max_size=20))
+    def test_roundtrip_property(self, text):
+        v = CharVocab(max_len=32)
+        assert v.decode(v.encode(text)) == text.lower()
+
+
+class TestLexicon:
+    def test_drug_stem_capitalised_pronounceable(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            stem = drug_stem(rng)
+            assert stem[0].isupper() and stem[1:].islower()
+            assert 3 <= len(stem) <= 12
+
+    def test_gene_symbol_family_prefix(self):
+        rng = np.random.default_rng(0)
+        assert gene_symbol(0, rng).startswith("PBP")
+        assert gene_symbol(3, rng).startswith("ADR")
+
+    def test_disease_name_suffix_by_family(self):
+        rng = np.random.default_rng(0)
+        name = disease_name(0, rng)
+        assert any(name.endswith(suffix) for suffix in ("itis", "osis", "emia"))
+
+
+class TestNgramHashEncoder:
+    def test_shape_and_determinism(self):
+        enc = NgramHashEncoder(dim=16)
+        a = enc.encode(["amoxicillin", "oxacillin"])
+        b = enc.encode(["amoxicillin", "oxacillin"])
+        assert a.shape == (2, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_input(self):
+        assert NgramHashEncoder(dim=8).encode([]).shape == (0, 8)
+
+    def test_shared_suffix_closer_than_disjoint(self):
+        enc = NgramHashEncoder(dim=32)
+        e = enc.encode(["amoxicillin", "oxacillin", "lovastatin"])
+        def cos(u, v):
+            return float(u @ v / (np.linalg.norm(u) * np.linalg.norm(v) + 1e-12))
+        assert cos(e[0], e[1]) > cos(e[0], e[2])
+
+    def test_case_insensitive(self):
+        enc = NgramHashEncoder(dim=16)
+        a = enc.encode(["Aspirin"])
+        b = enc.encode(["aspirin"])
+        np.testing.assert_allclose(a, b)
+
+
+class TestCharCNN:
+    def test_encode_shape(self):
+        vocab = CharVocab(max_len=24)
+        enc = CharCNNEncoder(vocab, dim=12, rng=np.random.default_rng(0))
+        out = enc.encode(["amoxicillin", "statin"])
+        assert out.shape == (2, 12)
+
+    def test_forward_gradients_flow(self):
+        vocab = CharVocab(max_len=16)
+        enc = CharCNNEncoder(vocab, dim=8, rng=np.random.default_rng(0))
+        out = enc(vocab.encode_batch(["abc", "def"]))
+        out.sum().backward()
+        assert enc.char_embedding.weight.grad is not None
+
+    def test_pretraining_improves(self):
+        rng = np.random.default_rng(3)
+        names = [drug_stem(rng) + "cillin" for _ in range(20)] \
+            + [drug_stem(rng) + "statin" for _ in range(20)]
+        vocab = CharVocab(max_len=24)
+        enc = CharCNNEncoder(vocab, dim=12, rng=rng)
+        pre = MaskedCharPretrainer(enc, rng, lr=0.02)
+        result = pre.train(names, epochs=4, batch_size=16)
+        assert result.final_loss < result.losses[0]
+
+    def test_invalid_mask_rate(self):
+        vocab = CharVocab()
+        enc = CharCNNEncoder(vocab, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MaskedCharPretrainer(enc, np.random.default_rng(0), mask_rate=0.0)
+
+    def test_empty_input(self):
+        vocab = CharVocab()
+        enc = CharCNNEncoder(vocab, dim=8, rng=np.random.default_rng(0))
+        assert enc.encode([]).shape == (0, 8)
