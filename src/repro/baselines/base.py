@@ -21,17 +21,54 @@ trained on inverse-augmented triples, so head-side queries rank through
 from __future__ import annotations
 
 import time
-from typing import Protocol
+from typing import Callable, Protocol
 
 import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+# ``inference_mode`` lives in repro.nn (so repro.core can use it too) and
+# is re-exported here: every baseline ``predict_tails`` must run inside it
+# — autograd off, dropout/batch-norm in eval mode — so the pattern
+# ``CamE.predict_tails`` established cannot drift.
+from ..nn import inference_mode
 from ..kg import KGSplit, NegativeSampler, add_inverse_relations, self_adversarial_weights
 from ..core.trainer import TrainReport
-from ..eval import evaluate_ranking
+from ..eval import RankingEvaluator
 
-__all__ = ["TripleScoringModel", "EmbeddingModel", "NegativeSamplingTrainer"]
+__all__ = [
+    "TripleScoringModel",
+    "EmbeddingModel",
+    "NegativeSamplingTrainer",
+    "inference_mode",
+    "chunked_entity_scores",
+]
+
+
+def chunked_entity_scores(
+    num_queries: int,
+    num_entities: int,
+    dim: int,
+    block_fn: Callable[[int, int], np.ndarray],
+    dtype: np.dtype | type | None = None,
+    budget: int = 4_000_000,
+) -> np.ndarray:
+    """Fill a ``(num_queries, num_entities)`` score matrix chunk by chunk.
+
+    Translational models materialise a ``(B, C, dim)`` difference tensor
+    per candidate chunk; ``budget`` caps that intermediate's element
+    count so memory stays bounded at DRKG-MM scale (~100k entities).
+    ``block_fn(start, stop)`` returns the scores for candidate columns
+    ``[start, stop)``; ``dtype`` selects the inference precision
+    (``float32`` halves score-matrix memory on large evals).
+    """
+    out = np.empty((num_queries, num_entities),
+                   dtype=np.float64 if dtype is None else dtype)
+    chunk = max(1, budget // max(1, num_queries * dim))
+    for start in range(0, num_entities, chunk):
+        stop = min(num_entities, start + chunk)
+        out[:, start:stop] = block_fn(start, stop)
+    return out
 
 
 class TripleScoringModel(Protocol):
@@ -52,6 +89,11 @@ class EmbeddingModel(nn.Module):
     lets models that need several vectors per relation (PairRE, DualE)
     widen the relation table.
     """
+
+    #: Dtype ``predict_tails`` allocates score matrices in.  ``None``
+    #: keeps float64 (exact parity with training math); set to
+    #: ``np.float32`` for the inference fast path on large entity sets.
+    inference_dtype: np.dtype | type | None = None
 
     def __init__(self, num_entities: int, num_relations: int, dim: int,
                  rng: np.random.Generator | None = None,
@@ -104,6 +146,7 @@ class NegativeSamplingTrainer:
         self.adversarial_temperature = adversarial_temperature
         self.grad_clip = grad_clip
         self.optimizer = nn.Adam(list(model.parameters()), lr=lr)
+        self._evaluator: RankingEvaluator | None = None
         self.train_triples = add_inverse_relations(split.train, split.num_relations)
         inverse_true = {(int(t), int(r) + split.num_relations, int(h))
                         for h, r, t in split.train}
@@ -139,10 +182,23 @@ class NegativeSamplingTrainer:
             losses.append(float(loss.data))
         return float(np.mean(losses)) if losses else float("nan")
 
+    @property
+    def evaluator(self) -> RankingEvaluator:
+        """Shared filtered-ranking evaluator (filter built on first use)."""
+        if self._evaluator is None:
+            self._evaluator = RankingEvaluator(self.split)
+        return self._evaluator
+
     def fit(self, epochs: int, eval_every: int | None = None,
             eval_part: str = "valid", eval_max_queries: int | None = 200,
+            eval_batch_size: int = 128,
             keep_best: bool = True, verbose: bool = False) -> TrainReport:
-        """Train for ``epochs`` with the same reporting as OneToNTrainer."""
+        """Train for ``epochs`` with the same reporting as OneToNTrainer.
+
+        As there, the ranking filter is built once per ``fit`` and every
+        epoch eval shares it; ``eval_batch_size`` bounds the per-call
+        score blocks.
+        """
         report = TrainReport()
         start = time.perf_counter()
         best_key = -np.inf
@@ -152,8 +208,10 @@ class NegativeSamplingTrainer:
             report.epoch_seconds.append(time.perf_counter() - tick)
             report.epoch_losses.append(loss)
             if eval_every and (epoch % eval_every == 0 or epoch == epochs):
-                metrics = evaluate_ranking(self.model, self.split, part=eval_part,
-                                           max_queries=eval_max_queries, rng=self.rng)
+                metrics = self.evaluator.evaluate(self.model, part=eval_part,
+                                                  max_queries=eval_max_queries,
+                                                  rng=self.rng,
+                                                  batch_size=eval_batch_size)
                 report.eval_history.append((epoch, time.perf_counter() - start, metrics))
                 key = metrics.hits.get(10, metrics.mrr)
                 if keep_best and key > best_key:

@@ -13,6 +13,7 @@ import numpy as np
 from .. import nn
 from ..nn import functional as F
 from ..gnn import CompGCNEncoder
+from .base import inference_mode
 
 __all__ = ["CompGCNLinkPredictor"]
 
@@ -70,13 +71,19 @@ class CompGCNLinkPredictor(nn.Module):
         scores = F.reshape(F.matmul(cand, F.reshape(query, (b, -1, 1))), (b, k))
         return F.add(scores, F.index(self.entity_bias, candidates))
 
+    #: See :attr:`repro.baselines.base.EmbeddingModel.inference_dtype`.
+    inference_dtype: np.dtype | type | None = None
+
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        if self._cached is None:
-            with nn.no_grad():
+        with inference_mode(self):
+            if self._cached is None:
                 ent, rel = self.encoder(self._train_triples[: self._max_edges]
                                         if len(self._train_triples) > self._max_edges
                                         else self._train_triples)
-            self._cached = (ent.data.copy(), rel.data.copy())
-        ent, rel = self._cached
-        query = ent[heads] * rel[rels]
-        return query @ ent.T + self.entity_bias.data
+                self._cached = (ent.data.copy(), rel.data.copy())
+            ent, rel = self._cached
+            query = ent[heads] * rel[rels]
+            scores = query @ ent.T + self.entity_bias.data
+            if self.inference_dtype is not None:
+                scores = scores.astype(self.inference_dtype, copy=False)
+            return scores

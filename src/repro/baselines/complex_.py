@@ -11,7 +11,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, inference_mode
 
 __all__ = ["ComplEx"]
 
@@ -42,12 +42,16 @@ class ComplEx(EmbeddingModel):
         return F.sum(term, axis=-1)
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        ent = self.entity_embedding.weight.data
-        rel = self.relation_embedding.weight.data
-        d = self.dim
-        h_re, h_im = ent[heads, :d], ent[heads, d:]
-        r_re, r_im = rel[rels, :d], rel[rels, d:]
-        e_re, e_im = ent[:, :d], ent[:, d:]
-        q_re = h_re * r_re - h_im * r_im
-        q_im = h_re * r_im + h_im * r_re
-        return q_re @ e_re.T + q_im @ e_im.T
+        with inference_mode(self):
+            ent = self.entity_embedding.weight.data
+            rel = self.relation_embedding.weight.data
+            d = self.dim
+            h_re, h_im = ent[heads, :d], ent[heads, d:]
+            r_re, r_im = rel[rels, :d], rel[rels, d:]
+            e_re, e_im = ent[:, :d], ent[:, d:]
+            q_re = h_re * r_re - h_im * r_im
+            q_im = h_re * r_im + h_im * r_re
+            scores = q_re @ e_re.T + q_im @ e_im.T
+            if self.inference_dtype is not None:
+                scores = scores.astype(self.inference_dtype, copy=False)
+            return scores

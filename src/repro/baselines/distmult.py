@@ -10,7 +10,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, inference_mode
 
 __all__ = ["DistMult"]
 
@@ -39,6 +39,10 @@ class DistMult(EmbeddingModel):
         return F.reshape(F.matmul(cand, F.reshape(query, (b, -1, 1))), (b, k))
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        ent = self.entity_embedding.weight.data
-        rel = self.relation_embedding.weight.data
-        return (ent[heads] * rel[rels]) @ ent.T
+        with inference_mode(self):
+            ent = self.entity_embedding.weight.data
+            rel = self.relation_embedding.weight.data
+            scores = (ent[heads] * rel[rels]) @ ent.T
+            if self.inference_dtype is not None:
+                scores = scores.astype(self.inference_dtype, copy=False)
+            return scores

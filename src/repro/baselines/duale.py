@@ -15,7 +15,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, inference_mode
 
 __all__ = ["DualE"]
 
@@ -100,19 +100,23 @@ class DualE(EmbeddingModel):
         return score
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        d = self.dim
-        ent = self.entity_embedding.weight.data
-        raw = self.relation_embedding.weight.data[rels]
-        comps_h = tuple(ent[heads, i * d:(i + 1) * d] for i in range(8))
-        comps_r = list(raw[:, i * d:(i + 1) * d] for i in range(8))
-        q_r, q_d = comps_r[:4], comps_r[4:]
-        norm = np.sqrt(sum(c * c for c in q_r) + 1e-9)
-        q_r = [c / norm for c in q_r]
-        dot = sum(cr * cd for cr, cd in zip(q_r, q_d))
-        q_d = [(cd - dot * cr) / norm for cr, cd in zip(q_r, q_d)]
-        out_r = _hamilton_np(comps_h[:4], q_r)
-        c1 = _hamilton_np(comps_h[:4], q_d)
-        c2 = _hamilton_np(comps_h[4:], q_r)
-        out_d = tuple(a + b for a, b in zip(c1, c2))
-        query = np.concatenate(out_r + out_d, axis=1)       # (B, 8d)
-        return query @ ent.T
+        with inference_mode(self):
+            d = self.dim
+            ent = self.entity_embedding.weight.data
+            raw = self.relation_embedding.weight.data[rels]
+            comps_h = tuple(ent[heads, i * d:(i + 1) * d] for i in range(8))
+            comps_r = list(raw[:, i * d:(i + 1) * d] for i in range(8))
+            q_r, q_d = comps_r[:4], comps_r[4:]
+            norm = np.sqrt(sum(c * c for c in q_r) + 1e-9)
+            q_r = [c / norm for c in q_r]
+            dot = sum(cr * cd for cr, cd in zip(q_r, q_d))
+            q_d = [(cd - dot * cr) / norm for cr, cd in zip(q_r, q_d)]
+            out_r = _hamilton_np(comps_h[:4], q_r)
+            c1 = _hamilton_np(comps_h[:4], q_d)
+            c2 = _hamilton_np(comps_h[4:], q_r)
+            out_d = tuple(a + b for a, b in zip(c1, c2))
+            query = np.concatenate(out_r + out_d, axis=1)   # (B, 8d)
+            scores = query @ ent.T
+            if self.inference_dtype is not None:
+                scores = scores.astype(self.inference_dtype, copy=False)
+            return scores

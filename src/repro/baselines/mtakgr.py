@@ -14,7 +14,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, chunked_entity_scores, inference_mode
 
 __all__ = ["MTAKGR"]
 
@@ -50,20 +50,23 @@ class MTAKGR(EmbeddingModel):
         return F.sub(self.gamma, F.mul(energy, 0.25))
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        ent = self.entity_embedding.weight.data
-        rel = self.relation_embedding.weight.data[rels]
-        with nn.no_grad():
+        with inference_mode(self):
+            ent = self.entity_embedding.weight.data
+            rel = self.relation_embedding.weight.data[rels]
             modal_all = self.modal_proj(nn.Tensor(self.multimodal)).data
-        q_s = ent[heads] + rel
-        q_m = modal_all[heads] + rel
-        scores = np.empty((len(heads), self.num_entities))
-        chunk = max(1, 2_000_000 // (len(heads) * self.dim))
-        for start in range(0, self.num_entities, chunk):
-            t_s = ent[start:start + chunk][None]
-            t_m = modal_all[start:start + chunk][None]
-            energy = (
-                np.abs(q_s[:, None] - t_s).sum(-1) + np.abs(q_m[:, None] - t_m).sum(-1)
-                + np.abs(q_m[:, None] - t_s).sum(-1) + np.abs(q_s[:, None] - t_m).sum(-1)
-            )
-            scores[:, start:start + chunk] = self.gamma - energy / 4.0
-        return scores
+            q_s = ent[heads] + rel
+            q_m = modal_all[heads] + rel
+
+            def block(start: int, stop: int) -> np.ndarray:
+                t_s = ent[start:stop][None]
+                t_m = modal_all[start:stop][None]
+                energy = (
+                    np.abs(q_s[:, None] - t_s).sum(-1) + np.abs(q_m[:, None] - t_m).sum(-1)
+                    + np.abs(q_m[:, None] - t_s).sum(-1) + np.abs(q_s[:, None] - t_m).sum(-1)
+                )
+                return self.gamma - energy / 4.0
+
+            return chunked_entity_scores(len(heads), self.num_entities,
+                                         self.dim, block,
+                                         dtype=self.inference_dtype,
+                                         budget=2_000_000)

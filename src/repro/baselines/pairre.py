@@ -13,7 +13,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, chunked_entity_scores, inference_mode
 
 __all__ = ["PairRE"]
 
@@ -36,15 +36,16 @@ class PairRE(EmbeddingModel):
         return F.sub(self.gamma, distance)
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        ent = self.entity_embedding.weight.data
-        ent = ent / (np.linalg.norm(ent, axis=1, keepdims=True) + 1e-12)
-        rel = self.relation_embedding.weight.data[rels]
-        d = self.dim
-        query = ent[heads] * rel[:, :d]            # (B, d)
-        scores = np.empty((len(heads), self.num_entities))
-        chunk = max(1, 4_000_000 // (len(heads) * d))
-        for start in range(0, self.num_entities, chunk):
-            block = ent[start:start + chunk][None, :, :] * rel[:, None, d:]
-            dist = np.abs(query[:, None, :] - block).sum(axis=-1)
-            scores[:, start:start + chunk] = self.gamma - dist
-        return scores
+        with inference_mode(self):
+            ent = self.entity_embedding.weight.data
+            ent = ent / (np.linalg.norm(ent, axis=1, keepdims=True) + 1e-12)
+            rel = self.relation_embedding.weight.data[rels]
+            d = self.dim
+            query = ent[heads] * rel[:, :d]        # (B, d)
+
+            def block(start: int, stop: int) -> np.ndarray:
+                tails = ent[start:stop][None, :, :] * rel[:, None, d:]
+                return self.gamma - np.abs(query[:, None, :] - tails).sum(axis=-1)
+
+            return chunked_entity_scores(len(heads), self.num_entities, d, block,
+                                         dtype=self.inference_dtype)

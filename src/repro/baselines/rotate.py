@@ -12,7 +12,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, chunked_entity_scores, inference_mode
 
 __all__ = ["RotatE"]
 
@@ -59,21 +59,23 @@ class RotatE(EmbeddingModel):
         return F.sub(self.gamma, F.sum(modulus, axis=-1))
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        d = self.dim
-        ent = self.entity_embedding.weight.data
-        raw = self.relation_embedding.weight.data[rels]
-        c, s = raw[:, :d], raw[:, d:]
-        norm = np.sqrt(c * c + s * s + 1e-9)
-        cos, sin = c / norm, s / norm
-        h_re, h_im = ent[heads, :d], ent[heads, d:]
-        rot_re = h_re * cos - h_im * sin
-        rot_im = h_re * sin + h_im * cos
-        e_re, e_im = ent[:, :d], ent[:, d:]
-        scores = np.empty((len(heads), self.num_entities))
-        chunk = max(1, 2_000_000 // (len(heads) * d))
-        for start in range(0, self.num_entities, chunk):
-            dr = rot_re[:, None, :] - e_re[None, start:start + chunk]
-            di = rot_im[:, None, :] - e_im[None, start:start + chunk]
-            dist = np.sqrt(dr * dr + di * di + 1e-9).sum(axis=-1)
-            scores[:, start:start + chunk] = self.gamma - dist
-        return scores
+        with inference_mode(self):
+            d = self.dim
+            ent = self.entity_embedding.weight.data
+            raw = self.relation_embedding.weight.data[rels]
+            c, s = raw[:, :d], raw[:, d:]
+            norm = np.sqrt(c * c + s * s + 1e-9)
+            cos, sin = c / norm, s / norm
+            h_re, h_im = ent[heads, :d], ent[heads, d:]
+            rot_re = h_re * cos - h_im * sin
+            rot_im = h_re * sin + h_im * cos
+            e_re, e_im = ent[:, :d], ent[:, d:]
+
+            def block(start: int, stop: int) -> np.ndarray:
+                dr = rot_re[:, None, :] - e_re[None, start:stop]
+                di = rot_im[:, None, :] - e_im[None, start:stop]
+                return self.gamma - np.sqrt(dr * dr + di * di + 1e-9).sum(axis=-1)
+
+            return chunked_entity_scores(len(heads), self.num_entities, d, block,
+                                         dtype=self.inference_dtype,
+                                         budget=2_000_000)

@@ -14,7 +14,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, chunked_entity_scores, inference_mode
 
 __all__ = ["TransAE"]
 
@@ -70,14 +70,15 @@ class TransAE(EmbeddingModel):
         return F.sub(score, F.mul(recon, self.reconstruction_weight))
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        with nn.no_grad():
+        with inference_mode(self):
             encoded = self.encoder(nn.Tensor(self.multimodal)).data
-        rel = self.relation_embedding.weight.data[rels]
-        query = encoded[heads] + rel
-        scores = np.empty((len(heads), self.num_entities))
-        chunk = max(1, 4_000_000 // (len(heads) * self.dim))
-        for start in range(0, self.num_entities, chunk):
-            block = encoded[start:start + chunk]
-            dist = np.abs(query[:, None, :] - block[None]).sum(-1)
-            scores[:, start:start + chunk] = self.gamma - dist
-        return scores
+            rel = self.relation_embedding.weight.data[rels]
+            query = encoded[heads] + rel
+
+            def block(start: int, stop: int) -> np.ndarray:
+                diff = np.abs(query[:, None, :] - encoded[None, start:stop])
+                return self.gamma - diff.sum(-1)
+
+            return chunked_entity_scores(len(heads), self.num_entities,
+                                         self.dim, block,
+                                         dtype=self.inference_dtype)

@@ -10,7 +10,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from .base import EmbeddingModel
+from .base import EmbeddingModel, chunked_entity_scores, inference_mode
 
 __all__ = ["TransE"]
 
@@ -29,14 +29,16 @@ class TransE(EmbeddingModel):
         return F.sub(self.gamma, distance)
 
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
-        ent = self.entity_embedding.weight.data
-        rel = self.relation_embedding.weight.data
-        query = ent[heads] + rel[rels]                       # (B, d)
-        # Chunk over candidates to bound the (B, E, d) intermediate.
-        scores = np.empty((len(heads), self.num_entities))
-        chunk = max(1, 4_000_000 // (len(heads) * self.dim))
-        for start in range(0, self.num_entities, chunk):
-            block = ent[start:start + chunk]                 # (C, d)
-            dist = np.abs(query[:, None, :] - block[None, :, :]).sum(axis=-1)
-            scores[:, start:start + chunk] = self.gamma - dist
-        return scores
+        with inference_mode(self):
+            ent = self.entity_embedding.weight.data
+            rel = self.relation_embedding.weight.data
+            query = ent[heads] + rel[rels]                   # (B, d)
+
+            def block(start: int, stop: int) -> np.ndarray:
+                diff = np.abs(query[:, None, :] - ent[None, start:stop, :])
+                return self.gamma - diff.sum(axis=-1)
+
+            # Chunk over candidates to bound the (B, C, d) intermediate.
+            return chunked_entity_scores(len(heads), self.num_entities,
+                                         self.dim, block,
+                                         dtype=self.inference_dtype)

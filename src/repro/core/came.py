@@ -261,13 +261,13 @@ class CamE(nn.Module):
         bias = F.index(self.entity_bias, candidates)
         return F.add(scores, bias)
 
+    #: See :attr:`repro.baselines.base.EmbeddingModel.inference_dtype`.
+    inference_dtype: np.dtype | type | None = None
+
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
         """Inference-mode scores over all entities (used by evaluation)."""
-        training = self.training
-        self.eval()
-        try:
-            with nn.no_grad():
-                scores = self.score_queries(heads, rels).data
-        finally:
-            self.train(training)
-        return scores
+        with nn.inference_mode(self):
+            scores = self.score_queries(heads, rels).data
+            if self.inference_dtype is not None:
+                scores = scores.astype(self.inference_dtype, copy=False)
+            return scores

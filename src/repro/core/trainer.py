@@ -24,7 +24,7 @@ import numpy as np
 from .. import nn
 from ..nn import functional as F
 from ..kg import KGSplit, OneToNBatcher, add_inverse_relations
-from ..eval import RankingMetrics, evaluate_ranking
+from ..eval import RankingEvaluator, RankingMetrics
 
 __all__ = ["QueryScoringModel", "TrainReport", "OneToNTrainer"]
 
@@ -90,11 +90,24 @@ class OneToNTrainer:
         self.rng = rng
         self.grad_clip = grad_clip
         self.optimizer = nn.Adam(list(model.parameters()), lr=lr)
+        self._evaluator: RankingEvaluator | None = None
         train = add_inverse_relations(split.train, split.num_relations)
         self.batcher = OneToNBatcher(
             train, split.num_entities, batch_size=batch_size, rng=rng,
             label_smoothing=label_smoothing, negatives=negatives,
         )
+
+    @property
+    def evaluator(self) -> RankingEvaluator:
+        """Shared filtered-ranking evaluator (filter built on first use).
+
+        Constructed at most once per trainer, so every epoch eval inside
+        :meth:`fit` — and any post-training evaluation that reuses it —
+        shares a single CSR filter construction.
+        """
+        if self._evaluator is None:
+            self._evaluator = RankingEvaluator(self.split)
+        return self._evaluator
 
     def train_epoch(self) -> float:
         """One pass over all queries; returns the mean batch loss."""
@@ -112,8 +125,15 @@ class OneToNTrainer:
 
     def fit(self, epochs: int, eval_every: int | None = None,
             eval_part: str = "valid", eval_max_queries: int | None = 200,
+            eval_batch_size: int = 128,
             keep_best: bool = True, verbose: bool = False) -> TrainReport:
-        """Train for ``epochs``; optionally track timed eval history."""
+        """Train for ``epochs``; optionally track timed eval history.
+
+        The ranking filter is built once (lazily, at the first eval) and
+        shared across every epoch eval of this ``fit`` call.
+        ``eval_batch_size`` bounds the ``(B, num_entities)`` score blocks
+        the evaluator requests — the knob Fig. 9 scalability runs tune.
+        """
         report = TrainReport()
         start = time.perf_counter()
         best_key = -np.inf
@@ -123,9 +143,10 @@ class OneToNTrainer:
             report.epoch_seconds.append(time.perf_counter() - tick)
             report.epoch_losses.append(loss)
             if eval_every and (epoch % eval_every == 0 or epoch == epochs):
-                metrics = evaluate_ranking(
-                    self.model, self.split, part=eval_part,
+                metrics = self.evaluator.evaluate(
+                    self.model, part=eval_part,
                     max_queries=eval_max_queries, rng=self.rng,
+                    batch_size=eval_batch_size,
                 )
                 elapsed = time.perf_counter() - start
                 report.eval_history.append((epoch, elapsed, metrics))

@@ -1,23 +1,35 @@
 """``repro.eval`` — filtered link-prediction evaluation.
 
-MR / MRR / Hits metrics (:mod:`repro.eval.metrics`), the filtered
+MR / MRR / Hits metrics (:mod:`repro.eval.metrics`), the vectorized
+construct-once evaluator (:mod:`repro.eval.evaluator`), the filtered
 ranking protocol over both query directions (:mod:`repro.eval.ranking`),
 and per-relation-family breakdowns (:mod:`repro.eval.per_relation`).
 """
 
+from .evaluator import CSRFilter, RankingEvaluator, build_csr_filter
 from .metrics import RankingMetrics
 from .per_relation import (
     evaluate_per_relation_family,
     family_of_triples,
     family_triple_counts,
 )
-from .ranking import TailScorer, build_filter, compute_ranks, evaluate_ranking
+from .ranking import (
+    TailScorer,
+    build_filter,
+    compute_ranks,
+    compute_ranks_reference,
+    evaluate_ranking,
+)
 
 __all__ = [
+    "CSRFilter",
+    "RankingEvaluator",
     "RankingMetrics",
     "TailScorer",
+    "build_csr_filter",
     "build_filter",
     "compute_ranks",
+    "compute_ranks_reference",
     "evaluate_ranking",
     "evaluate_per_relation_family",
     "family_of_triples",

@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..kg import KGSplit
+from .evaluator import RankingEvaluator
 from .metrics import RankingMetrics
-from .ranking import TailScorer, compute_ranks
+from .ranking import TailScorer
 
 __all__ = ["family_of_triples", "evaluate_per_relation_family", "family_triple_counts"]
 
@@ -42,14 +43,21 @@ def evaluate_per_relation_family(
     max_queries_per_family: int | None = None,
     rng: np.random.Generator | None = None,
     batch_size: int = 128,
+    evaluator: RankingEvaluator | None = None,
 ) -> dict[str, RankingMetrics]:
-    """Filtered metrics per relation family on the test partition."""
+    """Filtered metrics per relation family on the test partition.
+
+    One :class:`RankingEvaluator` (hence one filter construction) is
+    shared across all families instead of rebuilding the full
+    train+valid+test filter per family.
+    """
     labels = family_of_triples(split, split.test)
+    ev = evaluator if evaluator is not None else RankingEvaluator(split)
     results: dict[str, RankingMetrics] = {}
     for family in sorted(set(labels)):
         subset = split.test[labels == family]
-        ranks = compute_ranks(model, split, subset,
-                              max_queries=max_queries_per_family,
-                              rng=rng, batch_size=batch_size)
+        ranks = ev.compute_ranks(model, subset,
+                                 max_queries=max_queries_per_family,
+                                 rng=rng, batch_size=batch_size)
         results[family] = RankingMetrics.from_ranks(ranks)
     return results

@@ -8,6 +8,16 @@ side, matching the paper's protocol of training with inverse triples
 and "ranking with whole entities".  Ties are broken by the mean-rank
 convention (average of optimistic and pessimistic rank), so constant
 scorers cannot cheat.
+
+The heavy lifting now lives in :class:`repro.eval.evaluator.
+RankingEvaluator`, which precomputes a CSR-packed filter once per split
+and ranks whole score batches without a per-row loop.
+:func:`compute_ranks` and :func:`evaluate_ranking` are kept as thin
+compatibility wrappers; pass ``evaluator=`` to amortise filter
+construction across calls.  The original per-row implementation is
+retained as :func:`compute_ranks_reference` — it is the ground truth
+the vectorized path is parity-tested against, and the "old path" the
+evaluation microbenchmark times.
 """
 
 from __future__ import annotations
@@ -18,9 +28,16 @@ from typing import Protocol
 import numpy as np
 
 from ..kg import KGSplit
+from .evaluator import RankingEvaluator
 from .metrics import RankingMetrics
 
-__all__ = ["TailScorer", "compute_ranks", "evaluate_ranking", "build_filter"]
+__all__ = [
+    "TailScorer",
+    "compute_ranks",
+    "compute_ranks_reference",
+    "evaluate_ranking",
+    "build_filter",
+]
 
 
 class TailScorer(Protocol):
@@ -32,7 +49,12 @@ class TailScorer(Protocol):
 
 
 def build_filter(split: KGSplit) -> dict[tuple[int, int], np.ndarray]:
-    """Map every ``(h, r)`` query (both directions) to its true tails."""
+    """Map every ``(h, r)`` query (both directions) to its true tails.
+
+    Reference (per-triple Python loop) filter construction.  Production
+    code should use :func:`repro.eval.evaluator.build_csr_filter`, which
+    packs the same mapping in one vectorized pass.
+    """
     num_relations = split.num_relations
     grouped: dict[tuple[int, int], set[int]] = defaultdict(set)
     for part in (split.train, split.valid, split.test):
@@ -69,7 +91,7 @@ def _ranks_for_queries(
     return ranks
 
 
-def compute_ranks(
+def compute_ranks_reference(
     model: TailScorer,
     split: KGSplit,
     triples: np.ndarray,
@@ -78,7 +100,11 @@ def compute_ranks(
     batch_size: int = 128,
     both_directions: bool = True,
 ) -> np.ndarray:
-    """Filtered ranks for ``triples`` (tail side, plus head side via inverses)."""
+    """Per-row reference ranks (rebuilds the dict filter on every call).
+
+    Kept as the parity/benchmark baseline for the vectorized
+    :class:`RankingEvaluator`; do not use on hot paths.
+    """
     if max_queries is not None and len(triples) > max_queries:
         gen = rng if rng is not None else np.random.default_rng(0)
         triples = triples[gen.choice(len(triples), max_queries, replace=False)]
@@ -95,6 +121,27 @@ def compute_ranks(
     return np.concatenate(ranks)
 
 
+def compute_ranks(
+    model: TailScorer,
+    split: KGSplit,
+    triples: np.ndarray,
+    max_queries: int | None = None,
+    rng: np.random.Generator | None = None,
+    batch_size: int = 128,
+    both_directions: bool = True,
+    evaluator: RankingEvaluator | None = None,
+) -> np.ndarray:
+    """Filtered ranks for ``triples`` (tail side, plus head side via inverses).
+
+    Builds a throwaway :class:`RankingEvaluator` unless one is supplied;
+    callers evaluating repeatedly on the same split should construct the
+    evaluator once and reuse it.
+    """
+    ev = evaluator if evaluator is not None else RankingEvaluator(split)
+    return ev.compute_ranks(model, triples, max_queries=max_queries, rng=rng,
+                            batch_size=batch_size, both_directions=both_directions)
+
+
 def evaluate_ranking(
     model: TailScorer,
     split: KGSplit,
@@ -103,10 +150,9 @@ def evaluate_ranking(
     rng: np.random.Generator | None = None,
     batch_size: int = 128,
     both_directions: bool = True,
+    evaluator: RankingEvaluator | None = None,
 ) -> RankingMetrics:
     """Filtered MR / MRR / Hits@{1,3,10} on a split partition."""
-    triples = {"train": split.train, "valid": split.valid, "test": split.test}[part]
-    ranks = compute_ranks(model, split, triples, max_queries=max_queries,
-                          rng=rng, batch_size=batch_size,
-                          both_directions=both_directions)
-    return RankingMetrics.from_ranks(ranks)
+    ev = evaluator if evaluator is not None else RankingEvaluator(split)
+    return ev.evaluate(model, part=part, max_queries=max_queries, rng=rng,
+                       batch_size=batch_size, both_directions=both_directions)

@@ -43,8 +43,13 @@ class ScalabilityPoint:
 
 def run_fig9(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
              variants: tuple[str, ...] = FIG9_VARIANTS,
-             fractions: tuple[float, ...] = FRACTIONS) -> list[ScalabilityPoint]:
-    """Time one epoch + one test pass per (variant, fraction)."""
+             fractions: tuple[float, ...] = FRACTIONS,
+             eval_batch_size: int = 128) -> list[ScalabilityPoint]:
+    """Time one epoch + one test pass per (variant, fraction).
+
+    ``eval_batch_size`` tunes the ranking batch so the scalability sweep
+    can trade peak memory against throughput.
+    """
     mkg, feats = get_prepared(dataset, scale, seed)
     base = CamEConfig(entity_dim=scale.model_dim, relation_dim=scale.model_dim)
     rng_master = np.random.default_rng(950 + seed)
@@ -69,7 +74,8 @@ def run_fig9(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
             n_test = max(1, int(scale.test_max_queries * fraction / 2))
             tick = time.perf_counter()
             evaluate_ranking(model, sub_split, part="test", max_queries=n_test,
-                             rng=np.random.default_rng(1))
+                             rng=np.random.default_rng(1),
+                             batch_size=eval_batch_size)
             test_seconds = time.perf_counter() - tick
             points.append(ScalabilityPoint(variant, fraction,
                                            train_seconds, test_seconds))

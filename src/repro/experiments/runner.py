@@ -60,9 +60,17 @@ def _epochs_for(model_name: str, scale: Scale) -> int:
 
 
 def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
-                epochs: int | None = None, negatives_1ton: int | None = None) -> RunResult:
-    """Train ``model_name`` on ``dataset`` and evaluate on test (cached)."""
-    key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton)
+                epochs: int | None = None, negatives_1ton: int | None = None,
+                eval_batch_size: int = 128) -> RunResult:
+    """Train ``model_name`` on ``dataset`` and evaluate on test (cached).
+
+    ``eval_batch_size`` is threaded through to the trainer's epoch evals
+    and the final test pass (the Fig. 9 scalability knob).  The final
+    test eval reuses the trainer's ranking evaluator, so the filter is
+    built exactly once for the whole run.
+    """
+    key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton,
+           eval_batch_size)
     if key in _RUN_CACHE:
         return _RUN_CACHE[key]
     mkg, feats = get_prepared(dataset, scale, seed)
@@ -72,10 +80,13 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
                                  negatives_1ton=negatives_1ton)
     budget = epochs if epochs is not None else _epochs_for(model_name, scale)
     report = trainer.fit(budget, eval_every=scale.eval_every,
-                         eval_max_queries=scale.eval_max_queries)
+                         eval_max_queries=scale.eval_max_queries,
+                         eval_batch_size=eval_batch_size)
     metrics = evaluate_ranking(model, mkg.split, part="test",
                                max_queries=scale.test_max_queries,
-                               rng=np.random.default_rng(3000 + seed))
+                               rng=np.random.default_rng(3000 + seed),
+                               batch_size=eval_batch_size,
+                               evaluator=trainer.evaluator)
     result = RunResult(model_name=model_name, dataset=dataset, model=model,
                        report=report, test_metrics=metrics)
     _RUN_CACHE[key] = result

@@ -24,10 +24,10 @@ from .layers import (
     Sigmoid,
     Tanh,
 )
-from .module import Module, ModuleList
+from .module import Module, ModuleList, inference_mode
 from .optim import SGD, Adam, ExponentialLR, StepLR, clip_grad_norm
 from .serialize import load_module, save_module
-from .tensor import Parameter, Tensor, no_grad
+from .tensor import Parameter, Tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "functional",
@@ -37,8 +37,10 @@ __all__ = [
     "serialize",
     "Tensor",
     "Parameter",
+    "is_grad_enabled",
     "no_grad",
     "Module",
+    "inference_mode",
     "ModuleList",
     "Linear",
     "Embedding",

@@ -8,13 +8,36 @@ for checkpointing.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterator
 
 import numpy as np
 
-from .tensor import Parameter
+from .tensor import Parameter, no_grad
 
-__all__ = ["Module", "ModuleList"]
+__all__ = ["Module", "ModuleList", "inference_mode"]
+
+
+@contextmanager
+def inference_mode(model):
+    """Run ``model`` with autograd off and eval-mode layers.
+
+    Every ``predict_tails``-style inference path must score under
+    ``no_grad()`` with dropout and batch-norm switched to eval mode;
+    this context manager is the single place that pattern lives so
+    implementations cannot drift.  The previous training/eval mode is
+    restored on exit, even on error.  Objects that are not
+    :class:`Module` (no mode switching) still get the ``no_grad`` part.
+    """
+    training = getattr(model, "training", False)
+    if hasattr(model, "eval"):
+        model.eval()
+    try:
+        with no_grad():
+            yield
+    finally:
+        if hasattr(model, "train"):
+            model.train(training)
 
 
 class Module:

@@ -1,0 +1,89 @@
+"""Conv2d im2col column-buffer cache (inference fast path)."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def _conv(rng):
+    return nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+
+
+def test_cache_populated_only_under_no_grad():
+    rng = np.random.default_rng(0)
+    conv = _conv(rng)
+    x = nn.Tensor(rng.normal(size=(3, 2, 5, 5)))
+    conv(x)  # grad enabled: buffer must stay private to the call
+    assert conv._col_cache == {}
+    with nn.no_grad():
+        conv(x)
+    assert (3, 2, 5, 5) in conv._col_cache
+
+
+def test_cached_buffer_reused_and_values_match():
+    rng = np.random.default_rng(1)
+    conv = _conv(rng)
+    x = rng.normal(size=(4, 2, 5, 5))
+    reference = conv(nn.Tensor(x)).data
+    with nn.no_grad():
+        first = conv(nn.Tensor(x)).data
+        buffer_id = id(conv._col_cache[(4, 2, 5, 5)])
+        second = conv(nn.Tensor(x)).data
+        assert id(conv._col_cache[(4, 2, 5, 5)]) == buffer_id  # reused, not realloc'd
+    np.testing.assert_allclose(first, reference)
+    np.testing.assert_allclose(second, reference)
+
+
+def test_distinct_shapes_get_distinct_buffers():
+    rng = np.random.default_rng(2)
+    conv = _conv(rng)
+    with nn.no_grad():
+        conv(nn.Tensor(rng.normal(size=(2, 2, 5, 5))))
+        conv(nn.Tensor(rng.normal(size=(7, 2, 5, 5))))
+    assert len(conv._col_cache) == 2
+
+
+def test_cache_bounded():
+    rng = np.random.default_rng(3)
+    conv = _conv(rng)
+    with nn.no_grad():
+        for n in range(1, conv._COL_CACHE_LIMIT + 4):
+            conv(nn.Tensor(rng.normal(size=(n, 2, 5, 5))))
+    assert len(conv._col_cache) <= conv._COL_CACHE_LIMIT + 1
+
+
+def test_training_gradients_unaffected_by_warm_cache():
+    """A warm inference cache must not corrupt the training graph."""
+    rng = np.random.default_rng(4)
+    conv = _conv(rng)
+    x = rng.normal(size=(2, 2, 5, 5))
+    with nn.no_grad():
+        conv(nn.Tensor(x))  # warm the cache
+    out = conv(nn.Tensor(x))
+    loss = F.mean(F.mul(out, out))
+    loss.backward()
+    grad = conv.weight.grad.copy()
+
+    fresh = _conv(np.random.default_rng(4))
+    out2 = fresh(nn.Tensor(x))
+    loss2 = F.mean(F.mul(out2, out2))
+    loss2.backward()
+    np.testing.assert_allclose(grad, fresh.weight.grad)
+
+
+def test_im2col_out_buffer_matches_fresh():
+    from repro.nn.functional import _im2col
+
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(2, 3, 6, 6))
+    fresh, oh, ow = _im2col(x, 3, 3, 1, 1)
+    buf = np.empty_like(fresh)
+    reused, oh2, ow2 = _im2col(x, 3, 3, 1, 1, out=buf)
+    assert reused is buf and (oh, ow) == (oh2, ow2)
+    np.testing.assert_array_equal(reused, fresh)
+    # Mismatched buffer is ignored, not corrupted.
+    bad = np.empty((1, 1, 1))
+    replaced, _, _ = _im2col(x, 3, 3, 1, 1, out=bad)
+    assert replaced is not bad
+    np.testing.assert_array_equal(replaced, fresh)
