@@ -16,7 +16,7 @@ from .ikrl import IKRL
 from .mkgformer import MKGformer
 from .mtakgr import MTAKGR
 from .pairre import PairRE
-from .registry import MODEL_REGISTRY, ModelSpec, build_model, model_names
+from .registry import MODEL_REGISTRY, ModelSpec, build_model, get_spec, model_names
 from .rotate import RotatE
 from .transae import TransAE
 from .transe import TransE
@@ -40,5 +40,6 @@ __all__ = [
     "MODEL_REGISTRY",
     "ModelSpec",
     "build_model",
+    "get_spec",
     "model_names",
 ]

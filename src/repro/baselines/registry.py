@@ -29,7 +29,7 @@ from .rotate import RotatE
 from .transae import TransAE
 from .transe import TransE
 
-__all__ = ["ModelSpec", "MODEL_REGISTRY", "model_names", "build_model"]
+__all__ = ["ModelSpec", "MODEL_REGISTRY", "model_names", "get_spec", "build_model"]
 
 
 @dataclass
@@ -121,6 +121,22 @@ def model_names(groups: tuple[str, ...] = ("unimodal", "multimodal", "ours")) ->
     return [name for name, spec in MODEL_REGISTRY.items() if spec.group in groups]
 
 
+def get_spec(name: str) -> ModelSpec:
+    """Look up a :class:`ModelSpec` by name.
+
+    Raises a ``ValueError`` that lists every valid name on a miss, so
+    callers taking model names from the command line (``serve export``)
+    or config files surface a actionable message instead of a bare
+    ``KeyError``.
+    """
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; valid names: {', '.join(sorted(MODEL_REGISTRY))}"
+        ) from None
+
+
 def build_model(name: str, mkg: MultimodalKG, features: ModalityFeatures,
                 rng: np.random.Generator, dim: int = 64,
                 lr: float | None = None, batch_size: int = 128,
@@ -130,10 +146,7 @@ def build_model(name: str, mkg: MultimodalKG, features: ModalityFeatures,
     ``negatives_1ton`` switches 1-to-N models to 1-to-K candidate
     sampling (the paper's OMAHA-MM setting).
     """
-    try:
-        spec = MODEL_REGISTRY[name]
-    except KeyError:
-        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_REGISTRY)}") from None
+    spec = get_spec(name)
     model = spec.builder(mkg, features, dim, rng)
     if spec.regime == "neg":
         trainer = NegativeSamplingTrainer(

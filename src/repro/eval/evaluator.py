@@ -87,6 +87,26 @@ class CSRFilter:
             + np.repeat(starts, counts)
         return row_ids, self.indices[flat]
 
+    def mask_known(self, scores: np.ndarray, heads: np.ndarray,
+                   rels: np.ndarray, keep: np.ndarray | None = None,
+                   value: float = -np.inf) -> np.ndarray:
+        """Scatter ``value`` into every known-true cell of a score batch.
+
+        ``scores`` is ``(B, E)`` and is modified in place (and returned).
+        ``keep`` optionally names one entity per row whose cell is left
+        untouched — the filtered-ranking convention of masking every true
+        answer *except* the query's own target.  The serving layer uses
+        this (with ``keep=None``) to drop already-known triples from
+        top-k predictions.
+        """
+        row_ids, entity_ids = self.gather(np.asarray(heads), np.asarray(rels))
+        if keep is not None:
+            keep = np.asarray(keep, dtype=np.int64)
+            mask = entity_ids != keep[row_ids]
+            row_ids, entity_ids = row_ids[mask], entity_ids[mask]
+        scores[row_ids, entity_ids] = value
+        return scores
+
     def row(self, head: int, rel: int) -> np.ndarray:
         """True tails of a single query (convenience / debugging)."""
         starts, ends = self.lookup(np.array([head]), np.array([rel]))

@@ -72,8 +72,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--datasets", nargs="+",
                         default=["drkg-mm", "omaha-mm"],
                         help="datasets for table3 (default: both)")
+    parser.add_argument("--export-bundle", metavar="DIR", default=None,
+                        help="also write a repro.serve checkpoint bundle for "
+                             "every model the experiment trains")
     args = parser.parse_args(argv)
 
+    if args.export_bundle:
+        from .runner import set_export_dir
+
+        set_export_dir(args.export_bundle)
     scale = get_scale(args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -8,6 +8,9 @@ deterministic given the seed.
 
 from __future__ import annotations
 
+import logging
+import os
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -18,10 +21,28 @@ from ..datasets import ModalityFeatures, MultimodalKG, build_features, get_datas
 from ..eval import RankingMetrics, evaluate_ranking
 from .scale import Scale
 
-__all__ = ["RunResult", "get_prepared", "train_model", "clear_run_cache"]
+__all__ = ["RunResult", "get_prepared", "train_model", "clear_run_cache",
+           "set_export_dir"]
+
+logger = logging.getLogger("repro.experiments.runner")
 
 _FEATURE_CACHE: dict[tuple, tuple[MultimodalKG, ModalityFeatures]] = {}
 _RUN_CACHE: dict[tuple, "RunResult"] = {}
+
+#: When set (``set_export_dir`` / ``--export-bundle``), every trained run
+#: also writes a servable checkpoint bundle under this directory.
+_EXPORT_DIR: str | None = None
+
+
+def set_export_dir(path: str | None) -> None:
+    """Make every subsequent :func:`train_model` emit a serve bundle.
+
+    ``None`` disables exporting.  Bundles land in
+    ``<path>/<dataset>_<model>_<scale>_seed<seed>`` and can be loaded
+    with ``repro.serve`` (``query`` / ``serve`` subcommands).
+    """
+    global _EXPORT_DIR
+    _EXPORT_DIR = path
 
 
 @dataclass
@@ -59,20 +80,35 @@ def _epochs_for(model_name: str, scale: Scale) -> int:
     return scale.epochs_1ton if spec.regime == "1toN" else scale.epochs_neg
 
 
+def _bundle_path(model_name: str, dataset: str, scale: Scale, seed: int) -> str:
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-",
+                  f"{dataset}_{model_name}_{scale.name}_seed{seed}")
+    return os.path.join(_EXPORT_DIR, slug)
+
+
 def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
                 epochs: int | None = None, negatives_1ton: int | None = None,
-                eval_batch_size: int = 128) -> RunResult:
+                eval_batch_size: int = 128,
+                export_bundle: str | None = None) -> RunResult:
     """Train ``model_name`` on ``dataset`` and evaluate on test (cached).
 
     ``eval_batch_size`` is threaded through to the trainer's epoch evals
     and the final test pass (the Fig. 9 scalability knob).  The final
     test eval reuses the trainer's ranking evaluator, so the filter is
     built exactly once for the whole run.
+
+    ``export_bundle`` writes a ``repro.serve`` checkpoint bundle of the
+    trained model to the given path; independently, a process-wide
+    export directory set via :func:`set_export_dir` makes *every* run
+    (cached or fresh) emit one, so any experiment doubles as a bundle
+    factory.
     """
     key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton,
            eval_batch_size)
     if key in _RUN_CACHE:
-        return _RUN_CACHE[key]
+        result = _RUN_CACHE[key]
+        _maybe_export(result, scale, seed, export_bundle)
+        return result
     mkg, feats = get_prepared(dataset, scale, seed)
     rng = np.random.default_rng(2000 + seed)
     model, trainer = build_model(model_name, mkg, feats, rng,
@@ -90,7 +126,30 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
     result = RunResult(model_name=model_name, dataset=dataset, model=model,
                        report=report, test_metrics=metrics)
     _RUN_CACHE[key] = result
+    _maybe_export(result, scale, seed, export_bundle)
     return result
+
+
+def _maybe_export(result: RunResult, scale: Scale, seed: int,
+                  export_bundle: str | None) -> None:
+    """Write serve bundles for a finished run (explicit path and/or dir)."""
+    paths = []
+    if export_bundle:
+        paths.append(export_bundle)
+    if _EXPORT_DIR:
+        paths.append(_bundle_path(result.model_name, result.dataset, scale, seed))
+    if not paths:
+        return
+    from ..serve import save_bundle  # local import: serve sits above the runner
+
+    mkg, feats = get_prepared(result.dataset, scale, seed)
+    for path in paths:
+        save_bundle(path, result.model, result.model_name, mkg.split, feats,
+                    dim=scale.model_dim,
+                    extra={"scale": scale.name, "seed": seed,
+                           "test_metrics": result.test_metrics.as_row()})
+        logger.info("exported bundle %s (%s on %s)", path,
+                    result.model_name, result.dataset)
 
 
 def clear_run_cache() -> None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from typing import Iterable, Iterator
 
 __all__ = ["Vocabulary"]
@@ -37,6 +38,33 @@ class Vocabulary:
     def name(self, idx: int) -> str:
         """Return the name for ``idx``; raises ``IndexError`` if absent."""
         return self._id_to_name[idx]
+
+    def get(self, name: str, default: int | None = None) -> int | None:
+        """Return the id of ``name``, or ``default`` if absent."""
+        return self._name_to_id.get(name, default)
+
+    def resolve(self, token: str | int) -> int:
+        """Resolve a name or a numeric id to an id, with helpful errors.
+
+        Accepts an ``int`` (or a digit string) as a raw id, anything else
+        as a name.  Unknown names raise ``KeyError`` with close-match
+        suggestions; out-of-range ids raise ``IndexError``.  This is the
+        front door the serving layer uses to validate user-supplied
+        entity/relation references.
+        """
+        if isinstance(token, (int,)) or (isinstance(token, str) and token.isdigit()):
+            idx = int(token)
+            if not 0 <= idx < len(self._id_to_name):
+                raise IndexError(
+                    f"id {idx} out of range for vocabulary of size {len(self._id_to_name)}"
+                )
+            return idx
+        existing = self._name_to_id.get(token)
+        if existing is not None:
+            return existing
+        close = difflib.get_close_matches(str(token), self._id_to_name, n=3)
+        hint = f"; did you mean one of {close}?" if close else ""
+        raise KeyError(f"unknown name {token!r}{hint}")
 
     def __contains__(self, name: str) -> bool:
         return name in self._name_to_id

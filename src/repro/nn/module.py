@@ -128,28 +128,47 @@ class Module:
             state[f"buffer::{name}"] = np.array(buf, copy=True)
         return state
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load arrays produced by :meth:`state_dict` (strict matching)."""
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> tuple[list[str], list[str]]:
+        """Load arrays produced by :meth:`state_dict`.
+
+        With ``strict=True`` (default) a single ``KeyError`` is raised
+        that lists *all* missing and unexpected entries at once, so a
+        mismatched checkpoint is diagnosable in one shot.  With
+        ``strict=False`` the intersection of keys is loaded and the
+        ``(missing, unexpected)`` name lists are returned instead of
+        raising.  Shape mismatches are always an error.
+        """
         params = dict(self.named_parameters())
         buffers = dict(self.buffers())
+        expected = set(params) | {f"buffer::{name}" for name in buffers}
+        unexpected = sorted(set(state) - expected)
+        missing = sorted(expected - set(state))
+        if strict and (missing or unexpected):
+            raise KeyError(
+                "state dict does not match module: "
+                f"missing keys {missing}; unexpected keys {unexpected}"
+            )
         for name, array in state.items():
+            if name in unexpected:
+                continue
             if name.startswith("buffer::"):
                 key = name[len("buffer::"):]
-                if key not in buffers:
-                    raise KeyError(f"unexpected buffer {key!r} in state dict")
-                buffers[key][...] = array
+                target = buffers[key]
+                if np.shape(target) != np.shape(array):
+                    raise ValueError(
+                        f"shape mismatch for buffer {key!r}: model "
+                        f"{np.shape(target)}, state {np.shape(array)}"
+                    )
+                target[...] = array
                 continue
-            if name not in params:
-                raise KeyError(f"unexpected parameter {name!r} in state dict")
             if params[name].data.shape != array.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: model {params[name].data.shape}, "
                     f"state {array.shape}"
                 )
             params[name].data[...] = array
-        missing = set(params) - {n for n in state if not n.startswith("buffer::")}
-        if missing:
-            raise KeyError(f"missing parameters in state dict: {sorted(missing)}")
+        return missing, unexpected
 
     # ------------------------------------------------------------------
     # Callable protocol

@@ -24,9 +24,19 @@ def save_module(module: Module, path: str) -> None:
     os.replace(tmp, path)
 
 
-def load_module(module: Module, path: str) -> Module:
-    """Load a checkpoint produced by :func:`save_module` into ``module``."""
+def load_module(module: Module, path: str, strict: bool = True) -> Module:
+    """Load a checkpoint produced by :func:`save_module` into ``module``.
+
+    A checkpoint whose keys do not match the module raises a ``KeyError``
+    naming the file and listing every missing and unexpected entry.  With
+    ``strict=False`` the intersection of keys is loaded and mismatches are
+    tolerated (useful for loading a bundle into a near-compatible
+    architecture); shape mismatches always raise.
+    """
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
-    module.load_state_dict(state)
+    try:
+        module.load_state_dict(state, strict=strict)
+    except KeyError as exc:
+        raise KeyError(f"checkpoint {path!r} does not match module: {exc.args[0]}") from None
     return module

@@ -1,0 +1,42 @@
+"""Serving subsystem: checkpoint bundles + a batched prediction service.
+
+Turns any trained registry model into a queryable artifact:
+
+* :mod:`repro.serve.bundle` — self-describing checkpoint bundles
+  (model + config + vocab + split + modality features + state dict);
+* :mod:`repro.serve.engine` — top-k / triple-scoring engine with an LRU
+  score-row cache and known-triple filtering;
+* :mod:`repro.serve.batcher` — micro-batching of concurrent queries;
+* :mod:`repro.serve.http` — stdlib JSON HTTP API
+  (``/predict``, ``/score``, ``/healthz``, ``/stats``);
+* :mod:`repro.serve.cli` — ``python -m repro.serve export|query|serve``.
+
+Instrumentation uses the standard :mod:`logging` hierarchy under the
+``repro.serve`` logger (children: ``.engine``, ``.batcher``, ``.http``,
+``.cli``): batch sizes and cache hit rates at ``DEBUG``, request
+latencies and lifecycle events at ``INFO``.
+"""
+
+from .batcher import MicroBatcher
+from .bundle import (
+    BUNDLE_VERSION,
+    BundleError,
+    CheckpointBundle,
+    load_bundle,
+    save_bundle,
+)
+from .engine import PredictionEngine, topk_indices
+from .http import ServiceApp, make_server
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "BundleError",
+    "CheckpointBundle",
+    "MicroBatcher",
+    "PredictionEngine",
+    "ServiceApp",
+    "load_bundle",
+    "make_server",
+    "save_bundle",
+    "topk_indices",
+]

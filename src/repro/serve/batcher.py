@@ -1,0 +1,182 @@
+"""Micro-batching: coalesce concurrent single queries into batched calls.
+
+Single top-k requests arriving from many HTTP handler threads are
+individually cheap to enqueue but expensive to score one at a time — a
+``predict_tails`` call amortises its fixed cost (embedding gathers,
+chunk setup) over the whole batch.  :class:`MicroBatcher` runs one
+worker thread that drains the request queue into batches bounded by
+``max_batch`` requests and ``max_delay`` seconds of extra latency, runs
+a single :meth:`PredictionEngine.scores` call per batch, and resolves
+each request's future with its own top-k slice.
+
+Shutdown is graceful: :meth:`close` flushes every request already
+enqueued before the worker exits, so no future is left forever pending.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .engine import PredictionEngine, topk_indices
+
+__all__ = ["MicroBatcher"]
+
+logger = logging.getLogger("repro.serve.batcher")
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    head: int
+    rel: int
+    k: int
+    filter_known: bool
+    future: Future = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Queue + worker thread turning single queries into batched ones."""
+
+    def __init__(self, engine: PredictionEngine, max_batch: int = 64,
+                 max_delay: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self.requests_submitted = 0
+        self.batches_processed = 0
+        self.requests_processed = 0
+        self.max_batch_seen = 0
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-batcher")
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, head: int, rel: int, k: int = 10,
+               filter_known: bool = False) -> Future:
+        """Enqueue one query; the future resolves to ``(ids, scores)``."""
+        request = _Request(int(head), int(rel), int(k), bool(filter_known))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self.requests_submitted += 1
+            self._queue.put(request)
+        return request.future
+
+    def predict(self, head: int, rel: int, k: int = 10,
+                filter_known: bool = False,
+                timeout: float | None = 30.0) -> tuple[np.ndarray, np.ndarray]:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(head, rel, k, filter_known).result(timeout=timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the worker after flushing every enqueued request."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+        logger.info("batcher closed: %d requests in %d batches (max batch %d)",
+                    self.requests_processed, self.batches_processed,
+                    self.max_batch_seen)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        shutting_down = False
+        while not shutting_down:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                # Flush whatever raced in before close() flipped the flag.
+                shutting_down = True
+                batch = self._drain()
+            else:
+                batch = [item]
+                deadline = time.monotonic() + self.max_delay
+                while len(batch) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    try:
+                        nxt = self._queue.get(timeout=max(0.0, remaining))
+                    except queue.Empty:
+                        break
+                    if nxt is _SHUTDOWN:
+                        shutting_down = True
+                        batch.extend(self._drain())
+                        break
+                    batch.append(nxt)
+            if batch:
+                self._process(batch)
+
+    def _drain(self) -> list[_Request]:
+        drained: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is not _SHUTDOWN:
+                drained.append(item)
+
+    def _process(self, batch: list[_Request]) -> None:
+        heads = np.array([r.head for r in batch], dtype=np.int64)
+        rels = np.array([r.rel for r in batch], dtype=np.int64)
+        try:
+            scores = self.engine.scores(heads, rels)
+            flagged = [i for i, r in enumerate(batch) if r.filter_known]
+            if flagged:
+                # fancy indexing copies, so mask the copy and write it back
+                masked = self.engine.filter.mask_known(
+                    scores[flagged], heads[flagged], rels[flagged])
+                scores[flagged] = masked
+        except Exception as exc:  # engine failure fails every waiter, not the worker
+            for request in batch:
+                request.future.set_exception(exc)
+            logger.exception("batch of %d requests failed", len(batch))
+            return
+        for i, request in enumerate(batch):
+            ids = topk_indices(scores[i], request.k)
+            request.future.set_result((ids, scores[i][ids]))
+        self.batches_processed += 1
+        self.requests_processed += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        logger.debug("processed batch of %d (lifetime mean %.2f)",
+                     len(batch),
+                     self.requests_processed / self.batches_processed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        batches = self.batches_processed
+        return {
+            "max_batch": self.max_batch,
+            "max_delay_ms": round(1e3 * self.max_delay, 3),
+            "requests_submitted": self.requests_submitted,
+            "requests_processed": self.requests_processed,
+            "batches_processed": batches,
+            "mean_batch_size": round(self.requests_processed / batches, 3) if batches else 0.0,
+            "max_batch_seen": self.max_batch_seen,
+            "pending": self._queue.qsize(),
+        }

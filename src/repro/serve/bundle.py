@@ -1,0 +1,273 @@
+"""Self-describing checkpoint bundles for registry models.
+
+``nn.serialize`` round-trips a bare state dict; a *bundle* additionally
+carries everything required to stand the model back up in a fresh
+process and answer queries against it:
+
+* a JSON **manifest** — format version, model name, the registry-level
+  embedding ``dim``, the full model config (for CamE), per-key state
+  metadata, and free-form ``extra`` metadata (scale preset, metrics);
+* the entity/relation **vocabularies** and entity types;
+* the train/valid/test **split triples** (needed both to rebuild graph-
+  dependent models such as CompGCN and to serve known-triple filtering);
+* the fixed **modality feature** matrices the multimodal models embed;
+* the **state dict** itself.
+
+Two on-disk layouts are supported and auto-detected on load:
+
+* a directory holding ``manifest.json`` / ``vocab.json`` / ``state.npz``
+  / ``data.npz`` (easy to inspect and diff);
+* a single ``.npz`` file with the JSON documents embedded as string
+  arrays (easy to ship).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core import CamE, CamEConfig
+from ..datasets import ModalityFeatures, MultimodalKG
+from ..kg import KGSplit, KnowledgeGraph, Vocabulary
+
+__all__ = ["BUNDLE_VERSION", "BundleError", "CheckpointBundle",
+           "save_bundle", "load_bundle"]
+
+BUNDLE_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_VOCAB = "vocab.json"
+_STATE = "state.npz"
+_DATA = "data.npz"
+
+
+class BundleError(RuntimeError):
+    """A bundle is malformed, incomplete, or from an unknown format version."""
+
+
+def _is_single_file(path: str) -> bool:
+    return path.endswith(".npz")
+
+
+def _state_meta(state: dict[str, np.ndarray]) -> dict[str, dict[str, Any]]:
+    return {name: {"shape": list(np.shape(arr)), "dtype": str(np.asarray(arr).dtype)}
+            for name, arr in state.items()}
+
+
+@dataclass
+class CheckpointBundle:
+    """A loaded bundle: manifest + vocab + split + features + state."""
+
+    manifest: dict[str, Any]
+    split: KGSplit
+    features: ModalityFeatures
+    state: dict[str, np.ndarray]
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def model_name(self) -> str:
+        return self.manifest["model"]
+
+    @property
+    def dim(self) -> int:
+        return int(self.manifest["dim"])
+
+    @property
+    def entities(self) -> Vocabulary:
+        return self.split.graph.entities
+
+    @property
+    def relations(self) -> Vocabulary:
+        return self.split.graph.relations
+
+    # ------------------------------------------------------------------
+    # Model reconstruction
+    # ------------------------------------------------------------------
+    def build_model(self, strict: bool = True,
+                    rng: np.random.Generator | None = None):
+        """Rebuild the saved model and load its weights.
+
+        The architecture is reconstructed through the model registry (or
+        the saved :class:`CamEConfig` for CamE) from the bundled split
+        and features, then ``load_state_dict(strict=...)`` restores the
+        exact trained weights, so ``predict_tails`` reproduces the
+        original model bit for bit.
+        """
+        from ..baselines import get_spec  # local import: avoid cycle at import time
+
+        gen = rng if rng is not None else np.random.default_rng(0)
+        mkg = MultimodalKG(split=self.split)
+        config = self.manifest.get("config")
+        if self.model_name == "CamE" and config:
+            model = CamE(mkg.num_entities, mkg.num_relations, self.features,
+                         CamEConfig(**config), rng=gen)
+        else:
+            spec = get_spec(self.model_name)
+            model = spec.builder(mkg, self.features, self.dim, gen)
+        try:
+            model.load_state_dict(self.state, strict=strict)
+        except KeyError as exc:
+            raise BundleError(
+                f"bundle state does not match a fresh {self.model_name!r}: "
+                f"{exc.args[0]}"
+            ) from None
+        return model
+
+
+def save_bundle(path: str, model, model_name: str, split: KGSplit,
+                features: ModalityFeatures, dim: int,
+                extra: dict[str, Any] | None = None) -> str:
+    """Write ``model`` (+ everything needed to rebuild it) to ``path``.
+
+    ``path`` ending in ``.npz`` selects the single-file layout, anything
+    else the directory layout.  Returns ``path``.
+    """
+    state = model.state_dict()
+    config = None
+    if dataclasses.is_dataclass(getattr(model, "config", None)):
+        config = dataclasses.asdict(model.config)
+    graph = split.graph
+    manifest = {
+        "format_version": BUNDLE_VERSION,
+        "model": model_name,
+        "dim": int(dim),
+        "config": config,
+        "dataset": {
+            "name": graph.name,
+            "num_entities": graph.num_entities,
+            "num_relations": graph.num_relations,
+            "num_train": int(len(split.train)),
+            "num_valid": int(len(split.valid)),
+            "num_test": int(len(split.test)),
+        },
+        "feature_dims": list(features.dims),
+        "state_keys": _state_meta(state),
+        "extra": extra or {},
+    }
+    vocab = {
+        "entities": graph.entities.names(),
+        "relations": graph.relations.names(),
+        "entity_types": list(graph.entity_types),
+    }
+    data = {
+        "split::train": np.asarray(split.train, dtype=np.int64).reshape(-1, 3),
+        "split::valid": np.asarray(split.valid, dtype=np.int64).reshape(-1, 3),
+        "split::test": np.asarray(split.test, dtype=np.int64).reshape(-1, 3),
+        "features::molecular": features.molecular,
+        "features::textual": features.textual,
+        "features::structural": features.structural,
+        "features::has_molecule": features.has_molecule,
+    }
+    if _is_single_file(path):
+        arrays = {f"state::{k}": v for k, v in state.items()}
+        arrays.update(data)
+        arrays["__manifest__"] = np.array(json.dumps(manifest))
+        arrays["__vocab__"] = np.array(json.dumps(vocab))
+        tmp = f"{path}.tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+    else:
+        os.makedirs(path, exist_ok=True)
+        for name, doc in ((_MANIFEST, manifest), (_VOCAB, vocab)):
+            tmp = os.path.join(path, f"{name}.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2)
+            os.replace(tmp, os.path.join(path, name))
+        for name, arrays in ((_STATE, state), (_DATA, data)):
+            tmp = os.path.join(path, f"{name}.tmp")
+            with open(tmp, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, os.path.join(path, name))
+    return path
+
+
+def _read_parts(path: str) -> tuple[dict, dict, dict[str, np.ndarray], dict[str, np.ndarray]]:
+    if _is_single_file(path):
+        if not os.path.exists(path):
+            raise BundleError(f"bundle file {path!r} does not exist")
+        with np.load(path) as archive:
+            files = set(archive.files)
+            for required in ("__manifest__", "__vocab__"):
+                if required not in files:
+                    raise BundleError(
+                        f"{path!r} is not a bundle: missing embedded {required}")
+            manifest = json.loads(str(archive["__manifest__"][()]))
+            vocab = json.loads(str(archive["__vocab__"][()]))
+            state = {name[len("state::"):]: archive[name]
+                     for name in files if name.startswith("state::")}
+            data = {name: archive[name] for name in files
+                    if name.startswith(("split::", "features::"))}
+        return manifest, vocab, state, data
+    for required in (_MANIFEST, _VOCAB, _STATE, _DATA):
+        if not os.path.exists(os.path.join(path, required)):
+            raise BundleError(f"bundle dir {path!r} is missing {required}")
+    with open(os.path.join(path, _MANIFEST), encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    with open(os.path.join(path, _VOCAB), encoding="utf-8") as handle:
+        vocab = json.load(handle)
+    with np.load(os.path.join(path, _STATE)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    with np.load(os.path.join(path, _DATA)) as archive:
+        data = {name: archive[name] for name in archive.files}
+    return manifest, vocab, state, data
+
+
+def load_bundle(path: str, strict: bool = True) -> CheckpointBundle:
+    """Read a bundle from ``path`` (layout auto-detected) and validate it.
+
+    Validation checks the format version and cross-checks the state
+    arrays actually present against the manifest's ``state_keys``
+    record.  With ``strict=True`` any missing/extra state key raises a
+    :class:`BundleError` listing both sets; with ``strict=False`` the
+    mismatch is tolerated (``build_model(strict=False)`` then loads the
+    intersection).
+    """
+    manifest, vocab, state, data = _read_parts(path)
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version < 1 or version > BUNDLE_VERSION:
+        raise BundleError(
+            f"unsupported bundle format_version {version!r} "
+            f"(this build reads versions 1..{BUNDLE_VERSION})"
+        )
+    declared = set(manifest.get("state_keys", {}))
+    present = set(state)
+    missing, extra = sorted(declared - present), sorted(present - declared)
+    if strict and (missing or extra):
+        raise BundleError(
+            f"bundle {path!r} state arrays disagree with manifest: "
+            f"missing {missing}; extra {extra}"
+        )
+    for key in ("split::train", "split::valid", "split::test",
+                "features::molecular", "features::textual",
+                "features::structural", "features::has_molecule"):
+        if key not in data:
+            raise BundleError(f"bundle {path!r} is missing data array {key!r}")
+
+    entities = Vocabulary(vocab["entities"])
+    relations = Vocabulary(vocab["relations"])
+    train = data["split::train"]
+    valid = data["split::valid"]
+    test = data["split::test"]
+    graph = KnowledgeGraph(
+        entities=entities, relations=relations,
+        triples=np.concatenate([train, valid, test]),
+        entity_types=list(vocab.get("entity_types", [])),
+        name=manifest.get("dataset", {}).get("name", "bundle"),
+    )
+    split = KGSplit(graph=graph, train=train, valid=valid, test=test)
+    features = ModalityFeatures(
+        molecular=data["features::molecular"],
+        textual=data["features::textual"],
+        structural=data["features::structural"],
+        has_molecule=data["features::has_molecule"].astype(bool),
+    )
+    return CheckpointBundle(manifest=manifest, split=split,
+                            features=features, state=state)

@@ -1,0 +1,177 @@
+"""Command-line front end: ``python -m repro.serve <subcommand>``.
+
+Subcommands::
+
+    export  Train a registry model at a scale preset and write a bundle.
+    query   Load a bundle and answer one top-k query from the shell.
+    serve   Load a bundle and run the JSON HTTP service.
+
+Example session (tiny DRKG-MM split)::
+
+    python -m repro.serve export --model TransE --dataset drkg-mm \
+        --scale smoke --out /tmp/transe.bundle
+    python -m repro.serve query --bundle /tmp/transe.bundle \
+        --head Compound-0 --relation CtD --k 5 --filter-known
+    python -m repro.serve serve --bundle /tmp/transe.bundle --port 8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+
+from .batcher import MicroBatcher
+from .bundle import load_bundle, save_bundle
+from .engine import PredictionEngine
+from .http import make_server
+
+__all__ = ["main"]
+
+logger = logging.getLogger("repro.serve.cli")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from ..baselines import get_spec
+    from ..experiments import get_scale
+    from ..experiments.runner import get_prepared, train_model
+
+    get_spec(args.model)  # fail fast with the full name list
+    scale = get_scale(args.scale)
+    result = train_model(args.model, args.dataset, scale, seed=args.seed,
+                         epochs=args.epochs)
+    mkg, feats = get_prepared(args.dataset, scale, args.seed)
+    save_bundle(args.out, result.model, args.model, mkg.split, feats,
+                dim=scale.model_dim,
+                extra={"scale": scale.name, "seed": args.seed,
+                       "test_metrics": result.test_metrics.as_row()})
+    print(json.dumps({
+        "bundle": args.out,
+        "model": args.model,
+        "dataset": args.dataset,
+        "scale": scale.name,
+        "test_mrr": round(result.test_metrics.mrr, 4),
+    }, indent=2))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = PredictionEngine.from_bundle(args.bundle)
+    rel = engine.relations.resolve(args.relation)
+    if (args.head is None) == (args.tail is None):
+        raise SystemExit("provide exactly one of --head / --tail")
+    if args.head is not None:
+        anchor = engine.entities.resolve(args.head)
+        ids, scores = engine.top_k_tails(anchor, rel, args.k,
+                                         filter_known=args.filter_known)
+        direction = "tail"
+    else:
+        anchor = engine.entities.resolve(args.tail)
+        ids, scores = engine.top_k_heads(anchor, rel, args.k,
+                                         filter_known=args.filter_known)
+        direction = "head"
+    payload = {
+        "direction": direction,
+        "anchor": engine.entities.name(anchor),
+        "relation": engine.relations.name(rel),
+        "filter_known": args.filter_known,
+        "results": [
+            {"id": int(i), "entity": engine.entities.name(int(i)),
+             "score": float(s)}
+            for i, s in zip(ids, scores)
+        ],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{direction}-prediction for ({payload['anchor']}, "
+              f"{payload['relation']}) [filter_known={args.filter_known}]")
+        for rank, item in enumerate(payload["results"], start=1):
+            print(f"  {rank:3d}. {item['entity']:<32s} {item['score']:.6f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    engine = PredictionEngine.from_bundle(args.bundle,
+                                          cache_size=args.cache_size)
+    batcher = MicroBatcher(engine, max_batch=args.max_batch,
+                           max_delay=args.max_delay_ms / 1e3)
+    server = make_server(engine, batcher, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving {engine.model_name} on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        batcher.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve",
+                                     description=__doc__)
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"],
+                        help="level for the repro.serve loggers")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser("export", help="train a model and write a bundle")
+    export.add_argument("--model", required=True, help="registry model name")
+    export.add_argument("--dataset", default="drkg-mm")
+    export.add_argument("--scale", default="smoke",
+                        help="scale preset: smoke | small | paper")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--epochs", type=int, default=None,
+                        help="override the preset's epoch budget")
+    export.add_argument("--out", required=True,
+                        help="bundle path (dir, or *.npz for single-file)")
+    export.set_defaults(func=_cmd_export)
+
+    query = sub.add_parser("query", help="answer one top-k query from a bundle")
+    query.add_argument("--bundle", required=True)
+    query.add_argument("--head", help="head entity (name or id) for tail prediction")
+    query.add_argument("--tail", help="tail entity (name or id) for head prediction")
+    query.add_argument("--relation", required=True)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--filter-known", action="store_true",
+                       help="drop tails already present in train/valid/test")
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser("serve", help="run the JSON HTTP service")
+    serve.add_argument("--bundle", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-delay-ms", type=float, default=2.0)
+    serve.add_argument("--cache-size", type=int, default=512)
+    serve.set_defaults(func=_cmd_serve)
+
+    inspect = sub.add_parser("inspect", help="print a bundle's manifest")
+    inspect.add_argument("--bundle", required=True)
+    inspect.set_defaults(func=_cmd_inspect)
+    return parser
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    manifest = dict(bundle.manifest)
+    manifest["state_keys"] = {
+        name: meta for name, meta in sorted(manifest.get("state_keys", {}).items())
+    }
+    print(json.dumps(manifest, indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    logging.getLogger("repro.serve").setLevel(getattr(logging, args.log_level.upper()))
+    return args.func(args)

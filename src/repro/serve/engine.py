@@ -1,0 +1,234 @@
+"""Batched link-prediction engine over a loaded registry model.
+
+Wraps any model exposing ``predict_tails(heads, rels) -> (B, E)`` with
+the query API the serving front ends need:
+
+* ``top_k_tails(h, r, k)`` / ``top_k_heads(t, r, k)`` — head-side
+  queries rank through the inverse-relation convention
+  (``r + num_relations``), exactly as the evaluator does;
+* ``score_triples(triples)`` — scores gathered from the same
+  ``predict_tails`` rows, so single-triple scores are always consistent
+  with the rankings that surface them;
+* optional known-triple filtering through the evaluator's CSR filter
+  (``CSRFilter.mask_known``), built once per engine;
+* an LRU cache of per-``(h, r)`` score rows with hit/miss/eviction
+  counters — repeated queries for a hot ``(head, relation)`` pair never
+  touch the model twice.
+
+All model calls run inside ``inference_mode`` (autograd off, dropout and
+batch-norm in eval mode).  The engine is thread-safe: the HTTP front end
+scores from handler threads while the micro-batcher drives it from its
+worker thread.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from ..eval.evaluator import CSRFilter, build_csr_filter
+from ..kg import KGSplit, Vocabulary
+from ..nn import inference_mode
+
+__all__ = ["PredictionEngine", "topk_indices"]
+
+logger = logging.getLogger("repro.serve.engine")
+
+
+def topk_indices(row: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` best scores, ties broken by ascending id.
+
+    Deterministic: equal scores always rank lower ids first, so serving
+    results are reproducible across processes.  ``-inf`` cells (filtered
+    known triples) are excluded even if fewer than ``k`` finite scores
+    remain.
+    """
+    finite = int(np.sum(row > -np.inf))
+    k = min(k, len(row), finite)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    part = np.argpartition(-row, k - 1)[:k]
+    order = np.lexsort((part, -row[part]))
+    return part[order].astype(np.int64)
+
+
+class PredictionEngine:
+    """Query API + score-row LRU cache around one loaded model."""
+
+    def __init__(self, model, split: KGSplit, *, model_name: str = "model",
+                 cache_size: int = 512,
+                 filter_parts: tuple[str, ...] = ("train", "valid", "test")) -> None:
+        self.model = model
+        self.model_name = model_name
+        self.split = split
+        self.num_entities = split.num_entities
+        self.num_relations = split.num_relations
+        self.entities: Vocabulary = split.graph.entities
+        self.relations: Vocabulary = split.graph.relations
+        self.cache_size = int(cache_size)
+        self.filter_parts = filter_parts
+        self._filter: CSRFilter | None = None
+        self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.queries_served = 0
+        self.predict_calls = 0
+        self.predict_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bundle(cls, path: str, strict: bool = True,
+                    **kwargs) -> "PredictionEngine":
+        """Load a checkpoint bundle and wrap its model in an engine."""
+        from .bundle import load_bundle
+
+        bundle = load_bundle(path, strict=strict)
+        model = bundle.build_model(strict=strict)
+        logger.info("loaded bundle %s (model=%s, entities=%d, relations=%d)",
+                    path, bundle.model_name, bundle.split.num_entities,
+                    bundle.split.num_relations)
+        return cls(model, bundle.split, model_name=bundle.model_name, **kwargs)
+
+    @property
+    def filter(self) -> CSRFilter:
+        """Known-triple CSR filter, built lazily on first filtered query."""
+        if self._filter is None:
+            tick = time.perf_counter()
+            self._filter = build_csr_filter(self.split, self.filter_parts)
+            logger.info("built CSR filter: %d known cells in %.1f ms",
+                        self._filter.nnz, 1e3 * (time.perf_counter() - tick))
+        return self._filter
+
+    # ------------------------------------------------------------------
+    # Score rows (cached)
+    # ------------------------------------------------------------------
+    def scores(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        """``(B, E)`` candidate scores, served from the row cache.
+
+        Uncached ``(h, r)`` pairs are deduplicated and scored in a single
+        ``predict_tails`` call; every returned row is a copy, so callers
+        may scatter ``-inf`` into it freely.
+        """
+        heads = np.asarray(heads, dtype=np.int64).reshape(-1)
+        rels = np.asarray(rels, dtype=np.int64).reshape(-1)
+        keys = [(int(h), int(r)) for h, r in zip(heads, rels)]
+        with self._lock:
+            # Snapshot every needed row into a local map first: inserting
+            # freshly-computed rows can evict keys that were cache hits a
+            # moment ago, so assembly must never read through the cache.
+            rows: dict[tuple[int, int], np.ndarray] = {}
+            missing: list[tuple[int, int]] = []
+            for key in dict.fromkeys(keys):
+                cached = self._cache.get(key)
+                if cached is not None:
+                    rows[key] = cached
+                    self._cache.move_to_end(key)
+                else:
+                    missing.append(key)
+            if missing:
+                tick = time.perf_counter()
+                mh = np.array([k[0] for k in missing], dtype=np.int64)
+                mr = np.array([k[1] for k in missing], dtype=np.int64)
+                with inference_mode(self.model):
+                    fresh = np.asarray(self.model.predict_tails(mh, mr))
+                elapsed = time.perf_counter() - tick
+                self.predict_calls += 1
+                self.predict_seconds += elapsed
+                for i, key in enumerate(missing):
+                    # copy: a cached row must not pin the whole batch
+                    # array alive after its siblings are evicted
+                    rows[key] = fresh[i].copy()
+                    if self.cache_size > 0:
+                        self._cache[key] = rows[key]
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
+                            self.cache_evictions += 1
+                logger.debug("scored %d/%d uncached rows in %.1f ms",
+                             len(missing), len(keys), 1e3 * elapsed)
+            # A duplicate of a just-computed key counts as a hit: only the
+            # first occurrence paid for the model call.
+            unpaid = set(missing)
+            out = np.empty((len(keys), self.num_entities))
+            for i, key in enumerate(keys):
+                out[i] = rows[key]
+                if key in unpaid:
+                    unpaid.discard(key)
+                    self.cache_misses += 1
+                else:
+                    self.cache_hits += 1
+            self.queries_served += len(keys)
+        return out
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def top_k_tails(self, head: int, rel: int, k: int = 10,
+                    filter_known: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Best ``k`` tail candidates for ``(head, rel, ?)``.
+
+        Returns ``(entity_ids, scores)`` sorted by descending score (ties
+        by ascending id).  ``rel`` may be an inverse id (``>= num_relations``)
+        for head-side queries.  With ``filter_known=True`` every tail
+        already present in the bundled train/valid/test triples is
+        removed from the candidates before ranking.
+        """
+        row = self.scores([head], [rel])[0]
+        if filter_known:
+            self.filter.mask_known(row[None], np.array([head]), np.array([rel]))
+        ids = topk_indices(row, k)
+        return ids, row[ids]
+
+    def top_k_heads(self, tail: int, rel: int, k: int = 10,
+                    filter_known: bool = False) -> tuple[np.ndarray, np.ndarray]:
+        """Best ``k`` head candidates for ``(?, rel, tail)``.
+
+        Ranks through the inverse relation ``rel + num_relations`` — the
+        same convention the evaluator uses for head-side ranking.
+        """
+        if not 0 <= rel < self.num_relations:
+            raise ValueError(
+                f"top_k_heads expects an original relation id in "
+                f"[0, {self.num_relations}); got {rel}"
+            )
+        return self.top_k_tails(tail, rel + self.num_relations, k,
+                                filter_known=filter_known)
+
+    def score_triples(self, triples: np.ndarray) -> np.ndarray:
+        """Scores for explicit ``(h, r, t)`` rows (consistent with top-k)."""
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        if len(triples) == 0:
+            return np.empty(0)
+        scores = self.scores(triples[:, 0], triples[:, 1])
+        return scores[np.arange(len(triples)), triples[:, 2]]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters for ``/stats`` and the instrumentation logger."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "model": self.model_name,
+            "num_entities": self.num_entities,
+            "num_relations": self.num_relations,
+            "queries_served": self.queries_served,
+            "predict_calls": self.predict_calls,
+            "predict_seconds": round(self.predict_seconds, 6),
+            "cache": {
+                "capacity": self.cache_size,
+                "size": len(self._cache),
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
+            },
+            "filter_built": self._filter is not None,
+        }

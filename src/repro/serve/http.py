@@ -1,0 +1,242 @@
+"""Stdlib JSON HTTP front end for the prediction engine.
+
+No third-party dependencies: a ``ThreadingHTTPServer`` dispatches to one
+:class:`ServiceApp` shared by every handler thread.  Routes:
+
+* ``GET  /healthz`` — liveness + model identity;
+* ``GET  /stats``   — server / engine / batcher counters;
+* ``POST /predict`` — top-k tail or head prediction (micro-batched);
+* ``POST /score``   — explicit triple scoring.
+
+Every error is a JSON envelope ``{"error": {"code", "message"}}`` with
+a matching HTTP status, so clients never have to parse HTML tracebacks.
+Entities and relations may be referred to by name or by integer id;
+unknown names come back with close-match suggestions.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .engine import PredictionEngine
+
+__all__ = ["ServiceApp", "ServeHandler", "make_server"]
+
+logger = logging.getLogger("repro.serve.http")
+
+MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any sane query payload
+
+
+class _ApiError(Exception):
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceApp:
+    """Request validation + dispatch shared by all handler threads."""
+
+    def __init__(self, engine: PredictionEngine,
+                 batcher: MicroBatcher | None = None) -> None:
+        self.engine = engine
+        self.batcher = batcher
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.latency_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
+        tick = time.perf_counter()
+        # Count up front so /stats includes the request that asked for it.
+        with self._lock:
+            self.requests += 1
+        try:
+            if method == "GET" and path == "/healthz":
+                status, payload = 200, self._healthz()
+            elif method == "GET" and path == "/stats":
+                status, payload = 200, self._stats()
+            elif method == "POST" and path == "/predict":
+                status, payload = 200, self._predict(body)
+            elif method == "POST" and path == "/score":
+                status, payload = 200, self._score(body)
+            else:
+                raise _ApiError(404, "not_found",
+                                f"no route for {method} {path}")
+        except _ApiError as exc:
+            status = exc.status
+            payload = {"error": {"code": exc.code, "message": exc.message}}
+        except Exception as exc:  # noqa: BLE001 - surface as a 500 envelope
+            logger.exception("unhandled error for %s %s", method, path)
+            status = 500
+            payload = {"error": {"code": "internal", "message": str(exc)}}
+        elapsed = time.perf_counter() - tick
+        with self._lock:
+            self.latency_seconds += elapsed
+            if status >= 400:
+                self.errors += 1
+        logger.info("%s %s -> %d in %.1f ms", method, path, status, 1e3 * elapsed)
+        return status, payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "model": self.engine.model_name,
+            "num_entities": self.engine.num_entities,
+            "num_relations": self.engine.num_relations,
+        }
+
+    def _stats(self) -> dict:
+        with self._lock:
+            server = {
+                "requests": self.requests,
+                "errors": self.errors,
+                "mean_latency_ms": round(1e3 * self.latency_seconds / self.requests, 3)
+                if self.requests else 0.0,
+            }
+        return {
+            "server": server,
+            "engine": self.engine.stats(),
+            "batcher": self.batcher.stats() if self.batcher else None,
+        }
+
+    def _resolve(self, vocab, token, what: str) -> int:
+        if token is None:
+            raise _ApiError(400, "bad_request", f"missing required field {what!r}")
+        try:
+            return vocab.resolve(token)
+        except (KeyError, IndexError) as exc:
+            raise _ApiError(400, f"unknown_{what}", str(exc.args[0])) from None
+
+    def _predict(self, body: dict | None) -> dict:
+        if not isinstance(body, dict):
+            raise _ApiError(400, "bad_request", "JSON object body required")
+        has_head = "head" in body
+        has_tail = "tail" in body
+        if has_head == has_tail:
+            raise _ApiError(400, "bad_request",
+                            "provide exactly one of 'head' (tail prediction) "
+                            "or 'tail' (head prediction)")
+        rel = self._resolve(self.engine.relations, body.get("relation"), "relation")
+        anchor = self._resolve(self.engine.entities,
+                               body.get("head") if has_head else body.get("tail"),
+                               "entity")
+        k = body.get("k", 10)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise _ApiError(400, "bad_request", f"'k' must be a positive int, got {k!r}")
+        filter_known = body.get("filter_known", False)
+        if not isinstance(filter_known, bool):
+            raise _ApiError(400, "bad_request", "'filter_known' must be a bool")
+
+        query_rel = rel if has_head else rel + self.engine.num_relations
+        if self.batcher is not None:
+            ids, scores = self.batcher.predict(anchor, query_rel, k, filter_known)
+        else:
+            ids, scores = self.engine.top_k_tails(anchor, query_rel, k,
+                                                  filter_known=filter_known)
+        entities = self.engine.entities
+        return {
+            "query": {
+                "direction": "tail" if has_head else "head",
+                ("head" if has_head else "tail"): entities.name(anchor),
+                "relation": self.engine.relations.name(rel),
+                "k": k,
+                "filter_known": filter_known,
+            },
+            "results": [
+                {"id": int(i), "entity": entities.name(int(i)), "score": float(s)}
+                for i, s in zip(ids, scores)
+            ],
+        }
+
+    def _score(self, body: dict | None) -> dict:
+        if not isinstance(body, dict) or not isinstance(body.get("triples"), list):
+            raise _ApiError(400, "bad_request",
+                            "body must be {'triples': [[head, relation, tail], ...]}")
+        rows = body["triples"]
+        resolved = np.empty((len(rows), 3), dtype=np.int64)
+        for i, row in enumerate(rows):
+            if not isinstance(row, (list, tuple)) or len(row) != 3:
+                raise _ApiError(400, "bad_request",
+                                f"triple #{i} must be [head, relation, tail]")
+            resolved[i, 0] = self._resolve(self.engine.entities, row[0], "entity")
+            resolved[i, 1] = self._resolve(self.engine.relations, row[1], "relation")
+            resolved[i, 2] = self._resolve(self.engine.entities, row[2], "entity")
+        scores = self.engine.score_triples(resolved)
+        return {"scores": [float(s) for s in scores]}
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Thin HTTP plumbing; all logic lives in :class:`ServiceApp`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise _ApiError(413, "payload_too_large",
+                            f"body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _ApiError(400, "bad_json", f"invalid JSON body: {exc}") from None
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            body = self._read_body() if method == "POST" else None
+        except _ApiError as exc:
+            self._respond(exc.status,
+                          {"error": {"code": exc.code, "message": exc.message}})
+            return
+        status, payload = self.server.app.handle(method, self.path, body)
+        self._respond(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("POST")
+
+
+def make_server(engine: PredictionEngine, batcher: MicroBatcher | None = None,
+                host: str = "127.0.0.1", port: int = 0) -> ThreadingHTTPServer:
+    """Build a ready-to-run threaded server (``port=0`` picks a free port).
+
+    The caller owns the lifecycle: ``serve_forever()`` (often on a
+    thread), then ``shutdown()`` + ``server_close()``, and finally
+    ``batcher.close()`` if one was attached.
+    """
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.app = ServiceApp(engine, batcher)
+    logger.info("serving %s on http://%s:%d", engine.model_name,
+                server.server_address[0], server.server_address[1])
+    return server

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.baselines import MODEL_REGISTRY, NegativeSamplingTrainer, TransE, build_model, model_names
+from repro.baselines import (
+    MODEL_REGISTRY,
+    NegativeSamplingTrainer,
+    TransE,
+    build_model,
+    get_spec,
+    model_names,
+)
 from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
 
 
@@ -27,8 +34,19 @@ class TestRegistry:
 
     def test_unknown_model_raises(self, prepared):
         mkg, feats = prepared
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="valid names"):
             build_model("GPT", mkg, feats, np.random.default_rng(0))
+
+    def test_get_spec_by_name(self):
+        spec = get_spec("CamE")
+        assert spec.name == "CamE" and spec.group == "ours"
+
+    def test_get_spec_miss_lists_every_valid_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_spec("BERT")
+        message = str(excinfo.value)
+        for name in MODEL_REGISTRY:
+            assert name in message
 
     @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
     def test_build_and_one_epoch(self, prepared, name):

@@ -243,3 +243,34 @@ class TestEvalBatchSizeKnob:
                              evaluator=ev)
         assert a.mrr == pytest.approx(b.mrr)
         assert a.mr == pytest.approx(b.mr)
+
+
+class TestMaskKnown:
+    def test_masks_every_known_cell(self):
+        split = random_split(seed=21)
+        filt = build_csr_filter(split)
+        heads = split.test[:6, 0]
+        rels = split.test[:6, 1]
+        rng = np.random.default_rng(3)
+        scores = rng.normal(size=(6, split.num_entities))
+        original = scores.copy()
+        out = filt.mask_known(scores, heads, rels)
+        assert out is scores  # in place
+        for row in range(6):
+            known = filt.row(int(heads[row]), int(rels[row]))
+            assert np.all(scores[row, known] == -np.inf)
+            untouched = np.setdiff1d(np.arange(split.num_entities), known)
+            np.testing.assert_array_equal(scores[row, untouched],
+                                          original[row, untouched])
+
+    def test_keep_spares_one_target_per_row(self):
+        split = random_split(seed=22)
+        filt = build_csr_filter(split)
+        h, r, t = (int(v) for v in split.train[0])
+        assert t in filt.row(h, r).tolist()
+        scores = np.zeros((1, split.num_entities))
+        filt.mask_known(scores, np.array([h]), np.array([r]),
+                        keep=np.array([t]))
+        assert scores[0, t] == 0.0
+        others = np.setdiff1d(filt.row(h, r), [t])
+        assert np.all(scores[0, others] == -np.inf)

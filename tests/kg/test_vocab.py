@@ -1,0 +1,35 @@
+"""Vocabulary lookup helpers, including the serving-layer resolve()."""
+
+import pytest
+
+from repro.kg import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(["aspirin", "asparagine", "warfarin"])
+
+
+class TestBasics:
+    def test_get_returns_default_on_miss(self, vocab):
+        assert vocab.get("aspirin") == 0
+        assert vocab.get("nope") is None
+        assert vocab.get("nope", -1) == -1
+
+
+class TestResolve:
+    def test_name_and_id_forms(self, vocab):
+        assert vocab.resolve("warfarin") == 2
+        assert vocab.resolve(1) == 1
+        assert vocab.resolve("1") == 1  # digit strings are ids
+
+    def test_unknown_name_suggests_close_matches(self, vocab):
+        with pytest.raises(KeyError) as excinfo:
+            vocab.resolve("asprin")
+        assert "aspirin" in excinfo.value.args[0]
+
+    def test_out_of_range_id(self, vocab):
+        with pytest.raises(IndexError, match="out of range"):
+            vocab.resolve(99)
+        with pytest.raises(IndexError):
+            vocab.resolve("99")

@@ -1,0 +1,80 @@
+"""Checkpoint strictness: clear mismatch errors and lenient loading."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class Net(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = nn.Parameter(np.ones(2))
+
+
+class TestLoadStateDictStrictness:
+    def test_error_lists_all_missing_and_unexpected_at_once(self):
+        net = Net()
+        state = net.state_dict()
+        del state["scale"]
+        del state["fc.weight"]
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError) as excinfo:
+            net.load_state_dict(state)
+        message = excinfo.value.args[0]
+        assert "missing" in message and "unexpected" in message
+        assert "scale" in message and "fc.weight" in message
+        assert "ghost" in message
+
+    def test_lenient_loads_intersection_and_reports(self):
+        net, source = Net(), Net()
+        source.fc.bias.data += 5.0
+        state = source.state_dict()
+        del state["fc.weight"]
+        state["ghost"] = np.zeros(1)
+        missing, unexpected = net.load_state_dict(state, strict=False)
+        assert missing == ["fc.weight"]
+        assert unexpected == ["ghost"]
+        np.testing.assert_allclose(net.fc.bias.data, source.fc.bias.data)
+        assert not hasattr(net, "ghost")
+
+    def test_lenient_still_rejects_shape_mismatch(self):
+        net = Net()
+        state = net.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state, strict=False)
+
+    def test_strict_ok_returns_empty_lists(self):
+        net = Net()
+        assert net.load_state_dict(net.state_dict()) == ([], [])
+
+
+class TestLoadModule:
+    def test_mismatch_names_the_checkpoint_file(self, tmp_path):
+        source, target = Net(), nn.Linear(3, 2, rng=np.random.default_rng(1))
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_module(source, path)
+        with pytest.raises(KeyError) as excinfo:
+            nn.load_module(target, path)
+        assert "ckpt.npz" in excinfo.value.args[0]
+        assert "missing" in excinfo.value.args[0]
+
+    def test_lenient_mode_loads_overlap(self, tmp_path):
+        source, target = Net(), Net()
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_module(source, path)
+        target.extra = nn.Parameter(np.zeros(4))  # architecture drift
+        nn.load_module(target, path, strict=False)
+        np.testing.assert_allclose(target.fc.weight.data, source.fc.weight.data)
+        np.testing.assert_allclose(target.extra.data, np.zeros(4))
+
+    def test_buffer_round_trip_still_strict(self, tmp_path):
+        bn = nn.BatchNorm1d(2)
+        bn(nn.Tensor(np.random.default_rng(0).normal(size=(6, 2))))
+        path = str(tmp_path / "bn.npz")
+        nn.save_module(bn, path)
+        fresh = nn.BatchNorm1d(2)
+        nn.load_module(fresh, path)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)

@@ -1,0 +1,38 @@
+"""Shared tiny fixtures for the serving-subsystem tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.serve import PredictionEngine, save_bundle
+
+
+@pytest.fixture(scope="session")
+def prepared():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.12))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6, d_s=6,
+                           gin_epochs=1, compgcn_epochs=1)
+    return mkg, feats
+
+
+@pytest.fixture(scope="session")
+def transe(prepared):
+    """An (untrained but deterministic) TransE model over the tiny KG."""
+    mkg, feats = prepared
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(1), dim=16)
+    return model
+
+
+@pytest.fixture(scope="session")
+def transe_bundle(prepared, transe, tmp_path_factory):
+    mkg, feats = prepared
+    path = str(tmp_path_factory.mktemp("bundles") / "transe")
+    save_bundle(path, transe, "TransE", mkg.split, feats, dim=16)
+    return path
+
+
+@pytest.fixture()
+def engine(transe, prepared):
+    mkg, _ = prepared
+    return PredictionEngine(transe, mkg.split, model_name="TransE", cache_size=32)

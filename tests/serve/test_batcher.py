@@ -1,0 +1,128 @@
+"""Micro-batcher: coalescing, per-request ordering, graceful shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, PredictionEngine
+
+
+class _SlowEngine:
+    """Delegates to a real engine with an artificial per-call delay,
+    giving concurrent submitters time to pile into one batch."""
+
+    def __init__(self, engine, delay=0.01):
+        self._engine = engine
+        self.delay = delay
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def scores(self, heads, rels):
+        self.calls += 1
+        time.sleep(self.delay)
+        return self._engine.scores(heads, rels)
+
+
+class TestCoalescing:
+    def test_concurrent_submitters_coalesce(self, engine, prepared):
+        mkg, _ = prepared
+        slow = _SlowEngine(engine, delay=0.01)
+        batcher = MicroBatcher(slow, max_batch=16, max_delay=0.02)
+        queries = [(int(h), int(r)) for h, r in mkg.split.train[:48, :2]]
+        results = {}
+
+        def submit(i, h, r):
+            results[i] = batcher.submit(h, r, k=5).result(timeout=30)
+
+        threads = [threading.Thread(target=submit, args=(i, h, r))
+                   for i, (h, r) in enumerate(queries)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        stats = batcher.stats()
+        assert stats["requests_processed"] == len(queries)
+        assert stats["batches_processed"] < len(queries)  # real coalescing
+        assert stats["max_batch_seen"] > 1
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_results_match_each_request(self, engine, transe, prepared):
+        """Every future resolves to its *own* query's answer, in order."""
+        mkg, _ = prepared
+        batcher = MicroBatcher(engine, max_batch=8, max_delay=0.005)
+        queries = [(int(h), int(r)) for h, r in mkg.split.test[:30, :2]]
+        futures = [batcher.submit(h, r, k=5) for h, r in queries]
+        for (h, r), future in zip(queries, futures):
+            ids, scores = future.result(timeout=30)
+            row = transe.predict_tails(np.array([h]), np.array([r]))[0]
+            ref = np.argsort(-row, kind="stable")[:5]
+            np.testing.assert_array_equal(ids, ref, err_msg=f"query {(h, r)}")
+            np.testing.assert_array_equal(scores, row[ids])
+        batcher.close()
+
+    def test_mixed_filtered_and_unfiltered(self, engine, prepared):
+        mkg, _ = prepared
+        h, r, _t = (int(v) for v in mkg.split.train[0])
+        batcher = MicroBatcher(engine, max_batch=4, max_delay=0.05)
+        plain = batcher.submit(h, r, k=engine.num_entities)
+        filtered = batcher.submit(h, r, k=engine.num_entities, filter_known=True)
+        pids, _ = plain.result(timeout=30)
+        fids, fscores = filtered.result(timeout=30)
+        known = set(engine.filter.row(h, r).tolist())
+        assert known & set(pids.tolist())
+        assert not (known & set(fids.tolist()))
+        assert np.all(fscores > -np.inf)
+        batcher.close()
+
+
+class TestLifecycle:
+    def test_close_flushes_pending(self, engine):
+        slow = _SlowEngine(engine, delay=0.02)
+        batcher = MicroBatcher(slow, max_batch=4, max_delay=0.0)
+        futures = [batcher.submit(i % 5, 0, k=3) for i in range(20)]
+        batcher.close()
+        assert all(f.done() for f in futures)
+        assert batcher.stats()["pending"] == 0
+        assert batcher.stats()["requests_processed"] == 20
+
+    def test_submit_after_close_raises(self, engine):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(0, 0)
+
+    def test_close_is_idempotent(self, engine):
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        batcher.close()
+
+    def test_context_manager(self, engine):
+        with MicroBatcher(engine) as batcher:
+            ids, _ = batcher.predict(0, 0, k=2)
+            assert len(ids) == 2
+        assert batcher.stats()["requests_processed"] == 1
+
+    def test_engine_failure_propagates_to_futures(self, engine):
+        class Exploding:
+            def __getattr__(self, name):
+                return getattr(engine, name)
+
+            def scores(self, heads, rels):
+                raise RuntimeError("boom")
+
+        batcher = MicroBatcher(Exploding(), max_batch=4, max_delay=0.01)
+        future = batcher.submit(0, 0, k=3)
+        with pytest.raises(RuntimeError, match="boom"):
+            future.result(timeout=30)
+        # Worker survives a failing batch and keeps serving.
+        assert batcher._worker.is_alive()
+        batcher.close()
+
+    def test_invalid_max_batch(self, engine):
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch=0)

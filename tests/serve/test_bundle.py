@@ -1,0 +1,106 @@
+"""Checkpoint bundles: round-trip parity, validation, both layouts."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import MODEL_REGISTRY, build_model
+from repro.serve import BUNDLE_VERSION, BundleError, load_bundle, save_bundle
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_every_registry_model(self, prepared, tmp_path, name):
+        """save -> load -> build_model reproduces predict_tails at 1e-6."""
+        mkg, feats = prepared
+        model, _ = build_model(name, mkg, feats, np.random.default_rng(1), dim=16)
+        path = str(tmp_path / "bundle")
+        save_bundle(path, model, name, mkg.split, feats, dim=16)
+        clone = load_bundle(path).build_model()
+        heads = np.array([0, 3, 5])
+        rels = np.array([0, 1, 2 + mkg.num_relations])  # one inverse query
+        np.testing.assert_allclose(
+            clone.predict_tails(heads, rels),
+            model.predict_tails(heads, rels),
+            atol=1e-6, err_msg=name,
+        )
+
+    def test_single_file_layout(self, prepared, transe, tmp_path):
+        mkg, feats = prepared
+        path = str(tmp_path / "bundle.npz")
+        save_bundle(path, transe, "TransE", mkg.split, feats, dim=16)
+        assert os.path.isfile(path)
+        bundle = load_bundle(path)
+        clone = bundle.build_model()
+        heads, rels = np.array([1]), np.array([0])
+        np.testing.assert_array_equal(clone.predict_tails(heads, rels),
+                                      transe.predict_tails(heads, rels))
+
+    def test_bundle_carries_vocab_and_split(self, transe_bundle, prepared):
+        mkg, _ = prepared
+        bundle = load_bundle(transe_bundle)
+        assert bundle.entities.names() == mkg.graph.entities.names()
+        assert bundle.relations.names() == mkg.graph.relations.names()
+        np.testing.assert_array_equal(bundle.split.train, mkg.split.train)
+        np.testing.assert_array_equal(bundle.split.test, mkg.split.test)
+        assert bundle.manifest["dataset"]["num_entities"] == mkg.num_entities
+
+    def test_came_config_round_trips(self, prepared, tmp_path):
+        mkg, feats = prepared
+        model, _ = build_model("CamE", mkg, feats, np.random.default_rng(2), dim=16)
+        path = str(tmp_path / "came")
+        save_bundle(path, model, "CamE", mkg.split, feats, dim=16)
+        bundle = load_bundle(path)
+        assert bundle.manifest["config"]["entity_dim"] == model.config.entity_dim
+        clone = bundle.build_model()
+        assert clone.config == model.config
+
+
+class TestValidation:
+    def test_missing_state_key_raises_with_names(self, transe_bundle):
+        bundle = load_bundle(transe_bundle)
+        del bundle.state["entity_embedding.weight"]
+        with pytest.raises(BundleError, match="entity_embedding.weight"):
+            bundle.build_model()
+
+    def test_lenient_build_tolerates_missing_key(self, transe_bundle, transe):
+        bundle = load_bundle(transe_bundle)
+        del bundle.state["relation_embedding.weight"]
+        clone = bundle.build_model(strict=False)
+        np.testing.assert_array_equal(clone.entity_embedding.weight.data,
+                                      transe.entity_embedding.weight.data)
+
+    def test_manifest_state_mismatch_detected(self, prepared, transe, tmp_path):
+        mkg, feats = prepared
+        path = str(tmp_path / "bundle")
+        save_bundle(path, transe, "TransE", mkg.split, feats, dim=16)
+        # Drop one state array on disk so the manifest record disagrees.
+        with np.load(os.path.join(path, "state.npz")) as archive:
+            state = {n: archive[n] for n in archive.files}
+        state.pop("entity_embedding.weight")
+        with open(os.path.join(path, "state.npz"), "wb") as handle:
+            np.savez(handle, **state)
+        with pytest.raises(BundleError, match="missing.*entity_embedding"):
+            load_bundle(path)
+        assert load_bundle(path, strict=False) is not None
+
+    def test_unsupported_version_raises(self, prepared, transe, tmp_path):
+        mkg, feats = prepared
+        path = str(tmp_path / "bundle")
+        save_bundle(path, transe, "TransE", mkg.split, feats, dim=16)
+        manifest_path = os.path.join(path, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = BUNDLE_VERSION + 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(BundleError, match="format_version"):
+            load_bundle(path)
+
+    def test_missing_paths_raise(self, tmp_path):
+        with pytest.raises(BundleError):
+            load_bundle(str(tmp_path / "nope.npz"))
+        with pytest.raises(BundleError):
+            load_bundle(str(tmp_path))  # dir without manifest

@@ -1,0 +1,98 @@
+"""CLI (`python -m repro.serve`) and the runner's --export-bundle hook."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scale, train_model
+from repro.experiments.runner import set_export_dir
+from repro.serve import load_bundle
+from repro.serve.cli import main
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    """Run `serve export` once for the whole module (trains a tiny model)."""
+    path = str(tmp_path_factory.mktemp("cli") / "transe.bundle")
+    code = main(["--log-level", "warning", "export", "--model", "TransE",
+                 "--dataset", "drkg-mm", "--scale", "smoke", "--epochs", "1",
+                 "--out", path])
+    assert code == 0
+    return path
+
+
+class TestExport:
+    def test_bundle_written_and_loadable(self, exported, capsys):
+        bundle = load_bundle(exported)
+        assert bundle.model_name == "TransE"
+        assert bundle.manifest["extra"]["scale"] == "smoke"
+        assert "MRR" in bundle.manifest["extra"]["test_metrics"]
+
+    def test_unknown_model_fails_fast_with_names(self, tmp_path):
+        with pytest.raises(ValueError, match="TransE"):
+            main(["export", "--model", "Nope", "--out", str(tmp_path / "b")])
+
+
+class TestQuery:
+    def test_tail_query_json(self, exported, capsys):
+        bundle = load_bundle(exported)
+        head = bundle.entities.name(0)
+        rel = bundle.relations.name(0)
+        code = main(["--log-level", "warning", "query", "--bundle", exported,
+                     "--head", head, "--relation", rel, "--k", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["direction"] == "tail"
+        assert len(payload["results"]) == 3
+        engine_model = bundle.build_model()
+        row = engine_model.predict_tails(np.array([0]), np.array([0]))[0]
+        assert payload["results"][0]["score"] == float(row.max())
+
+    def test_head_query_text_output(self, exported, capsys):
+        bundle = load_bundle(exported)
+        code = main(["--log-level", "warning", "query", "--bundle", exported,
+                     "--tail", bundle.entities.name(1),
+                     "--relation", "0", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "head-prediction" in out
+
+    def test_both_anchors_rejected(self, exported):
+        with pytest.raises(SystemExit):
+            main(["query", "--bundle", exported, "--head", "a", "--tail", "b",
+                  "--relation", "0"])
+
+
+class TestInspect:
+    def test_manifest_printed(self, exported, capsys):
+        code = main(["--log-level", "warning", "inspect", "--bundle", exported])
+        assert code == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["model"] == "TransE"
+        assert manifest["format_version"] >= 1
+
+
+class TestRunnerHook:
+    def test_train_model_export_bundle_param(self, tmp_path):
+        scale = get_scale("smoke")
+        out = str(tmp_path / "direct")
+        result = train_model("TransE", "drkg-mm", scale, seed=0, epochs=1,
+                             export_bundle=out)
+        bundle = load_bundle(out)
+        clone = bundle.build_model()
+        heads, rels = np.array([0]), np.array([0])
+        np.testing.assert_array_equal(
+            clone.predict_tails(heads, rels),
+            result.model.predict_tails(heads, rels))
+
+    def test_set_export_dir_exports_even_cached_runs(self, tmp_path):
+        scale = get_scale("smoke")
+        set_export_dir(str(tmp_path))
+        try:
+            train_model("TransE", "drkg-mm", scale, seed=0, epochs=1)
+        finally:
+            set_export_dir(None)
+        expected = os.path.join(str(tmp_path), "drkg-mm_TransE_smoke_seed0")
+        assert load_bundle(expected).model_name == "TransE"

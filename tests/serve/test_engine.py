@@ -1,0 +1,108 @@
+"""Prediction engine: top-k parity, filtering, caching, score_triples."""
+
+import numpy as np
+import pytest
+
+from repro.eval import build_csr_filter
+from repro.serve import PredictionEngine, topk_indices
+
+
+class TestTopK:
+    def test_topk_matches_direct_predict(self, engine, transe):
+        ids, scores = engine.top_k_tails(2, 0, k=5)
+        row = transe.predict_tails(np.array([2]), np.array([0]))[0]
+        ref = np.argsort(-row, kind="stable")[:5]
+        np.testing.assert_array_equal(ids, ref)
+        np.testing.assert_array_equal(scores, row[ids])  # bit-identical
+
+    def test_tie_break_is_ascending_id(self):
+        row = np.array([1.0, 3.0, 3.0, 0.5, 3.0])
+        np.testing.assert_array_equal(topk_indices(row, 3), [1, 2, 4])
+
+    def test_filtered_topk_excludes_known(self, engine, prepared):
+        mkg, _ = prepared
+        h, r, _t = (int(v) for v in mkg.split.train[0])
+        known = set(build_csr_filter(mkg.split).row(h, r).tolist())
+        assert known
+        ids, scores = engine.top_k_tails(h, r, k=engine.num_entities,
+                                         filter_known=True)
+        assert not (known & set(ids.tolist()))
+        assert np.all(scores > -np.inf)
+
+    def test_filtered_and_unfiltered_agree_on_unknowns(self, engine, prepared):
+        mkg, _ = prepared
+        h, r, _t = (int(v) for v in mkg.split.train[0])
+        plain = dict(zip(*map(lambda a: a.tolist(),
+                              engine.top_k_tails(h, r, k=engine.num_entities))))
+        ids, scores = engine.top_k_tails(h, r, k=engine.num_entities,
+                                         filter_known=True)
+        for i, s in zip(ids.tolist(), scores.tolist()):
+            assert plain[i] == s
+
+    def test_topk_heads_uses_inverse_convention(self, engine, transe):
+        ids, scores = engine.top_k_heads(3, 1, k=4)
+        row = transe.predict_tails(np.array([3]),
+                                   np.array([1 + engine.num_relations]))[0]
+        np.testing.assert_array_equal(scores, row[ids])
+
+    def test_topk_heads_rejects_inverse_ids(self, engine):
+        with pytest.raises(ValueError, match="original relation id"):
+            engine.top_k_heads(0, engine.num_relations, k=3)
+
+
+class TestScoreTriples:
+    def test_parity_with_predict_tails(self, engine, transe, prepared):
+        mkg, _ = prepared
+        triples = mkg.split.test[:9]
+        got = engine.score_triples(triples)
+        rows = transe.predict_tails(triples[:, 0], triples[:, 1])
+        np.testing.assert_array_equal(
+            got, rows[np.arange(len(triples)), triples[:, 2]])
+
+    def test_empty_input(self, engine):
+        assert engine.score_triples(np.empty((0, 3))).shape == (0,)
+
+
+class TestCache:
+    def test_hit_miss_counters(self, engine):
+        engine.top_k_tails(4, 0, k=3)
+        engine.top_k_tails(4, 0, k=5)
+        stats = engine.stats()
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["hit_rate"] == 0.5
+        assert stats["predict_calls"] == 1  # second query never hit the model
+
+    def test_batch_dedupes_before_model_call(self, engine):
+        heads = np.array([1, 1, 2, 2, 1])
+        rels = np.array([0, 0, 0, 0, 0])
+        engine.scores(heads, rels)
+        assert engine.stats()["predict_calls"] == 1
+        assert engine.stats()["cache"]["misses"] == 2  # (1,0) and (2,0)
+        assert engine.stats()["cache"]["hits"] == 3
+
+    def test_eviction_bounds_cache(self, transe, prepared):
+        mkg, _ = prepared
+        engine = PredictionEngine(transe, mkg.split, cache_size=4)
+        for h in range(10):
+            engine.top_k_tails(h, 0, k=1)
+        stats = engine.stats()
+        assert stats["cache"]["size"] == 4
+        assert stats["cache"]["evictions"] == 6
+
+    def test_cached_row_is_not_aliased(self, engine, transe):
+        ids, scores = engine.top_k_tails(5, 0, k=3, filter_known=False)
+        # Mutating a filtered copy must not corrupt later unfiltered reads.
+        engine.top_k_tails(5, 0, k=3, filter_known=True)
+        ids2, scores2 = engine.top_k_tails(5, 0, k=3)
+        np.testing.assert_array_equal(ids, ids2)
+        np.testing.assert_array_equal(scores, scores2)
+
+
+class TestBundleConstruction:
+    def test_from_bundle_parity(self, transe_bundle, transe):
+        engine = PredictionEngine.from_bundle(transe_bundle)
+        assert engine.model_name == "TransE"
+        ids, scores = engine.top_k_tails(0, 0, k=4)
+        row = transe.predict_tails(np.array([0]), np.array([0]))[0]
+        np.testing.assert_array_equal(scores, row[ids])

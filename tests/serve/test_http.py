@@ -1,0 +1,171 @@
+"""HTTP front end: route behavior, parity with the engine, error envelopes."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, PredictionEngine, make_server
+
+
+@pytest.fixture()
+def service(transe, prepared):
+    mkg, _ = prepared
+    engine = PredictionEngine(transe, mkg.split, model_name="TransE")
+    batcher = MicroBatcher(engine, max_batch=8, max_delay=0.002)
+    server = make_server(engine, batcher, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, engine, mkg
+    server.shutdown()
+    server.server_close()
+    batcher.close()
+    thread.join(timeout=5)
+
+
+def _request(server, method, path, body=None):
+    port = server.server_address[1]
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        server, engine, _ = service
+        status, payload = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "model": "TransE",
+                           "num_entities": engine.num_entities,
+                           "num_relations": engine.num_relations}
+
+    def test_predict_tails_bit_identical(self, service, transe):
+        server, engine, mkg = service
+        h, r = int(mkg.split.test[0, 0]), int(mkg.split.test[0, 1])
+        status, payload = _request(server, "POST", "/predict", {
+            "head": mkg.graph.entities.name(h),
+            "relation": mkg.graph.relations.name(r),
+            "k": 5,
+        })
+        assert status == 200
+        row = transe.predict_tails(np.array([h]), np.array([r]))[0]
+        ref = np.argsort(-row, kind="stable")[:5]
+        assert [item["id"] for item in payload["results"]] == ref.tolist()
+        assert [item["score"] for item in payload["results"]] == row[ref].tolist()
+        assert payload["query"]["direction"] == "tail"
+
+    def test_predict_filtered_bit_identical(self, service, transe):
+        server, engine, mkg = service
+        h, r = (int(v) for v in mkg.split.train[0, :2])
+        status, payload = _request(server, "POST", "/predict", {
+            "head": h, "relation": r, "k": engine.num_entities,
+            "filter_known": True,
+        })
+        assert status == 200
+        row = transe.predict_tails(np.array([h]), np.array([r]))[0].copy()
+        known = engine.filter.row(h, r)
+        row[known] = -np.inf
+        ids = [item["id"] for item in payload["results"]]
+        assert not (set(known.tolist()) & set(ids))
+        assert [item["score"] for item in payload["results"]] == row[ids].tolist()
+
+    def test_predict_heads_direction(self, service, transe):
+        server, engine, mkg = service
+        t, r = 3, 1
+        status, payload = _request(server, "POST", "/predict",
+                                   {"tail": t, "relation": r, "k": 4})
+        assert status == 200
+        assert payload["query"]["direction"] == "head"
+        row = transe.predict_tails(np.array([t]),
+                                   np.array([r + engine.num_relations]))[0]
+        ids = [item["id"] for item in payload["results"]]
+        assert [item["score"] for item in payload["results"]] == row[ids].tolist()
+
+    def test_score_triples(self, service, transe):
+        server, _, mkg = service
+        triples = mkg.split.test[:4]
+        status, payload = _request(server, "POST", "/score", {
+            "triples": [[int(h), int(r), int(t)] for h, r, t in triples]})
+        assert status == 200
+        expected = transe.predict_tails(triples[:, 0], triples[:, 1])
+        expected = expected[np.arange(len(triples)), triples[:, 2]]
+        assert payload["scores"] == expected.tolist()
+
+    def test_stats_reports_all_layers(self, service):
+        server, _, _ = service
+        _request(server, "POST", "/predict", {"head": 0, "relation": 0, "k": 2})
+        status, payload = _request(server, "GET", "/stats")
+        assert status == 200
+        assert payload["server"]["requests"] >= 2
+        assert payload["engine"]["queries_served"] >= 1
+        assert payload["batcher"]["requests_processed"] >= 1
+        assert payload["batcher"]["batches_processed"] >= 1
+        assert "hit_rate" in payload["engine"]["cache"]
+
+
+class TestErrors:
+    def test_unknown_route_404(self, service):
+        server, _, _ = service
+        status, payload = _request(server, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_invalid_json_400(self, service):
+        server, _, _ = service
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/predict", data=b"{not json",
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["code"] == "bad_json"
+
+    def test_unknown_entity_with_suggestion(self, service):
+        server, _, mkg = service
+        near_miss = mkg.graph.entities.name(0)[:-1] + "x"
+        status, payload = _request(server, "POST", "/predict",
+                                   {"head": near_miss, "relation": 0})
+        assert status == 400
+        assert payload["error"]["code"] == "unknown_entity"
+
+    def test_head_and_tail_together_rejected(self, service):
+        server, _, _ = service
+        status, payload = _request(server, "POST", "/predict",
+                                   {"head": 0, "tail": 1, "relation": 0})
+        assert status == 400
+        assert "exactly one" in payload["error"]["message"]
+
+    def test_missing_relation_rejected(self, service):
+        server, _, _ = service
+        status, payload = _request(server, "POST", "/predict", {"head": 0})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_bad_k_rejected(self, service):
+        server, _, _ = service
+        status, payload = _request(server, "POST", "/predict",
+                                   {"head": 0, "relation": 0, "k": 0})
+        assert status == 400
+
+    def test_malformed_triple_rejected(self, service):
+        server, _, _ = service
+        status, payload = _request(server, "POST", "/score",
+                                   {"triples": [[0, 0]]})
+        assert status == 400
+        assert "triple #0" in payload["error"]["message"]
+
+    def test_errors_counted_in_stats(self, service):
+        server, _, _ = service
+        _request(server, "GET", "/nope")
+        status, payload = _request(server, "GET", "/stats")
+        assert payload["server"]["errors"] >= 1
