@@ -1,14 +1,17 @@
 """Shared infrastructure for the baseline KG-completion models.
 
 Two training regimes cover all baselines, matching the original codes
-the paper used:
+the paper used; both run on the unified
+:class:`repro.train.TrainingEngine` with a pluggable objective:
 
-* :class:`NegativeSamplingTrainer` — the RotatE-codebase regime
-  (TransE / DistMult / ComplEx / RotatE / a-RotatE / PairRE / DualE and
-  the multimodal translational models): positive triples vs sampled
-  corruptions under the log-sigmoid loss, optionally with
+* :class:`NegativeSamplingTrainer` (shim over
+  :class:`repro.train.NegativeSamplingObjective`) — the RotatE-codebase
+  regime (TransE / DistMult / ComplEx / RotatE / a-RotatE / PairRE /
+  DualE and the multimodal translational models): positive triples vs
+  sampled corruptions under the log-sigmoid loss, optionally with
   self-adversarial negative weighting (Sun et al., 2019).
-* :class:`repro.core.trainer.OneToNTrainer` — the ConvE regime (ConvE,
+* :class:`repro.core.trainer.OneToNTrainer` (shim over
+  :class:`repro.train.OneToNObjective`) — the ConvE regime (ConvE,
   CompGCN, MKGformer and CamE itself): 1-to-N scoring with BCE.
 
 Every model exposes ``predict_tails(heads, rels) -> (B, num_entities)``
@@ -20,21 +23,20 @@ trained on inverse-augmented triples, so head-side queries rank through
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Protocol
 
 import numpy as np
 
 from .. import nn
-from ..nn import functional as F
 # ``inference_mode`` lives in repro.nn (so repro.core can use it too) and
 # is re-exported here: every baseline ``predict_tails`` must run inside it
 # — autograd off, dropout/batch-norm in eval mode — so the pattern
 # ``CamE.predict_tails`` established cannot drift.
 from ..nn import inference_mode
-from ..kg import KGSplit, NegativeSampler, add_inverse_relations, self_adversarial_weights
-from ..core.trainer import TrainReport
+from ..kg import KGSplit, NegativeSampler
 from ..eval import RankingEvaluator
+from ..train import NegativeSamplingObjective, TrainingEngine
+from ..train.report import TrainReport
 
 __all__ = [
     "TripleScoringModel",
@@ -145,6 +147,11 @@ class NegativeSamplingTrainer:
     ``loss = -logsig(f(pos)) - sum_i w_i * logsig(-f(neg_i))`` where
     ``w`` is uniform, or the softmax of negative scores when
     ``self_adversarial`` is on (the a-RotatE / PairRE setting).
+
+    A thin shim over :class:`repro.train.TrainingEngine` with a
+    :class:`repro.train.NegativeSamplingObjective`, preserving the
+    original constructor/``fit`` surface and bit-identical seeded
+    behaviour.  New code should construct the engine directly.
     """
 
     def __init__(self, model, split: KGSplit, rng: np.random.Generator,
@@ -152,57 +159,69 @@ class NegativeSamplingTrainer:
                  num_negatives: int = 8, self_adversarial: bool = False,
                  adversarial_temperature: float = 1.0,
                  bernoulli: bool = False, grad_clip: float = 5.0) -> None:
-        self.model = model
-        self.split = split
-        self.rng = rng
-        self.batch_size = batch_size
-        self.num_negatives = num_negatives
-        self.self_adversarial = self_adversarial
-        self.adversarial_temperature = adversarial_temperature
-        self.grad_clip = grad_clip
-        self.optimizer = nn.Adam(list(model.parameters()), lr=lr)
-        self._evaluator: RankingEvaluator | None = None
-        self.train_triples = add_inverse_relations(split.train, split.num_relations)
-        inverse_true = {(int(t), int(r) + split.num_relations, int(h))
-                        for h, r, t in split.train}
-        self.sampler = NegativeSampler(split.graph, self.train_triples, rng,
-                                       bernoulli=bernoulli, filtered=True,
-                                       extra_true=inverse_true)
+        self.engine = TrainingEngine(
+            model, split, rng,
+            NegativeSamplingObjective(
+                batch_size=batch_size, num_negatives=num_negatives,
+                self_adversarial=self_adversarial,
+                adversarial_temperature=adversarial_temperature,
+                bernoulli=bernoulli),
+            lr=lr, grad_clip=grad_clip,
+        )
 
-    def train_epoch(self) -> float:
-        """One pass over the (inverse-augmented) training triples."""
-        order = self.rng.permutation(len(self.train_triples))
-        losses = []
-        for start in range(0, len(order), self.batch_size):
-            positives = self.train_triples[order[start:start + self.batch_size]]
-            negatives = self.sampler.corrupt(positives, self.num_negatives)
-            self.optimizer.zero_grad()
-            pos_scores = self.model.triple_scores(positives)
-            neg_scores = self.model.triple_scores(negatives)
-            neg_matrix = F.reshape(neg_scores, (self.num_negatives, len(positives)))
-            pos_loss = F.neg(F.mean(F.logsigmoid(pos_scores)))
-            if self.self_adversarial:
-                weights = self_adversarial_weights(
-                    neg_matrix.data.T, temperature=self.adversarial_temperature
-                ).T  # (k, B), detached
-                weighted = F.mul(F.neg(F.logsigmoid(F.neg(neg_matrix))), weights)
-                neg_loss = F.mean(F.sum(weighted, axis=0))
-            else:
-                neg_loss = F.neg(F.mean(F.logsigmoid(F.neg(neg_matrix))))
-            loss = F.add(pos_loss, neg_loss)
-            loss.backward()
-            if self.grad_clip:
-                nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
-            self.optimizer.step()
-            losses.append(float(loss.data))
-        return float(np.mean(losses)) if losses else float("nan")
+    # Everything below delegates; the shim holds no training state.
+    @property
+    def model(self):
+        return self.engine.model
+
+    @property
+    def split(self) -> KGSplit:
+        return self.engine.split
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.engine.rng
+
+    @property
+    def grad_clip(self) -> float:
+        return self.engine.grad_clip
+
+    @property
+    def optimizer(self):
+        return self.engine.optimizer
+
+    @property
+    def batch_size(self) -> int:
+        return self.engine.objective.batch_size
+
+    @property
+    def num_negatives(self) -> int:
+        return self.engine.objective.num_negatives
+
+    @property
+    def self_adversarial(self) -> bool:
+        return self.engine.objective.self_adversarial
+
+    @property
+    def adversarial_temperature(self) -> float:
+        return self.engine.objective.adversarial_temperature
+
+    @property
+    def train_triples(self) -> np.ndarray:
+        return self.engine.train_triples
+
+    @property
+    def sampler(self) -> NegativeSampler:
+        return self.engine.sampler
 
     @property
     def evaluator(self) -> RankingEvaluator:
         """Shared filtered-ranking evaluator (filter built on first use)."""
-        if self._evaluator is None:
-            self._evaluator = RankingEvaluator(self.split)
-        return self._evaluator
+        return self.engine.evaluator
+
+    def train_epoch(self) -> float:
+        """One pass over the (inverse-augmented) training triples."""
+        return self.engine.train_epoch()
 
     def fit(self, epochs: int, eval_every: int | None = None,
             eval_part: str = "valid", eval_max_queries: int | None = 200,
@@ -210,32 +229,12 @@ class NegativeSamplingTrainer:
             keep_best: bool = True, verbose: bool = False) -> TrainReport:
         """Train for ``epochs`` with the same reporting as OneToNTrainer.
 
-        As there, the ranking filter is built once per ``fit`` and every
+        As there, the ranking filter is built once per engine and every
         epoch eval shares it; ``eval_batch_size`` bounds the per-call
         score blocks.
         """
-        report = TrainReport()
-        start = time.perf_counter()
-        best_key = -np.inf
-        for epoch in range(1, epochs + 1):
-            tick = time.perf_counter()
-            loss = self.train_epoch()
-            report.epoch_seconds.append(time.perf_counter() - tick)
-            report.epoch_losses.append(loss)
-            if eval_every and (epoch % eval_every == 0 or epoch == epochs):
-                metrics = self.evaluator.evaluate(self.model, part=eval_part,
-                                                  max_queries=eval_max_queries,
-                                                  rng=self.rng,
-                                                  batch_size=eval_batch_size)
-                report.eval_history.append((epoch, time.perf_counter() - start, metrics))
-                key = metrics.hits.get(10, metrics.mrr)
-                if keep_best and key > best_key:
-                    best_key = key
-                    report.best_metrics = metrics
-                    if hasattr(self.model, "state_dict"):
-                        report.best_state = self.model.state_dict()
-                if verbose:  # pragma: no cover
-                    print(f"epoch {epoch:3d} loss {loss:.4f} {metrics}")
-        if keep_best and report.best_state is not None and hasattr(self.model, "load_state_dict"):
-            self.model.load_state_dict(report.best_state)
-        return report
+        return self.engine.fit(epochs, eval_every=eval_every,
+                               eval_part=eval_part,
+                               eval_max_queries=eval_max_queries,
+                               eval_batch_size=eval_batch_size,
+                               keep_best=keep_best, verbose=verbose)

@@ -13,9 +13,9 @@ from typing import Callable
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
 from ..datasets import ModalityFeatures, MultimodalKG
-from .base import NegativeSamplingTrainer
+from ..train import NegativeSamplingObjective, OneToNObjective, TrainingEngine
 from .complex_ import ComplEx
 from .compgcn_lp import CompGCNLinkPredictor
 from .conve import ConvE
@@ -143,20 +143,26 @@ def build_model(name: str, mkg: MultimodalKG, features: ModalityFeatures,
                 negatives_1ton: int | None = None):
     """Construct ``(model, trainer)`` for a registered model name.
 
+    The trainer is a :class:`repro.train.TrainingEngine` carrying the
+    objective the spec's regime selects, so callers can attach
+    callbacks (early stopping, telemetry, bundle export) to ``fit``.
     ``negatives_1ton`` switches 1-to-N models to 1-to-K candidate
     sampling (the paper's OMAHA-MM setting).
     """
     spec = get_spec(name)
     model = spec.builder(mkg, features, dim, rng)
     if spec.regime == "neg":
-        trainer = NegativeSamplingTrainer(
-            model, mkg.split, rng, lr=lr if lr is not None else 0.01,
-            batch_size=max(batch_size, 128), num_negatives=8,
-            self_adversarial=spec.self_adversarial,
+        trainer = TrainingEngine(
+            model, mkg.split, rng,
+            NegativeSamplingObjective(batch_size=max(batch_size, 128),
+                                      num_negatives=8,
+                                      self_adversarial=spec.self_adversarial),
+            lr=lr if lr is not None else 0.01,
         )
     else:
-        trainer = OneToNTrainer(
-            model, mkg.split, rng, lr=lr if lr is not None else 0.003,
-            batch_size=batch_size, negatives=negatives_1ton,
+        trainer = TrainingEngine(
+            model, mkg.split, rng,
+            OneToNObjective(batch_size=batch_size, negatives=negatives_1ton),
+            lr=lr if lr is not None else 0.003,
         )
     return model, trainer

@@ -1,30 +1,35 @@
-"""1-to-many training loop (Section IV-D) with timed evaluation hooks.
+"""1-to-many training (Section IV-D) — compatibility shim.
 
-Trains any model exposing ``score_queries(heads, rels, candidates) ->
-Tensor`` (CamE and the neural baselines) against the Bernoulli NLL of
-Eqn. 16.  The loop:
+The actual loop lives in :mod:`repro.train`: a single
+:class:`~repro.train.TrainingEngine` parameterised by a
+:class:`~repro.train.OneToNObjective` (the BCE / label-smoothing batcher
+path of Eqn. 16) and callback hooks for timing, eval history, best-state
+checkpointing and telemetry.  :class:`OneToNTrainer` preserves the
+original constructor/``fit`` surface — and bit-identical seeded
+behaviour — on top of that engine, for scripts and tests that predate
+the engine.  New code should construct the engine directly::
 
-* augments train triples with inverse relations;
-* batches ``(h, r)`` queries with multi-hot labels (full 1-to-N, or
-  1-to-K sampled negatives — the paper's OMAHA-MM setting);
-* optionally evaluates filtered MRR on a sampled validation/test subset
-  every ``eval_every`` epochs, recording wall-clock time — the exact
-  measurement Fig. 8 (convergence) plots;
-* keeps the best state by validation Hits@10, as the paper does.
+    from repro.train import OneToNObjective, TrainingEngine
+
+    engine = TrainingEngine(model, split, rng,
+                            OneToNObjective(batch_size=64), lr=1e-3)
+    report = engine.fit(epochs=60, eval_every=10)
+
+:class:`TrainReport` is re-exported from :mod:`repro.train.report` so
+existing ``from repro.core.trainer import TrainReport`` imports keep
+working.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
-from .. import nn
-from ..nn import functional as F
-from ..kg import KGSplit, OneToNBatcher, add_inverse_relations
-from ..eval import RankingEvaluator, RankingMetrics
+from ..eval import RankingEvaluator
+from ..kg import KGSplit
+from ..train import OneToNObjective, TrainingEngine
+from ..train.report import TrainReport
 
 __all__ = ["QueryScoringModel", "TrainReport", "OneToNTrainer"]
 
@@ -40,31 +45,8 @@ class QueryScoringModel(Protocol):
     def parameters(self): ...  # pragma: no cover
 
 
-@dataclass
-class TrainReport:
-    """Everything a training run produced.
-
-    ``eval_history`` rows are ``(epoch, elapsed_seconds, metrics)`` —
-    the series Fig. 8 plots.  ``epoch_seconds`` feeds Fig. 9.
-    """
-
-    epoch_losses: list[float] = field(default_factory=list)
-    eval_history: list[tuple[int, float, RankingMetrics]] = field(default_factory=list)
-    epoch_seconds: list[float] = field(default_factory=list)
-    best_metrics: RankingMetrics | None = None
-    best_state: dict[str, np.ndarray] | None = None
-
-    @property
-    def final_loss(self) -> float:
-        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
-
-    @property
-    def mean_epoch_seconds(self) -> float:
-        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else float("nan")
-
-
 class OneToNTrainer:
-    """Trainer for 1-to-N scoring models.
+    """Trainer for 1-to-N scoring models (shim over the shared engine).
 
     Parameters
     ----------
@@ -85,43 +67,47 @@ class OneToNTrainer:
                  lr: float = 1e-3, batch_size: int = 64,
                  label_smoothing: float = 0.1, negatives: int | None = None,
                  grad_clip: float = 5.0) -> None:
-        self.model = model
-        self.split = split
-        self.rng = rng
-        self.grad_clip = grad_clip
-        self.optimizer = nn.Adam(list(model.parameters()), lr=lr)
-        self._evaluator: RankingEvaluator | None = None
-        train = add_inverse_relations(split.train, split.num_relations)
-        self.batcher = OneToNBatcher(
-            train, split.num_entities, batch_size=batch_size, rng=rng,
-            label_smoothing=label_smoothing, negatives=negatives,
+        self.engine = TrainingEngine(
+            model, split, rng,
+            OneToNObjective(batch_size=batch_size,
+                            label_smoothing=label_smoothing,
+                            negatives=negatives),
+            lr=lr, grad_clip=grad_clip,
         )
+
+    # Everything below delegates; the shim holds no training state.
+    @property
+    def model(self):
+        return self.engine.model
+
+    @property
+    def split(self) -> KGSplit:
+        return self.engine.split
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.engine.rng
+
+    @property
+    def grad_clip(self) -> float:
+        return self.engine.grad_clip
+
+    @property
+    def optimizer(self):
+        return self.engine.optimizer
+
+    @property
+    def batcher(self):
+        return self.engine.batcher
 
     @property
     def evaluator(self) -> RankingEvaluator:
-        """Shared filtered-ranking evaluator (filter built on first use).
-
-        Constructed at most once per trainer, so every epoch eval inside
-        :meth:`fit` — and any post-training evaluation that reuses it —
-        shares a single CSR filter construction.
-        """
-        if self._evaluator is None:
-            self._evaluator = RankingEvaluator(self.split)
-        return self._evaluator
+        """Shared filtered-ranking evaluator (filter built on first use)."""
+        return self.engine.evaluator
 
     def train_epoch(self) -> float:
         """One pass over all queries; returns the mean batch loss."""
-        losses = []
-        for heads, rels, labels, candidates in self.batcher.epoch():
-            self.optimizer.zero_grad()
-            logits = self.model.score_queries(heads, rels, candidates)
-            loss = F.bce_with_logits(logits, labels)
-            loss.backward()
-            if self.grad_clip:
-                nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
-            self.optimizer.step()
-            losses.append(float(loss.data))
-        return float(np.mean(losses)) if losses else float("nan")
+        return self.engine.train_epoch()
 
     def fit(self, epochs: int, eval_every: int | None = None,
             eval_part: str = "valid", eval_max_queries: int | None = 200,
@@ -129,35 +115,11 @@ class OneToNTrainer:
             keep_best: bool = True, verbose: bool = False) -> TrainReport:
         """Train for ``epochs``; optionally track timed eval history.
 
-        The ranking filter is built once (lazily, at the first eval) and
-        shared across every epoch eval of this ``fit`` call.
-        ``eval_batch_size`` bounds the ``(B, num_entities)`` score blocks
-        the evaluator requests — the knob Fig. 9 scalability runs tune.
+        Same contract as :meth:`repro.train.TrainingEngine.fit` minus
+        the ``callbacks`` parameter (use the engine for those).
         """
-        report = TrainReport()
-        start = time.perf_counter()
-        best_key = -np.inf
-        for epoch in range(1, epochs + 1):
-            tick = time.perf_counter()
-            loss = self.train_epoch()
-            report.epoch_seconds.append(time.perf_counter() - tick)
-            report.epoch_losses.append(loss)
-            if eval_every and (epoch % eval_every == 0 or epoch == epochs):
-                metrics = self.evaluator.evaluate(
-                    self.model, part=eval_part,
-                    max_queries=eval_max_queries, rng=self.rng,
-                    batch_size=eval_batch_size,
-                )
-                elapsed = time.perf_counter() - start
-                report.eval_history.append((epoch, elapsed, metrics))
-                key = metrics.hits.get(10, metrics.mrr)
-                if keep_best and key > best_key:
-                    best_key = key
-                    report.best_metrics = metrics
-                    if hasattr(self.model, "state_dict"):
-                        report.best_state = self.model.state_dict()
-                if verbose:  # pragma: no cover - console convenience
-                    print(f"epoch {epoch:3d} loss {loss:.4f} {metrics}")
-        if keep_best and report.best_state is not None and hasattr(self.model, "load_state_dict"):
-            self.model.load_state_dict(report.best_state)
-        return report
+        return self.engine.fit(epochs, eval_every=eval_every,
+                               eval_part=eval_part,
+                               eval_max_queries=eval_max_queries,
+                               eval_batch_size=eval_batch_size,
+                               keep_best=keep_best, verbose=verbose)

@@ -285,7 +285,6 @@ def generate_drkg_mm(config: DRKGConfig | None = None) -> MultimodalKG:
 
     # Compound-Compound: same-scaffold drugs resemble each other and
     # shared-target drugs interact.
-    cc_relations = RELATIONS["compound_compound"]
     for _ in range(cfg.compound_compound_triples):
         a_pos = int(rng.integers(0, len(compounds)))
         same_scaffold = compounds_arr[compound_scaffolds == compound_scaffolds[a_pos]]

@@ -137,7 +137,6 @@ def generate_omaha_mm(config: OMAHAConfig | None = None) -> MultimodalKG:
     diseases_arr = np.asarray(diseases)
     symptoms_arr = np.asarray(symptoms)
     genes_arr = np.asarray(genes)
-    mutations_arr = np.asarray(mutations)
     drugs_arr = np.asarray(drugs)
 
     ranks = np.arange(1, len(entities) + 1, dtype=np.float64) ** (-cfg.zipf_exponent)

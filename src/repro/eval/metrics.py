@@ -50,6 +50,22 @@ class RankingMetrics:
             num_queries=int(np.mean([m.num_queries for m in metrics])),
         )
 
+    def to_dict(self) -> dict:
+        """Exact JSON-serialisable view (full precision, unlike ``as_row``)."""
+        return {"mr": self.mr, "mrr": self.mrr,
+                "hits": {str(n): v for n, v in sorted(self.hits.items())},
+                "num_queries": self.num_queries}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RankingMetrics":
+        """Rebuild from :meth:`to_dict` output (hits keys back to int)."""
+        return cls(
+            mr=float(payload["mr"]),
+            mrr=float(payload["mrr"]),
+            hits={int(n): float(v) for n, v in payload.get("hits", {}).items()},
+            num_queries=int(payload.get("num_queries", 0)),
+        )
+
     def as_row(self) -> dict[str, float]:
         """Flat dict suitable for table rendering."""
         row = {"MRR": round(self.mrr, 1), "MR": round(self.mr, 1)}

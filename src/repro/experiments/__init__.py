@@ -15,7 +15,15 @@ from .fig7_case_study import CaseStudy, render_fig7, run_fig7
 from .fig8_convergence import render_fig8, run_fig8a, run_fig8b
 from .fig9_scalability import ScalabilityPoint, render_fig9, run_fig9
 from .reporting import format_histogram, format_series, format_table
-from .runner import RunResult, clear_run_cache, get_prepared, train_model
+from .runner import (
+    RunnerContext,
+    RunResult,
+    clear_run_cache,
+    get_prepared,
+    set_export_dir,
+    set_telemetry_dir,
+    train_model,
+)
 from .scale import PAPER, SMALL, SMOKE, Scale, get_scale
 from .table2_datasets import render_table2, run_table2
 from .table3_overall import (
@@ -28,7 +36,8 @@ from .table4_relations import render_table4, render_table5, run_table4, run_tabl
 
 __all__ = [
     "Scale", "SMOKE", "SMALL", "PAPER", "get_scale",
-    "RunResult", "train_model", "get_prepared", "clear_run_cache",
+    "RunResult", "RunnerContext", "train_model", "get_prepared",
+    "clear_run_cache", "set_export_dir", "set_telemetry_dir",
     "format_table", "format_series", "format_histogram",
     "run_table2", "render_table2",
     "run_table3", "render_table3", "PAPER_TABLE3", "improvement_over_best_competitor",

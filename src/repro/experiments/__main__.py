@@ -75,12 +75,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--export-bundle", metavar="DIR", default=None,
                         help="also write a repro.serve checkpoint bundle for "
                              "every model the experiment trains")
+    parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                        help="write one JSONL training-telemetry file per "
+                             "fresh run (one event per epoch/eval)")
     args = parser.parse_args(argv)
 
     if args.export_bundle:
         from .runner import set_export_dir
 
         set_export_dir(args.export_bundle)
+    if args.telemetry_dir:
+        from .runner import set_telemetry_dir
+
+        set_telemetry_dir(args.telemetry_dir)
     scale = get_scale(args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
 from ..eval import evaluate_ranking
+from ..train import OneToNObjective, TrainingEngine
 from .reporting import format_series
 from .runner import get_prepared
 from .scale import Scale
@@ -32,10 +33,11 @@ SWEEPS = {
 def _train_mrr(mkg, feats, cfg: CamEConfig, scale: Scale, seed: int) -> float:
     rng = np.random.default_rng(600 + seed)
     model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
-    trainer = OneToNTrainer(model, mkg.split, rng, lr=cfg.learning_rate,
-                            batch_size=128)
+    engine = TrainingEngine(model, mkg.split, rng,
+                            OneToNObjective(batch_size=128),
+                            lr=cfg.learning_rate)
     # Reduced budget: the sweep needs relative ordering, not convergence.
-    trainer.fit(max(scale.epochs_came // 2, 1))
+    engine.fit(max(scale.epochs_came // 2, 1))
     metrics = evaluate_ranking(model, mkg.split, part="test",
                                max_queries=scale.test_max_queries // 2,
                                rng=np.random.default_rng(700 + seed))

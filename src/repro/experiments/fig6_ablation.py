@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
 from ..eval import RankingMetrics, evaluate_ranking
+from ..train import OneToNObjective, TrainingEngine
 from .reporting import format_table
 from .runner import get_prepared
 from .scale import Scale
@@ -40,10 +41,11 @@ def run_fig6(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
         cfg = CamEConfig.ablation(name, base)
         rng = np.random.default_rng(800 + seed)
         model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
-        trainer = OneToNTrainer(model, mkg.split, rng, lr=cfg.learning_rate,
-                                batch_size=128)
-        trainer.fit(scale.epochs_came, eval_every=scale.eval_every,
-                    eval_max_queries=scale.eval_max_queries)
+        engine = TrainingEngine(model, mkg.split, rng,
+                                OneToNObjective(batch_size=128),
+                                lr=cfg.learning_rate)
+        engine.fit(scale.epochs_came, eval_every=scale.eval_every,
+                   eval_max_queries=scale.eval_max_queries)
         results[name] = evaluate_ranking(
             model, mkg.split, part="test", max_queries=scale.test_max_queries,
             rng=np.random.default_rng(900 + seed),

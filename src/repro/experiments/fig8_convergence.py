@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
+from ..train import OneToNObjective, TrainingEngine
 from .reporting import format_series
 from .runner import get_prepared, train_model
 from .scale import Scale
@@ -46,11 +47,12 @@ def run_fig8b(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
         cfg = CamEConfig.ablation(name, base)
         rng = np.random.default_rng(850 + seed)
         model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
-        trainer = OneToNTrainer(model, mkg.split, rng, lr=cfg.learning_rate,
-                                batch_size=128)
-        report = trainer.fit(scale.epochs_came, eval_every=scale.eval_every,
-                             eval_max_queries=scale.eval_max_queries,
-                             keep_best=False)
+        engine = TrainingEngine(model, mkg.split, rng,
+                                OneToNObjective(batch_size=128),
+                                lr=cfg.learning_rate)
+        report = engine.fit(scale.epochs_came, eval_every=scale.eval_every,
+                            eval_max_queries=scale.eval_max_queries,
+                            keep_best=False)
         series[name] = [(elapsed, metrics.mrr)
                         for _, elapsed, metrics in report.eval_history]
     return series

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
 from ..eval import evaluate_ranking
+from ..train import OneToNObjective, TrainingEngine
 from .reporting import format_series
 from .runner import get_prepared
 from .scale import Scale
@@ -66,10 +67,11 @@ def run_fig9(scale: Scale, dataset: str = "drkg-mm", seed: int = 0,
             )
             rng = np.random.default_rng(rng_master.integers(1 << 31))
             model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
-            trainer = OneToNTrainer(model, sub_split, rng,
-                                    lr=cfg.learning_rate, batch_size=128)
+            engine = TrainingEngine(model, sub_split, rng,
+                                    OneToNObjective(batch_size=128),
+                                    lr=cfg.learning_rate)
             tick = time.perf_counter()
-            trainer.train_epoch()
+            engine.train_epoch()
             train_seconds = time.perf_counter() - tick
             n_test = max(1, int(scale.test_max_queries * fraction / 2))
             tick = time.perf_counter()

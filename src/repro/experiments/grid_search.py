@@ -13,8 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import CamE, CamEConfig, OneToNTrainer
+from ..core import CamE, CamEConfig
 from ..eval import RankingMetrics, evaluate_ranking
+from ..train import OneToNObjective, TrainingEngine
 from .runner import get_prepared
 from .scale import Scale
 
@@ -64,9 +65,10 @@ def grid_search_came(
         cfg = base.variant(**settings)
         rng = np.random.default_rng(1234 + seed)
         model = CamE(mkg.num_entities, mkg.num_relations, feats, cfg, rng=rng)
-        trainer = OneToNTrainer(model, mkg.split, rng, lr=cfg.learning_rate,
-                                batch_size=128)
-        trainer.fit(budget)
+        engine = TrainingEngine(model, mkg.split, rng,
+                                OneToNObjective(batch_size=128),
+                                lr=cfg.learning_rate)
+        engine.fit(budget)
         metrics = evaluate_ranking(model, mkg.split, part="valid",
                                    max_queries=scale.eval_max_queries,
                                    rng=np.random.default_rng(4321 + seed))

@@ -2,8 +2,15 @@
 
 Several tables/figures need the same trained models (Table III provides
 the trained CamE that Table IV, Fig. 7 and Fig. 8 reuse), so runs are
-cached by ``(dataset, scale, model, seed)``.  Everything is
+cached by ``(dataset, scale, model, seed, ...)``.  Everything is
 deterministic given the seed.
+
+All runner state — the feature/run caches plus the export/telemetry
+directories — lives in a :class:`RunnerContext`.  Module-level helpers
+(:func:`set_export_dir`, :func:`set_telemetry_dir`,
+:func:`clear_run_cache`) operate on the shared default context so
+existing call sites keep working; tests and long-lived services can pass
+their own context to isolate state.
 """
 
 from __future__ import annotations
@@ -11,27 +18,47 @@ from __future__ import annotations
 import logging
 import os
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..baselines import build_model
-from ..core import TrainReport
 from ..datasets import ModalityFeatures, MultimodalKG, build_features, get_dataset
 from ..eval import RankingMetrics, evaluate_ranking
+from ..train import BundleExport, Callback, EarlyStopping, JsonlTelemetry, TrainReport
 from .scale import Scale
 
-__all__ = ["RunResult", "get_prepared", "train_model", "clear_run_cache",
-           "set_export_dir"]
+__all__ = ["RunResult", "RunnerContext", "get_prepared", "train_model",
+           "clear_run_cache", "set_export_dir", "set_telemetry_dir"]
 
 logger = logging.getLogger("repro.experiments.runner")
 
-_FEATURE_CACHE: dict[tuple, tuple[MultimodalKG, ModalityFeatures]] = {}
-_RUN_CACHE: dict[tuple, "RunResult"] = {}
 
-#: When set (``set_export_dir`` / ``--export-bundle``), every trained run
-#: also writes a servable checkpoint bundle under this directory.
-_EXPORT_DIR: str | None = None
+@dataclass
+class RunnerContext:
+    """Everything the runner keeps between :func:`train_model` calls.
+
+    Replaces the former module globals: the prepared-dataset and
+    trained-run caches, the bundle ``export_dir`` (every run also writes
+    a servable checkpoint bundle when set) and the ``telemetry_dir``
+    (every *fresh* run writes a JSONL telemetry file when set — cache
+    hits trained nothing, so they emit nothing).
+    """
+
+    feature_cache: dict[tuple, tuple[MultimodalKG, ModalityFeatures]] = \
+        field(default_factory=dict)
+    run_cache: dict[tuple, "RunResult"] = field(default_factory=dict)
+    export_dir: str | None = None
+    telemetry_dir: str | None = None
+
+    def clear(self) -> None:
+        """Drop all cached runs and features (frees memory in long sessions)."""
+        self.feature_cache.clear()
+        self.run_cache.clear()
+
+
+#: Shared context behind the module-level helper functions.
+DEFAULT_CONTEXT = RunnerContext()
 
 
 def set_export_dir(path: str | None) -> None:
@@ -41,8 +68,17 @@ def set_export_dir(path: str | None) -> None:
     ``<path>/<dataset>_<model>_<scale>_seed<seed>`` and can be loaded
     with ``repro.serve`` (``query`` / ``serve`` subcommands).
     """
-    global _EXPORT_DIR
-    _EXPORT_DIR = path
+    DEFAULT_CONTEXT.export_dir = path
+
+
+def set_telemetry_dir(path: str | None) -> None:
+    """Make every subsequent fresh :func:`train_model` write run telemetry.
+
+    ``None`` disables it.  Each run writes
+    ``<path>/<dataset>_<model>_<scale>_seed<seed>.jsonl`` with one JSON
+    event per epoch/eval (see :class:`repro.train.JsonlTelemetry`).
+    """
+    DEFAULT_CONTEXT.telemetry_dir = path
 
 
 @dataclass
@@ -56,10 +92,12 @@ class RunResult:
     test_metrics: RankingMetrics
 
 
-def get_prepared(dataset: str, scale: Scale, seed: int = 0) -> tuple[MultimodalKG, ModalityFeatures]:
+def get_prepared(dataset: str, scale: Scale, seed: int = 0,
+                 context: RunnerContext | None = None) -> tuple[MultimodalKG, ModalityFeatures]:
     """Dataset + pre-trained modality features (cached)."""
+    ctx = context if context is not None else DEFAULT_CONTEXT
     key = (dataset, scale.name, seed)
-    if key not in _FEATURE_CACHE:
+    if key not in ctx.feature_cache:
         mkg = get_dataset(dataset, scale=scale.dataset_scale, seed=seed)
         rng = np.random.default_rng(1000 + seed)
         feats = build_features(
@@ -67,8 +105,8 @@ def get_prepared(dataset: str, scale: Scale, seed: int = 0) -> tuple[MultimodalK
             d_s=scale.feature_dim, gin_epochs=scale.pretrain_epochs,
             compgcn_epochs=scale.pretrain_epochs,
         )
-        _FEATURE_CACHE[key] = (mkg, feats)
-    return _FEATURE_CACHE[key]
+        ctx.feature_cache[key] = (mkg, feats)
+    return ctx.feature_cache[key]
 
 
 def _epochs_for(model_name: str, scale: Scale) -> int:
@@ -80,16 +118,18 @@ def _epochs_for(model_name: str, scale: Scale) -> int:
     return scale.epochs_1ton if spec.regime == "1toN" else scale.epochs_neg
 
 
-def _bundle_path(model_name: str, dataset: str, scale: Scale, seed: int) -> str:
-    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-",
+def _run_slug(model_name: str, dataset: str, scale: Scale, seed: int) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-",
                   f"{dataset}_{model_name}_{scale.name}_seed{seed}")
-    return os.path.join(_EXPORT_DIR, slug)
 
 
 def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
                 epochs: int | None = None, negatives_1ton: int | None = None,
                 eval_batch_size: int = 128,
-                export_bundle: str | None = None) -> RunResult:
+                export_bundle: str | None = None,
+                early_stopping: int | None = None,
+                callbacks: tuple[Callback, ...] | list[Callback] = (),
+                context: RunnerContext | None = None) -> RunResult:
     """Train ``model_name`` on ``dataset`` and evaluate on test (cached).
 
     ``eval_batch_size`` is threaded through to the trainer's epoch evals
@@ -97,27 +137,44 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
     test eval reuses the trainer's ranking evaluator, so the filter is
     built exactly once for the whole run.
 
+    ``early_stopping`` (an eval-patience count) attaches an
+    :class:`repro.train.EarlyStopping` callback; ``callbacks`` appends
+    arbitrary extra hooks (runs carrying custom callbacks are not
+    cached, since the cache key cannot capture them).  When the
+    context's ``telemetry_dir`` is set, each fresh run writes a JSONL
+    telemetry file there.
+
     ``export_bundle`` writes a ``repro.serve`` checkpoint bundle of the
-    trained model to the given path; independently, a process-wide
-    export directory set via :func:`set_export_dir` makes *every* run
-    (cached or fresh) emit one, so any experiment doubles as a bundle
-    factory.
+    trained model to the given path; independently, the context's
+    ``export_dir`` (:func:`set_export_dir` / ``--export-bundle``) makes
+    *every* run (cached or fresh) emit one, so any experiment doubles as
+    a bundle factory.  Exported bundles embed the training report.
     """
+    ctx = context if context is not None else DEFAULT_CONTEXT
     key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton,
-           eval_batch_size)
-    if key in _RUN_CACHE:
-        result = _RUN_CACHE[key]
-        _maybe_export(result, scale, seed, export_bundle)
+           eval_batch_size, early_stopping)
+    cacheable = not callbacks
+    if cacheable and key in ctx.run_cache:
+        result = ctx.run_cache[key]
+        _maybe_export(result, scale, seed, export_bundle, ctx)
         return result
-    mkg, feats = get_prepared(dataset, scale, seed)
+    mkg, feats = get_prepared(dataset, scale, seed, context=ctx)
     rng = np.random.default_rng(2000 + seed)
     model, trainer = build_model(model_name, mkg, feats, rng,
                                  dim=scale.model_dim,
                                  negatives_1ton=negatives_1ton)
     budget = epochs if epochs is not None else _epochs_for(model_name, scale)
+    run_callbacks: list[Callback] = list(callbacks)
+    if early_stopping:
+        run_callbacks.append(EarlyStopping(patience=early_stopping))
+    if ctx.telemetry_dir:
+        slug = _run_slug(model_name, dataset, scale, seed)
+        run_callbacks.append(JsonlTelemetry(
+            os.path.join(ctx.telemetry_dir, f"{slug}.jsonl"), run_id=slug))
     report = trainer.fit(budget, eval_every=scale.eval_every,
                          eval_max_queries=scale.eval_max_queries,
-                         eval_batch_size=eval_batch_size)
+                         eval_batch_size=eval_batch_size,
+                         callbacks=run_callbacks)
     metrics = evaluate_ranking(model, mkg.split, part="test",
                                max_queries=scale.test_max_queries,
                                rng=np.random.default_rng(3000 + seed),
@@ -125,34 +182,35 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
                                evaluator=trainer.evaluator)
     result = RunResult(model_name=model_name, dataset=dataset, model=model,
                        report=report, test_metrics=metrics)
-    _RUN_CACHE[key] = result
-    _maybe_export(result, scale, seed, export_bundle)
+    if cacheable:
+        ctx.run_cache[key] = result
+    _maybe_export(result, scale, seed, export_bundle, ctx)
     return result
 
 
 def _maybe_export(result: RunResult, scale: Scale, seed: int,
-                  export_bundle: str | None) -> None:
+                  export_bundle: str | None, ctx: RunnerContext) -> None:
     """Write serve bundles for a finished run (explicit path and/or dir)."""
     paths = []
     if export_bundle:
         paths.append(export_bundle)
-    if _EXPORT_DIR:
-        paths.append(_bundle_path(result.model_name, result.dataset, scale, seed))
+    if ctx.export_dir:
+        paths.append(os.path.join(
+            ctx.export_dir,
+            _run_slug(result.model_name, result.dataset, scale, seed)))
     if not paths:
         return
-    from ..serve import save_bundle  # local import: serve sits above the runner
-
-    mkg, feats = get_prepared(result.dataset, scale, seed)
+    mkg, feats = get_prepared(result.dataset, scale, seed, context=ctx)
     for path in paths:
-        save_bundle(path, result.model, result.model_name, mkg.split, feats,
-                    dim=scale.model_dim,
-                    extra={"scale": scale.name, "seed": seed,
-                           "test_metrics": result.test_metrics.as_row()})
+        exporter = BundleExport(
+            path, result.model_name, mkg.split, feats, dim=scale.model_dim,
+            extra={"scale": scale.name, "seed": seed,
+                   "test_metrics": result.test_metrics.as_row()})
+        exporter.export(result.model, report=result.report)
         logger.info("exported bundle %s (%s on %s)", path,
                     result.model_name, result.dataset)
 
 
 def clear_run_cache() -> None:
-    """Drop all cached runs and features (frees memory in long sessions)."""
-    _FEATURE_CACHE.clear()
-    _RUN_CACHE.clear()
+    """Drop the default context's cached runs and features."""
+    DEFAULT_CONTEXT.clear()

@@ -479,7 +479,6 @@ def layer_norm(a, gamma, beta, axis: int = -1, eps: float = 1e-5) -> Tensor:
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (a.data - mu) * inv_std
     out_data = x_hat * gamma.data + beta.data
-    n = a.data.shape[axis]
 
     def backward(grad: np.ndarray) -> None:
         gamma._accumulate(unbroadcast(grad * x_hat, gamma.data.shape))
@@ -522,7 +521,6 @@ def batch_norm(
     inv_std = 1.0 / np.sqrt(var + eps)
     x_hat = (a.data - mu) * inv_std
     out_data = x_hat * gamma.data + beta.data
-    m = a.data.size // a.data.shape[-1]
 
     def backward(grad: np.ndarray) -> None:
         gamma._accumulate(unbroadcast(grad * x_hat, gamma.data.shape))

@@ -87,6 +87,16 @@ class CheckpointBundle:
     def relations(self) -> Vocabulary:
         return self.split.graph.relations
 
+    @property
+    def train_report(self):
+        """The embedded training history, or ``None`` for older bundles."""
+        payload = self.manifest.get("train_report")
+        if not payload:
+            return None
+        from ..train.report import TrainReport  # local import: train sits below serve
+
+        return TrainReport.from_dict(payload)
+
     # ------------------------------------------------------------------
     # Model reconstruction
     # ------------------------------------------------------------------
@@ -123,11 +133,15 @@ class CheckpointBundle:
 
 def save_bundle(path: str, model, model_name: str, split: KGSplit,
                 features: ModalityFeatures, dim: int,
-                extra: dict[str, Any] | None = None) -> str:
+                extra: dict[str, Any] | None = None,
+                report=None) -> str:
     """Write ``model`` (+ everything needed to rebuild it) to ``path``.
 
     ``path`` ending in ``.npz`` selects the single-file layout, anything
-    else the directory layout.  Returns ``path``.
+    else the directory layout.  ``report`` (a
+    :class:`repro.train.TrainReport`) embeds the training history —
+    losses, timings, eval metrics — in the manifest, recoverable via
+    :attr:`CheckpointBundle.train_report`.  Returns ``path``.
     """
     state = model.state_dict()
     config = None
@@ -150,6 +164,7 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
         "feature_dims": list(features.dims),
         "state_keys": _state_meta(state),
         "extra": extra or {},
+        "train_report": report.to_dict() if report is not None else None,
     }
     vocab = {
         "entities": graph.entities.names(),

@@ -1,0 +1,50 @@
+"""``repro.train`` — the unified training engine.
+
+One :class:`TrainingEngine` owns the epoch loop for every model in the
+repo; the regime is a pluggable :class:`Objective`
+(:class:`OneToNObjective` for the ConvE/CamE BCE path,
+:class:`NegativeSamplingObjective` for the RotatE log-sigmoid path) and
+cross-cutting features are :class:`Callback` hooks:
+
+* :class:`BestStateCheckpoint` — best-by-Hits@10 checkpoint + restore;
+* :class:`ProgressLogging` — progress under the ``repro.train`` logger;
+* :class:`EarlyStopping` — patience-based stop on the eval criterion;
+* :class:`LRScheduling` — epoch-indexed learning-rate schedules;
+* :class:`JsonlTelemetry` — one JSONL event per epoch/eval per run;
+* :class:`BundleExport` — ``repro.serve`` checkpoint bundle at fit end.
+
+``repro.core.OneToNTrainer`` and
+``repro.baselines.NegativeSamplingTrainer`` are thin shims over this
+package preserving their original APIs; see DESIGN.md §8.
+"""
+
+from .callbacks import (
+    BestStateCheckpoint,
+    BundleExport,
+    Callback,
+    EarlyStopping,
+    JsonlTelemetry,
+    LRScheduling,
+    ProgressLogging,
+    read_telemetry,
+)
+from .engine import TrainingEngine, TrainState
+from .objectives import NegativeSamplingObjective, Objective, OneToNObjective
+from .report import TrainReport
+
+__all__ = [
+    "TrainingEngine",
+    "TrainState",
+    "TrainReport",
+    "Objective",
+    "OneToNObjective",
+    "NegativeSamplingObjective",
+    "Callback",
+    "BestStateCheckpoint",
+    "ProgressLogging",
+    "EarlyStopping",
+    "LRScheduling",
+    "JsonlTelemetry",
+    "BundleExport",
+    "read_telemetry",
+]

@@ -1,0 +1,285 @@
+"""Callback hooks for :class:`repro.train.TrainingEngine`.
+
+Every cross-cutting training feature — progress logging, best-state
+checkpointing, early stopping, LR scheduling, JSONL run telemetry,
+serve-bundle export — is a :class:`Callback`.  Hooks fire in list
+order at four points of a ``fit`` call::
+
+    on_fit_start -> [epoch: (on_eval?) on_epoch_end]* -> on_fit_end
+
+``on_eval`` fires only on epochs the engine evaluates (``eval_every``),
+*before* that epoch's ``on_epoch_end``.  Callbacks communicate with the
+loop through the shared :class:`~repro.train.engine.TrainState`; setting
+``state.stop = True`` ends training after the current epoch (the best
+state is still restored by :class:`BestStateCheckpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from ..eval import RankingMetrics
+
+__all__ = [
+    "Callback",
+    "BestStateCheckpoint",
+    "ProgressLogging",
+    "EarlyStopping",
+    "LRScheduling",
+    "JsonlTelemetry",
+    "BundleExport",
+    "read_telemetry",
+]
+
+logger = logging.getLogger("repro.train")
+
+
+def _selection_key(metrics: RankingMetrics) -> float:
+    """Model-selection criterion: valid Hits@10 (the paper's choice)."""
+    return metrics.hits.get(10, metrics.mrr)
+
+
+class Callback:
+    """Hook interface; subclasses override any subset of the four hooks."""
+
+    def on_fit_start(self, state) -> None: ...
+
+    def on_epoch_end(self, state) -> None: ...
+
+    def on_eval(self, state) -> None: ...
+
+    def on_fit_end(self, state) -> None: ...
+
+
+class BestStateCheckpoint(Callback):
+    """Track the best eval by Hits@10 and restore it when training ends.
+
+    Exactly the ``keep_best`` behaviour of the seed trainers: strictly
+    better Hits@10 (falling back to MRR when Hits@10 is absent) snapshots
+    ``state_dict()`` into the report; ``on_fit_end`` loads it back.
+    """
+
+    def __init__(self) -> None:
+        self.best_key = -np.inf
+
+    def on_eval(self, state) -> None:
+        key = _selection_key(state.metrics)
+        if key > self.best_key:
+            self.best_key = key
+            state.report.best_metrics = state.metrics
+            if hasattr(state.model, "state_dict"):
+                state.report.best_state = state.model.state_dict()
+
+    def on_fit_end(self, state) -> None:
+        if state.report.best_state is not None and hasattr(state.model, "load_state_dict"):
+            state.model.load_state_dict(state.report.best_state)
+
+
+class ProgressLogging(Callback):
+    """Per-eval progress lines under the ``repro.train`` logger.
+
+    Replaces the seed trainers' ``verbose`` ``print``: with
+    ``verbose=True`` lines go out at INFO, otherwise at DEBUG, so the
+    ``repro.train`` hierarchy is configured exactly like ``repro.serve``.
+    """
+
+    def __init__(self, verbose: bool = False) -> None:
+        self.level = logging.INFO if verbose else logging.DEBUG
+
+    def on_eval(self, state) -> None:
+        logger.log(self.level, "epoch %3d loss %.4f %s",
+                   state.epoch, state.loss, state.metrics)
+
+    def on_fit_end(self, state) -> None:
+        logger.log(self.level, "fit done: %d epochs, final loss %.4f%s",
+                   len(state.report.epoch_losses), state.report.final_loss,
+                   " (stopped early)" if state.stop else "")
+
+
+class EarlyStopping(Callback):
+    """Stop when the eval criterion has not improved for ``patience`` evals.
+
+    The criterion is the same Hits@10-or-MRR key model selection uses.
+    Improvement means exceeding the best seen by more than ``min_delta``.
+    The best weights are still restored at fit end (checkpointing is
+    :class:`BestStateCheckpoint`'s job and runs regardless).
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = -np.inf
+        self.wait = 0
+        self.stopped_epoch: int | None = None
+
+    def on_eval(self, state) -> None:
+        key = _selection_key(state.metrics)
+        if key > self.best + self.min_delta:
+            self.best = key
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            state.stop = True
+            self.stopped_epoch = state.epoch
+            logger.info("early stopping at epoch %d (no improvement in %d evals)",
+                        state.epoch, self.patience)
+
+
+class LRScheduling(Callback):
+    """Epoch-indexed learning-rate schedule applied to the engine optimiser.
+
+    ``schedule(epoch, base_lr)`` returns the LR to use *for* ``epoch``
+    (1-based); it is applied at fit start for epoch 1 and after each
+    ``on_epoch_end`` for the next epoch.  The base LR is whatever the
+    optimiser held when training started.
+    """
+
+    def __init__(self, schedule: Callable[[int, float], float]) -> None:
+        self.schedule = schedule
+        self.base_lr: float | None = None
+
+    @classmethod
+    def step(cls, step_size: int, gamma: float = 0.5) -> "LRScheduling":
+        """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+        return cls(lambda epoch, base: base * gamma ** ((epoch - 1) // step_size))
+
+    @classmethod
+    def exponential(cls, gamma: float = 0.99) -> "LRScheduling":
+        """Multiply the LR by ``gamma`` every epoch."""
+        return cls(lambda epoch, base: base * gamma ** (epoch - 1))
+
+    def on_fit_start(self, state) -> None:
+        self.base_lr = state.engine.optimizer.lr
+        state.engine.optimizer.lr = self.schedule(1, self.base_lr)
+
+    def on_epoch_end(self, state) -> None:
+        if state.epoch < state.epochs and not state.stop:
+            state.engine.optimizer.lr = self.schedule(state.epoch + 1, self.base_lr)
+
+
+class JsonlTelemetry(Callback):
+    """Structured JSONL run telemetry: one event per epoch and per eval.
+
+    Writes a per-run file (the Fig. 8/9 raw series, and an ops trail)
+    with one JSON object per line::
+
+        {"event": "fit_start", "run": ..., "epochs": N, "model": ..., ...}
+        {"event": "epoch", "epoch": 1, "loss": ..., "seconds": ..., "lr": ...}
+        {"event": "eval",  "epoch": 2, "elapsed": ..., "metrics": {...}}
+        {"event": "fit_end", "epochs_run": N, "stopped_early": false, ...}
+
+    Every event carries a ``time`` wall-clock stamp and is flushed as it
+    is written, so a crashed or interrupted run leaves a readable,
+    resumable trail; ``append=True`` continues an existing file (the
+    new ``fit_start`` event is marked ``"resumed": true``).
+    """
+
+    def __init__(self, path: str, run_id: str | None = None,
+                 append: bool = False) -> None:
+        self.path = str(path)
+        self.run_id = run_id
+        self.append = append
+        self._fh = None
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self._fh is None:  # pragma: no cover - defensive
+            return
+        event["time"] = round(time.time(), 3)
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+
+    def on_fit_start(self, state) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a" if self.append else "w", encoding="utf-8")
+        self._emit({
+            "event": "fit_start",
+            "run": self.run_id,
+            "epochs": state.epochs,
+            "model": type(state.model).__name__,
+            "objective": state.engine.objective.name,
+            "lr": state.engine.optimizer.lr,
+            "resumed": self.append,
+        })
+
+    def on_epoch_end(self, state) -> None:
+        self._emit({
+            "event": "epoch",
+            "epoch": state.epoch,
+            "loss": state.loss,
+            "seconds": state.report.epoch_seconds[-1],
+            "lr": state.engine.optimizer.lr,
+        })
+
+    def on_eval(self, state) -> None:
+        self._emit({
+            "event": "eval",
+            "epoch": state.epoch,
+            "elapsed": state.elapsed,
+            "metrics": state.metrics.to_dict(),
+        })
+
+    def on_fit_end(self, state) -> None:
+        best = state.report.best_metrics
+        self._emit({
+            "event": "fit_end",
+            "run": self.run_id,
+            "epochs_run": len(state.report.epoch_losses),
+            "stopped_early": state.stop,
+            "final_loss": state.report.final_loss,
+            "best_metrics": best.to_dict() if best is not None else None,
+        })
+        self._fh.close()
+        self._fh = None
+
+
+def read_telemetry(path: str) -> list[dict[str, Any]]:
+    """Parse a :class:`JsonlTelemetry` file back into a list of events."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class BundleExport(Callback):
+    """Write a ``repro.serve`` checkpoint bundle when training finishes.
+
+    The engine-level home of the PR-2 export hook: attach it to a fit
+    call and the trained (best-restored) model is saved with the full
+    :class:`~repro.train.TrainReport` embedded in the bundle manifest.
+    :meth:`export` is also callable directly, which is how the
+    experiment runner exports after it has test metrics to record.
+    """
+
+    def __init__(self, path: str, model_name: str, split, features, dim: int,
+                 extra: dict[str, Any] | None = None) -> None:
+        self.path = str(path)
+        self.model_name = model_name
+        self.split = split
+        self.features = features
+        self.dim = dim
+        self.extra = extra
+
+    def export(self, model, report=None) -> str:
+        from ..serve import save_bundle  # local import: serve sits above train
+
+        save_bundle(self.path, model, self.model_name, self.split,
+                    self.features, dim=self.dim, extra=self.extra,
+                    report=report)
+        logger.info("exported bundle %s (%s)", self.path, self.model_name)
+        return self.path
+
+    def on_fit_end(self, state) -> None:
+        self.export(state.model, report=state.report)

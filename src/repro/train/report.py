@@ -1,0 +1,88 @@
+"""Training-run reports: losses, timings, eval history, best state.
+
+:class:`TrainReport` is the single artefact every training run produces,
+shared by the 1-to-N and negative-sampling regimes.  ``eval_history``
+rows are ``(epoch, elapsed_seconds, metrics)`` — the series Fig. 8
+plots; ``epoch_seconds`` feeds Fig. 9.  The JSON round-trip
+(:meth:`TrainReport.to_dict` / :meth:`TrainReport.from_dict`) lets serve
+bundles and telemetry files embed the full training history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..eval import RankingMetrics
+
+__all__ = ["TrainReport"]
+
+
+@dataclass
+class TrainReport:
+    """Everything a training run produced.
+
+    ``eval_history`` rows are ``(epoch, elapsed_seconds, metrics)`` —
+    the series Fig. 8 plots.  ``epoch_seconds`` feeds Fig. 9.
+    """
+
+    epoch_losses: list[float] = field(default_factory=list)
+    eval_history: list[tuple[int, float, RankingMetrics]] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+    best_metrics: RankingMetrics | None = None
+    best_state: dict[str, np.ndarray] | None = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else float("nan")
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self, include_state: bool = False) -> dict[str, Any]:
+        """JSON-serialisable view of the report (metrics included).
+
+        ``include_state=True`` additionally inlines ``best_state`` as
+        nested lists — exact but bulky, so bundles (which already carry
+        the weights as arrays) leave it off.
+        """
+        payload: dict[str, Any] = {
+            "epoch_losses": [float(x) for x in self.epoch_losses],
+            "epoch_seconds": [float(x) for x in self.epoch_seconds],
+            "eval_history": [[int(epoch), float(elapsed), metrics.to_dict()]
+                             for epoch, elapsed, metrics in self.eval_history],
+            "best_metrics": (self.best_metrics.to_dict()
+                             if self.best_metrics is not None else None),
+        }
+        if include_state and self.best_state is not None:
+            payload["best_state"] = {
+                name: {"dtype": str(np.asarray(arr).dtype),
+                       "shape": list(np.shape(arr)),
+                       "data": np.asarray(arr).ravel().tolist()}
+                for name, arr in self.best_state.items()
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TrainReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        best_metrics = payload.get("best_metrics")
+        best_state = payload.get("best_state")
+        return cls(
+            epoch_losses=[float(x) for x in payload.get("epoch_losses", [])],
+            epoch_seconds=[float(x) for x in payload.get("epoch_seconds", [])],
+            eval_history=[(int(epoch), float(elapsed), RankingMetrics.from_dict(m))
+                          for epoch, elapsed, m in payload.get("eval_history", [])],
+            best_metrics=(RankingMetrics.from_dict(best_metrics)
+                          if best_metrics is not None else None),
+            best_state=({name: np.asarray(rec["data"], dtype=rec["dtype"])
+                         .reshape(rec["shape"])
+                         for name, rec in best_state.items()}
+                        if best_state is not None else None),
+        )

@@ -1,7 +1,6 @@
 """Exchanging fusion, MMF and RIC modules."""
 
 import numpy as np
-import pytest
 
 from repro.core import ExchangeFusion, MultimodalTCAFusion, RelationInteractiveTCA, SimpleFusion
 from repro.nn import Tensor

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import ModalityFeatures, build_features, generate_drkg_mm, generate_omaha_mm
+from repro.datasets import build_features, generate_drkg_mm, generate_omaha_mm
 from repro.datasets import DRKGConfig, OMAHAConfig
 
 

@@ -7,7 +7,6 @@ from repro.experiments import (
     ABLATIONS,
     SMOKE,
     PAPER_TABLE3,
-    clear_run_cache,
     format_histogram,
     format_series,
     format_table,

@@ -1,7 +1,6 @@
 """Negative sampling: corruption, Bernoulli statistics, filtering."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

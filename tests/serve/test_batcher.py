@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.serve import MicroBatcher, PredictionEngine
+from repro.serve import MicroBatcher
 
 
 class _SlowEngine:

@@ -1,0 +1,270 @@
+"""Callback contract: ordering, early stopping, LR schedules, telemetry."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines import DistMult
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.eval import RankingMetrics
+from repro.experiments import SMOKE
+from repro.experiments.runner import RunnerContext, train_model
+from repro.serve import load_bundle
+from repro.train import (
+    BundleExport,
+    Callback,
+    EarlyStopping,
+    JsonlTelemetry,
+    LRScheduling,
+    OneToNObjective,
+    TrainingEngine,
+    read_telemetry,
+)
+
+
+@pytest.fixture(scope="module")
+def mkg():
+    return generate_drkg_mm(DRKGConfig().scaled(0.15))
+
+
+def make_engine(mkg, seed=0, lr=0.01):
+    rng = np.random.default_rng(seed)
+    model = DistMult(mkg.num_entities, mkg.num_relations, dim=16, rng=rng)
+    return model, TrainingEngine(model, mkg.split, rng,
+                                 OneToNObjective(batch_size=64), lr=lr)
+
+
+class SequenceRecorder(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_fit_start(self, state):
+        self.events.append("fit_start")
+
+    def on_epoch_end(self, state):
+        self.events.append(f"epoch_end:{state.epoch}")
+
+    def on_eval(self, state):
+        self.events.append(f"eval:{state.epoch}")
+
+    def on_fit_end(self, state):
+        self.events.append("fit_end")
+
+
+class FakeEvaluator:
+    """Scripted eval metrics: one Hits@10 value consumed per evaluate()."""
+
+    def __init__(self, hits10):
+        self.hits10 = list(hits10)
+        self.calls = 0
+
+    def evaluate(self, model, **kwargs):
+        value = self.hits10[self.calls]
+        self.calls += 1
+        return RankingMetrics(mr=10.0, mrr=value / 2.0, hits={10: value},
+                              num_queries=4)
+
+
+class TestCallbackOrdering:
+    def test_hook_sequence_over_three_epochs(self, mkg):
+        recorder = SequenceRecorder()
+        _, engine = make_engine(mkg)
+        engine.fit(3, eval_every=2, eval_max_queries=10, callbacks=[recorder])
+        # eval fires on epochs 2 (cadence) and 3 (final), before epoch_end.
+        assert recorder.events == [
+            "fit_start",
+            "epoch_end:1",
+            "eval:2", "epoch_end:2",
+            "eval:3", "epoch_end:3",
+            "fit_end",
+        ]
+
+    def test_no_eval_hooks_without_eval_every(self, mkg):
+        recorder = SequenceRecorder()
+        _, engine = make_engine(mkg)
+        engine.fit(2, callbacks=[recorder])
+        assert recorder.events == ["fit_start", "epoch_end:1", "epoch_end:2",
+                                   "fit_end"]
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self, mkg):
+        model, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([50.0, 40.0, 30.0, 20.0, 10.0, 5.0])
+        stopper = EarlyStopping(patience=2)
+        report = engine.fit(6, eval_every=1, callbacks=[stopper])
+        # Evals: 50 (best), 40 (wait=1), 30 (wait=2 -> stop at epoch 3).
+        assert stopper.stopped_epoch == 3
+        assert len(report.epoch_losses) == 3
+        assert len(report.eval_history) == 3
+
+    def test_improvement_resets_patience(self, mkg):
+        _, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([50.0, 40.0, 60.0, 55.0, 50.0, 45.0])
+        stopper = EarlyStopping(patience=2)
+        report = engine.fit(6, eval_every=1, callbacks=[stopper])
+        # 60 at epoch 3 resets the counter; stop lands on epoch 5.
+        assert stopper.stopped_epoch == 5
+        assert len(report.epoch_losses) == 5
+
+    def test_best_state_restored_on_early_stop(self, mkg):
+        model, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([50.0, 40.0, 30.0, 20.0])
+        snapshots = {}
+
+        class SnapshotAtBest(Callback):
+            def on_eval(self, state):
+                if state.metrics.hits[10] == 50.0:
+                    snapshots.update({k: v.copy()
+                                      for k, v in model.state_dict().items()})
+
+        report = engine.fit(4, eval_every=1,
+                            callbacks=[SnapshotAtBest(), EarlyStopping(patience=2)])
+        assert report.best_metrics.hits[10] == 50.0
+        for name, arr in model.state_dict().items():
+            np.testing.assert_array_equal(arr, snapshots[name])
+
+    def test_min_delta_counts_marginal_gains_as_no_improvement(self, mkg):
+        _, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([50.0, 50.4, 50.8, 51.2])
+        stopper = EarlyStopping(patience=2, min_delta=1.0)
+        engine.fit(4, eval_every=1, callbacks=[stopper])
+        assert stopper.stopped_epoch == 3
+
+    def test_invalid_patience_rejected(self):
+        with pytest.raises(ValueError, match="patience"):
+            EarlyStopping(patience=0)
+
+
+class TestLRScheduling:
+    def test_step_schedule_halves_lr(self, mkg):
+        _, engine = make_engine(mkg, lr=0.01)
+        engine.fit(2, callbacks=[LRScheduling.step(1, gamma=0.5)])
+        # Epoch 1 ran at 0.01, epoch 2 at 0.005; no restore afterwards.
+        assert engine.optimizer.lr == pytest.approx(0.005)
+
+    def test_exponential_schedule(self, mkg):
+        _, engine = make_engine(mkg, lr=0.01)
+        engine.fit(3, callbacks=[LRScheduling.exponential(gamma=0.5)])
+        assert engine.optimizer.lr == pytest.approx(0.01 * 0.5 ** 2)
+
+    def test_lr_visible_in_telemetry_per_epoch(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, engine = make_engine(mkg, lr=0.01)
+        engine.fit(2, callbacks=[LRScheduling.step(1, gamma=0.5),
+                                 JsonlTelemetry(str(path))])
+        lrs = [e["lr"] for e in read_telemetry(str(path))
+               if e["event"] == "epoch"]
+        assert lrs == [pytest.approx(0.005), pytest.approx(0.005)]
+
+
+class TestJsonlTelemetry:
+    def test_event_schema_and_counts(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, engine = make_engine(mkg)
+        engine.fit(3, eval_every=2, eval_max_queries=10,
+                   callbacks=[JsonlTelemetry(str(path), run_id="unit")])
+        with open(path, encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        events = [json.loads(line) for line in lines]  # every line parses
+        assert [e["event"] for e in events] == \
+            ["fit_start", "epoch", "eval", "epoch", "eval", "epoch", "fit_end"]
+        assert all("time" in e for e in events)
+
+        start = events[0]
+        assert start["run"] == "unit"
+        assert start["epochs"] == 3
+        assert start["model"] == "DistMult"
+        assert start["objective"] == "1toN"
+        assert start["resumed"] is False
+
+        epoch = events[1]
+        assert epoch["epoch"] == 1
+        assert isinstance(epoch["loss"], float)
+        assert epoch["seconds"] >= 0
+        assert "lr" in epoch
+
+        ev = events[2]
+        assert ev["epoch"] == 2
+        assert set(ev["metrics"]) == {"mr", "mrr", "hits", "num_queries"}
+
+        end = events[-1]
+        assert end["epochs_run"] == 3
+        assert end["stopped_early"] is False
+        assert end["best_metrics"] is not None
+
+    def test_append_mode_marks_resume(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, engine = make_engine(mkg)
+        engine.fit(1, callbacks=[JsonlTelemetry(str(path))])
+        engine.fit(1, callbacks=[JsonlTelemetry(str(path), append=True)])
+        events = read_telemetry(str(path))
+        starts = [e for e in events if e["event"] == "fit_start"]
+        assert [s["resumed"] for s in starts] == [False, True]
+
+    def test_early_stop_recorded(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([50.0, 40.0, 30.0, 20.0])
+        engine.fit(9, eval_every=1,
+                   callbacks=[EarlyStopping(patience=2),
+                              JsonlTelemetry(str(path))])
+        end = read_telemetry(str(path))[-1]
+        assert end["event"] == "fit_end"
+        assert end["stopped_early"] is True
+        assert end["epochs_run"] == 3
+
+
+class TestBundleExport:
+    def test_fit_exports_bundle_with_report(self, mkg, tmp_path):
+        rng = np.random.default_rng(3)
+        feats = build_features(mkg, rng, d_m=8, d_t=8, d_s=8,
+                               gin_epochs=1, compgcn_epochs=1)
+        model, engine = make_engine(mkg)
+        path = tmp_path / "bundle"
+        export = BundleExport(str(path), "DistMult", mkg.split, feats, dim=16,
+                              extra={"note": "unit"})
+        report = engine.fit(2, eval_every=1, eval_max_queries=10,
+                            callbacks=[export])
+        bundle = load_bundle(str(path))
+        assert bundle.model_name == "DistMult"
+        assert bundle.manifest["extra"]["note"] == "unit"
+        stored = bundle.train_report
+        assert stored.epoch_losses == report.epoch_losses
+        assert stored.best_metrics.to_dict() == report.best_metrics.to_dict()
+
+
+class TestRunnerIntegration:
+    def test_early_stopping_and_telemetry_end_to_end(self, tmp_path):
+        ctx = RunnerContext(telemetry_dir=str(tmp_path / "telemetry"))
+        scale = dataclasses.replace(SMOKE, eval_every=1)
+        result = train_model("DistMult", "drkg-mm", scale, seed=0,
+                             epochs=3, early_stopping=2, context=ctx)
+        assert len(result.report.epoch_losses) <= 3
+        files = list((tmp_path / "telemetry").glob("*.jsonl"))
+        assert len(files) == 1
+        assert files[0].name == "drkg-mm_DistMult_smoke_seed0.jsonl"
+        events = read_telemetry(str(files[0]))
+        assert events[0]["event"] == "fit_start"
+        assert events[0]["run"] == "drkg-mm_DistMult_smoke_seed0"
+        assert events[-1]["event"] == "fit_end"
+        per_epoch = [e for e in events if e["event"] == "epoch"]
+        assert len(per_epoch) == len(result.report.epoch_losses)
+
+    def test_custom_callback_runs_are_not_cached(self, tmp_path):
+        ctx = RunnerContext()
+        recorder = SequenceRecorder()
+        train_model("DistMult", "drkg-mm", SMOKE, seed=0, epochs=1,
+                    callbacks=[recorder], context=ctx)
+        assert not ctx.run_cache
+        assert recorder.events[0] == "fit_start"
+
+    def test_cached_rerun_skips_training(self, tmp_path):
+        ctx = RunnerContext()
+        first = train_model("DistMult", "drkg-mm", SMOKE, seed=0, epochs=1,
+                            context=ctx)
+        second = train_model("DistMult", "drkg-mm", SMOKE, seed=0, epochs=1,
+                             context=ctx)
+        assert second is first
