@@ -1,0 +1,154 @@
+"""Observability overhead benchmark: instrumentation must be ~free when off.
+
+``repro.obs`` instruments the hot paths (training epochs, evaluator
+batches, serve request handling) with unconditional :func:`repro.obs.trace`
+calls.  The disabled fast path returns a shared no-op context manager,
+so the cost per span site is one function call plus one attribute check.
+This benchmark pins that contract:
+
+* measures the per-call cost of a disabled ``trace()`` site directly
+  (tight microbenchmark, no timer noise from the workload itself);
+* counts how many span sites one training epoch and one ``/predict``
+  request actually execute (tracing enabled, in-memory ring);
+* asserts ``per_call_cost * sites / workload_seconds < 5 %`` for both —
+  a deterministic bound on the disabled-instrumentation overhead that
+  does not depend on flaky A/B wall-clock comparisons;
+* also records the raw enabled-vs-disabled epoch and request timings
+  (informational; enabled tracing pays for dict building + JSON-safe
+  coercion, which the off path never runs).
+
+Results land in ``benchmarks/results/BENCH_obs.json``.  Set
+``BENCH_OBS_QUICK=1`` (CI) for a single timing round.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.baselines import DistMult, build_model
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.obs import get_tracer, trace, tracing
+from repro.serve import PredictionEngine
+from repro.serve.http import ServiceApp
+from repro.train import OneToNObjective, TrainingEngine
+
+from conftest import RESULTS_DIR
+
+QUICK = bool(os.environ.get("BENCH_OBS_QUICK"))
+ROUNDS = 1 if QUICK else 3
+NOOP_CALLS = 50_000 if QUICK else 200_000
+
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def noop_trace_cost(calls: int) -> float:
+    """Seconds per disabled ``trace()`` span site (enter + exit included)."""
+    assert not get_tracer().enabled
+    for _ in range(1000):  # warm-up
+        with trace("bench.noop", size=1):
+            pass
+    tick = time.perf_counter()
+    for _ in range(calls):
+        with trace("bench.noop", size=1):
+            pass
+    return (time.perf_counter() - tick) / calls
+
+
+def make_train_engine():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.2))
+    rng = np.random.default_rng(0)
+    model = DistMult(mkg.num_entities, mkg.num_relations, 16, rng=rng)
+    return TrainingEngine(model, mkg.split, rng,
+                          OneToNObjective(batch_size=128), lr=0.003)
+
+
+def make_service():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.12))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6, d_s=6,
+                           gin_epochs=1, compgcn_epochs=1)
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(1), dim=16)
+    engine = PredictionEngine(model, mkg.split, model_name="TransE",
+                              cache_size=0)  # no cache: every request scores
+    return ServiceApp(engine)
+
+
+def best_of(fn, rounds: int) -> float:
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def count_spans(fn) -> int:
+    with tracing() as tracer:
+        fn()
+        return len(tracer.spans)
+
+
+def test_disabled_instrumentation_overhead(benchmark):
+    assert not get_tracer().enabled
+    per_call = noop_trace_cost(NOOP_CALLS)
+
+    # -- training epoch ------------------------------------------------
+    engine = make_train_engine()
+    epoch_seconds = best_of(engine.train_epoch, ROUNDS)
+    spans_per_epoch = count_spans(engine.train_epoch)
+    epoch_enabled_seconds = best_of(
+        lambda: count_spans(engine.train_epoch), 1)
+    epoch_overhead = per_call * spans_per_epoch / epoch_seconds
+
+    # -- serve request -------------------------------------------------
+    app = make_service()
+    body = {"head": 0, "relation": 0, "k": 5}
+
+    def one_request():
+        status, _ = app.handle("POST", "/predict", body)
+        assert status == 200
+
+    request_seconds = best_of(one_request, ROUNDS)
+    spans_per_request = count_spans(one_request)
+    request_overhead = per_call * spans_per_request / request_seconds
+
+    record = {
+        "quick": QUICK,
+        "noop_trace_call_seconds": per_call,
+        "train_epoch": {
+            "seconds_disabled": epoch_seconds,
+            "seconds_enabled": epoch_enabled_seconds,
+            "span_sites": spans_per_epoch,
+            "disabled_overhead_fraction": epoch_overhead,
+        },
+        "serve_request": {
+            "seconds_disabled": request_seconds,
+            "span_sites": spans_per_request,
+            "disabled_overhead_fraction": request_overhead,
+        },
+        "max_allowed_overhead": MAX_DISABLED_OVERHEAD,
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"noop trace call: {1e9 * per_call:.0f} ns; "
+          f"epoch {spans_per_epoch} sites -> {100 * epoch_overhead:.3f}% "
+          f"of {epoch_seconds:.3f}s; "
+          f"request {spans_per_request} sites -> "
+          f"{100 * request_overhead:.3f}% of {1e3 * request_seconds:.2f}ms")
+
+    # an instrumented epoch executes a handful of spans per batch; the
+    # disabled fast path must keep their total under 5% of the epoch
+    assert spans_per_epoch > 0 and spans_per_request > 0
+    assert epoch_overhead < MAX_DISABLED_OVERHEAD
+    assert request_overhead < MAX_DISABLED_OVERHEAD
+
+    # pytest-benchmark timing for the disabled span site itself
+    benchmark(lambda: trace("bench.noop", size=1).__enter__())

@@ -13,6 +13,9 @@ al., ICDE 2023), including every substrate the paper depends on:
 * :mod:`repro.core`        — the CamE model (TCA, MMF, RIC)
 * :mod:`repro.baselines`   — the 13 Table III comparison models
 * :mod:`repro.eval`        — filtered ranking metrics
+* :mod:`repro.train`       — unified training engine + callbacks
+* :mod:`repro.serve`       — checkpoint bundles + HTTP prediction service
+* :mod:`repro.obs`         — metrics, tracing, autograd profiling
 * :mod:`repro.experiments` — one harness per paper table/figure
 
 Quickstart::
@@ -34,5 +37,5 @@ __version__ = "1.0.0"
 
 __all__ = [
     "nn", "kg", "mol", "text", "gnn", "datasets", "core", "baselines",
-    "eval", "experiments", "__version__",
+    "eval", "train", "serve", "obs", "experiments", "__version__",
 ]

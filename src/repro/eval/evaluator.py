@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..kg import KGSplit
+from ..obs import trace
 from .metrics import RankingMetrics
 
 __all__ = ["CSRFilter", "build_csr_filter", "RankingEvaluator"]
@@ -236,8 +237,10 @@ class RankingEvaluator:
         for start in range(0, len(queries), batch_size):
             q = queries[start:start + batch_size]
             tgt = targets[start:start + batch_size]
-            scores = model.predict_tails(q[:, 0], q[:, 1])
-            ranks[start:start + len(q)] = self.rank_scores(scores, q[:, 0], q[:, 1], tgt)
+            with trace("eval.batch", size=len(q)):
+                scores = model.predict_tails(q[:, 0], q[:, 1])
+                ranks[start:start + len(q)] = self.rank_scores(
+                    scores, q[:, 0], q[:, 1], tgt)
         return ranks
 
     def compute_ranks(self, model, triples: np.ndarray,
@@ -267,7 +270,8 @@ class RankingEvaluator:
         """Filtered MR / MRR / Hits@{1,3,10} on a split partition."""
         triples = {"train": self.split.train, "valid": self.split.valid,
                    "test": self.split.test}[part]
-        ranks = self.compute_ranks(model, triples, max_queries=max_queries,
-                                   rng=rng, batch_size=batch_size,
-                                   both_directions=both_directions)
-        return RankingMetrics.from_ranks(ranks)
+        with trace("eval.evaluate", part=part):
+            ranks = self.compute_ranks(model, triples, max_queries=max_queries,
+                                       rng=rng, batch_size=batch_size,
+                                       both_directions=both_directions)
+            return RankingMetrics.from_ranks(ranks)

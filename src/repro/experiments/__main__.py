@@ -78,6 +78,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry-dir", metavar="DIR", default=None,
                         help="write one JSONL training-telemetry file per "
                              "fresh run (one event per epoch/eval)")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="record repro.obs spans (epochs, eval batches, "
+                             "...) to DIR/trace.jsonl; summarize with "
+                             "'python -m repro.obs report'")
     args = parser.parse_args(argv)
 
     if args.export_bundle:
@@ -88,6 +92,10 @@ def main(argv: list[str] | None = None) -> int:
         from .runner import set_telemetry_dir
 
         set_telemetry_dir(args.telemetry_dir)
+    if args.trace_dir:
+        from .runner import set_trace_dir
+
+        set_trace_dir(args.trace_dir)
     scale = get_scale(args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -25,11 +25,13 @@ import numpy as np
 from ..baselines import build_model
 from ..datasets import ModalityFeatures, MultimodalKG, build_features, get_dataset
 from ..eval import RankingMetrics, evaluate_ranking
+from ..obs import enable_tracing, trace
 from ..train import BundleExport, Callback, EarlyStopping, JsonlTelemetry, TrainReport
 from .scale import Scale
 
 __all__ = ["RunResult", "RunnerContext", "get_prepared", "train_model",
-           "clear_run_cache", "set_export_dir", "set_telemetry_dir"]
+           "clear_run_cache", "set_export_dir", "set_telemetry_dir",
+           "set_trace_dir"]
 
 logger = logging.getLogger("repro.experiments.runner")
 
@@ -79,6 +81,23 @@ def set_telemetry_dir(path: str | None) -> None:
     event per epoch/eval (see :class:`repro.train.JsonlTelemetry`).
     """
     DEFAULT_CONTEXT.telemetry_dir = path
+
+
+def set_trace_dir(path: str | None) -> None:
+    """Write ``repro.obs`` spans for everything the process runs next.
+
+    Enables process-global tracing into ``<path>/trace.jsonl`` (training
+    epochs, objective forward/backward, evaluator batches, ...);
+    ``None`` turns tracing back off.  Summarize afterwards with
+    ``python -m repro.obs report <path>/trace.jsonl``.
+    """
+    from ..obs import disable_tracing
+
+    if path is None:
+        disable_tracing()
+        return
+    os.makedirs(path, exist_ok=True)
+    enable_tracing(os.path.join(path, "trace.jsonl"))
 
 
 @dataclass
@@ -171,10 +190,12 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
         slug = _run_slug(model_name, dataset, scale, seed)
         run_callbacks.append(JsonlTelemetry(
             os.path.join(ctx.telemetry_dir, f"{slug}.jsonl"), run_id=slug))
-    report = trainer.fit(budget, eval_every=scale.eval_every,
-                         eval_max_queries=scale.eval_max_queries,
-                         eval_batch_size=eval_batch_size,
-                         callbacks=run_callbacks)
+    with trace("runner.train_model", model=model_name, dataset=dataset,
+               scale=scale.name, seed=seed):
+        report = trainer.fit(budget, eval_every=scale.eval_every,
+                             eval_max_queries=scale.eval_max_queries,
+                             eval_batch_size=eval_batch_size,
+                             callbacks=run_callbacks)
     metrics = evaluate_ranking(model, mkg.split, part="test",
                                max_queries=scale.test_max_queries,
                                rng=np.random.default_rng(3000 + seed),

@@ -1,0 +1,62 @@
+"""``repro.obs`` — unified observability: metrics, tracing, profiling.
+
+One dependency-free subsystem gives every layer of the repo the same
+three instruments:
+
+* :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — thread-safe
+  labeled counters / gauges / fixed-bucket histograms with quantile
+  estimation and Prometheus text exposition (``GET /metrics`` on the
+  serve HTTP server renders one);
+* :func:`trace` (:mod:`repro.obs.trace`) — nested wall-time spans with
+  optional JSONL export, wrapped around engine epochs, objective
+  forward/backward, evaluator ranking batches, bundle loading and serve
+  request handling; free (shared no-op context manager) while disabled;
+* :class:`AutogradProfiler` (:mod:`repro.obs.profiler`) — opt-in
+  per-op / per-layer forward+backward time and allocation aggregation
+  over :mod:`repro.nn`, installed by patching and therefore zero-cost
+  when inactive.
+
+``python -m repro.obs report`` (:mod:`repro.obs.report`) summarizes any
+JSONL the instruments produce into per-span / per-op tables.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
+from .profiler import AutogradProfiler
+from .report import load_events, render_report
+from .trace import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+    trace,
+    traced,
+    tracing,
+)
+
+__all__ = [
+    "AutogradProfiler",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "load_events",
+    "read_trace",
+    "render_prometheus",
+    "render_report",
+    "trace",
+    "traced",
+    "tracing",
+]

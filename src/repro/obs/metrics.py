@@ -1,0 +1,426 @@
+"""Thread-safe labeled metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the
+temporal half): every subsystem that used to keep ad-hoc ``int``
+counters — the serve engine's LRU hit/miss/eviction tallies, the HTTP
+front end's request/error counts, the training engine's per-epoch
+telemetry — registers named metric families here instead, so one
+structure is simultaneously
+
+* the source of truth the JSON ``/stats`` route reads through,
+* the Prometheus text document ``GET /metrics`` exposes, and
+* the snapshot :class:`repro.train.MetricsCallback` dumps to JSONL.
+
+Three metric types cover everything the repo needs, mirroring the
+Prometheus data model:
+
+* :class:`Counter` — monotonically increasing float (``inc``);
+* :class:`Gauge` — settable float (``set`` / ``inc`` / ``dec``);
+* :class:`Histogram` — fixed upper-bucket-bound counts plus sum/count,
+  with quantile *estimation* by linear interpolation inside the target
+  bucket (the ``histogram_quantile`` convention).
+
+Every child metric owns its own lock, so concurrent increments from
+``MicroBatcher`` workers and HTTP handler threads never contend on a
+registry-wide lock, and increments are never lost (see the concurrency
+test in ``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+#: Default histogram bucket upper bounds, tuned for request/epoch
+#: latencies in seconds (sub-millisecond through tens of seconds).
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce ``name`` into a legal Prometheus metric name."""
+    name = _NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing value (one labeled child of a family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child of a family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and estimated quantiles.
+
+    ``buckets`` are *upper* bounds (inclusive, the Prometheus ``le``
+    convention); an implicit ``+Inf`` bucket catches the overflow.
+    Observations update one bucket count plus the running sum/count —
+    O(log B) per observe, no sample retention.
+    """
+
+    __slots__ = ("_lock", "edges", "counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        edges = sorted(float(b) for b in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(e != e or e == math.inf for e in edges):
+            raise ValueError("bucket bounds must be finite numbers")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"duplicate bucket bounds in {edges}")
+        self._lock = threading.Lock()
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect.bisect_left(self.edges, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing its own wall-clock duration."""
+        return _HistogramTimer(self)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per ``le`` bound, ``+Inf`` last (== count)."""
+        with self._lock:
+            counts = list(self.counts)
+        out, running = [], 0
+        for c in counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside its bucket.
+
+        Follows ``histogram_quantile``: the sample distribution is
+        assumed uniform within each bucket; a quantile landing in the
+        ``+Inf`` bucket returns the highest finite bound.  Returns
+        ``nan`` when nothing has been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        cumulative = self.cumulative()
+        total = cumulative[-1]
+        if total == 0:
+            return float("nan")
+        target = q * total
+        for i, cum in enumerate(cumulative):
+            if cum >= target:
+                if i >= len(self.edges):
+                    return self.edges[-1]
+                lo = 0.0 if i == 0 else self.edges[i - 1]
+                hi = self.edges[i]
+                prev = cumulative[i - 1] if i else 0
+                in_bucket = cum - prev
+                frac = (target - prev) / in_bucket if in_bucket else 1.0
+                return lo + (hi - lo) * frac
+        return self.edges[-1]  # pragma: no cover - loop always returns
+
+
+class _HistogramTimer:
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and per-labelset children.
+
+    A family with no label names proxies the child API (``inc`` /
+    ``set`` / ``observe`` / ``value`` ...) straight to its single
+    unlabeled child, so ``registry.counter("x").inc()`` just works.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 label_names: tuple[str, ...] = (), **kwargs: Any) -> None:
+        self.name = _sanitize_name(name)
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._kwargs = kwargs
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not self.label_names:
+            self._children[()] = _TYPES[kind](**kwargs)
+
+    def labels(self, **labels: Any) -> Any:
+        """Child metric for one label set (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}")
+        key = tuple(str(labels[n]) for n in self.label_names)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _TYPES[self.kind](**self._kwargs)
+            return child
+
+    def children(self) -> list[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def total(self) -> float:
+        """Sum of all children's values (counters/gauges only)."""
+        return sum(child.value for _, child in self.children())
+
+    # -- unlabeled proxy ------------------------------------------------
+    def _sole(self) -> Any:
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} is labeled by {self.label_names}; "
+                "call .labels(...) first")
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._sole().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._sole().set(value)
+
+    def observe(self, value: float) -> None:
+        self._sole().observe(value)
+
+    def time(self):
+        return self._sole().time()
+
+    def quantile(self, q: float) -> float:
+        return self._sole().quantile(q)
+
+    def cumulative(self) -> list[int]:
+        return self._sole().cumulative()
+
+    @property
+    def value(self) -> float:
+        return self._sole().value
+
+    @property
+    def sum(self) -> float:
+        return self._sole().sum
+
+    @property
+    def count(self) -> int:
+        return self._sole().count
+
+    @property
+    def mean(self) -> float:
+        return self._sole().mean
+
+
+class MetricsRegistry:
+    """Named metric families, thread-safe, renderable as Prometheus text.
+
+    Registration is idempotent: asking for an existing name returns the
+    same family, provided the type and label schema match (a mismatch is
+    a programming error and raises).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(self, name: str, kind: str, help: str,
+                  labels: tuple[str, ...], **kwargs: Any) -> MetricFamily:
+        name = _sanitize_name(name)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != tuple(labels):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {family.kind} "
+                        f"with labels {family.label_names}; cannot re-register "
+                        f"as {kind} with labels {tuple(labels)}")
+                return family
+            family = MetricFamily(name, kind, help=help, label_names=labels,
+                                  **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labels: tuple[str, ...] = ()) -> MetricFamily:
+        return self._register(name, "counter", help, tuple(labels))
+
+    def gauge(self, name: str, help: str = "",
+              labels: tuple[str, ...] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help, tuple(labels))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: tuple[str, ...] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> MetricFamily:
+        return self._register(name, "histogram", help, tuple(labels),
+                              buckets=tuple(buckets))
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(_sanitize_name(name))
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of every series (used by MetricsCallback)."""
+        out: dict[str, Any] = {}
+        for family in self.families():
+            series = []
+            for key, child in family.children():
+                labels = dict(zip(family.label_names, key))
+                if family.kind == "histogram":
+                    series.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {_format_value(e): c for e, c in
+                                    zip(child.edges + (math.inf,),
+                                        child.cumulative())},
+                        "p50": child.quantile(0.5),
+                        "p95": child.quantile(0.95),
+                        "p99": child.quantile(0.99),
+                    })
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {"type": family.kind, "help": family.help,
+                                "series": series}
+        return out
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4)."""
+        return render_prometheus(self)
+
+
+def _label_str(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family as ``# HELP`` / ``# TYPE`` / sample lines."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family.children():
+            labels = dict(zip(family.label_names, key))
+            if family.kind == "histogram":
+                cumulative = child.cumulative()
+                for edge, cum in zip(child.edges + (math.inf,), cumulative):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(edge)
+                    lines.append(
+                        f"{family.name}_bucket{_label_str(bucket_labels)} {cum}")
+                lines.append(
+                    f"{family.name}_sum{_label_str(labels)} "
+                    f"{_format_value(child.sum)}")
+                lines.append(
+                    f"{family.name}_count{_label_str(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_label_str(labels)} "
+                    f"{_format_value(child.value)}")
+    return "\n".join(lines) + "\n"

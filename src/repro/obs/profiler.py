@@ -1,0 +1,300 @@
+"""Opt-in autograd profiler for :mod:`repro.nn`.
+
+Answers "which op / which layer is this model spending its time in"
+without touching model code: inside a ``with AutogradProfiler() as
+prof:`` block every public :mod:`repro.nn.functional` op and every
+:class:`repro.nn.Module.__call__` is wrapped to aggregate
+
+* per-**op** forward self-time (time in the op minus time in ops it
+  calls internally, so composites like ``mean = mul(sum(...))`` don't
+  double-count their children), backward closure time, call counts, and
+  result-tensor allocation counts/bytes;
+* per-**layer** (module class) forward call counts, inclusive time and
+  self-time (exclusive of nested module calls), plus backward time
+  credited from the ops each layer created during its forward.
+
+The hooks are installed by *patching* — ``functional``'s module
+attributes and ``Module.__call__`` are swapped for timed wrappers on
+``__enter__`` and restored on ``__exit__`` — so code outside a
+profiling block runs the original, unwrapped functions: the overhead
+when the profiler is off is exactly zero (asserted by
+``tests/obs/test_profiler.py`` via identity checks).
+
+Backward time is captured by re-pointing each produced tensor's
+``_backward_fn`` at a timing shim, which runs during ``backward()``'s
+topological sweep — possibly *after* the profiler block exits; those
+late closures still record into the profile they were created under.
+
+Typical use::
+
+    with AutogradProfiler() as prof:
+        engine.train_epoch()
+    print(prof.table())          # sorted per-op / per-layer breakdown
+    prof.export("profile.jsonl")  # feed `python -m repro.obs report`
+
+The profiler is process-global (it patches shared modules): nesting or
+concurrent activation raises, and frame stacks are thread-local so a
+profiled serve worker does not corrupt another thread's attribution.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..nn import functional as _functional
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+__all__ = ["AutogradProfiler", "LayerStat", "OpStat"]
+
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE: "AutogradProfiler | None" = None
+
+
+@dataclass
+class OpStat:
+    """Aggregate cost of one ``repro.nn.functional`` op."""
+
+    forward_calls: int = 0
+    forward_seconds: float = 0.0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+    alloc_count: int = 0
+    alloc_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.forward_seconds + self.backward_seconds
+
+
+@dataclass
+class LayerStat:
+    """Aggregate cost of one module class (``Linear``, ``Conv2d``, ...)."""
+
+    calls: int = 0
+    total_seconds: float = 0.0      # inclusive of nested modules/ops
+    self_seconds: float = 0.0       # exclusive of nested module calls
+    backward_seconds: float = 0.0   # credited from ops created inside
+
+    @property
+    def combined_seconds(self) -> float:
+        return self.self_seconds + self.backward_seconds
+
+
+@dataclass
+class _Frames:
+    """Per-thread attribution state."""
+
+    op_stack: list[list[float]] = field(default_factory=list)
+    layer_stack: list[list] = field(default_factory=list)
+
+
+class AutogradProfiler:
+    """Aggregate per-op and per-layer forward/backward cost (see module doc).
+
+    Parameters
+    ----------
+    ops:
+        Hook the :mod:`repro.nn.functional` operator zoo.
+    modules:
+        Hook :meth:`repro.nn.Module.__call__`.
+    """
+
+    def __init__(self, ops: bool = True, modules: bool = True) -> None:
+        self.hook_ops = ops
+        self.hook_modules = modules
+        self.op_stats: dict[str, OpStat] = {}
+        self.layer_stats: dict[str, LayerStat] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._saved_ops: dict[str, Callable] = {}
+        self._saved_call: Callable | None = None
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "AutogradProfiler":
+        global _ACTIVE
+        with _ACTIVE_LOCK:
+            if _ACTIVE is not None:
+                raise RuntimeError(
+                    "an AutogradProfiler is already active; profiling hooks "
+                    "are process-global and cannot nest")
+            _ACTIVE = self
+        try:
+            if self.hook_ops:
+                for name in _functional.__all__:
+                    fn = getattr(_functional, name, None)
+                    if callable(fn):
+                        self._saved_ops[name] = fn
+                        setattr(_functional, name, self._wrap_op(name, fn))
+            if self.hook_modules:
+                self._saved_call = Module.__call__
+                Module.__call__ = self._wrap_module_call(Module.__call__)
+        except BaseException:  # pragma: no cover - defensive unwind
+            self._restore()
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        global _ACTIVE
+        for name, fn in self._saved_ops.items():
+            setattr(_functional, name, fn)
+        self._saved_ops.clear()
+        if self._saved_call is not None:
+            Module.__call__ = self._saved_call
+            self._saved_call = None
+        with _ACTIVE_LOCK:
+            if _ACTIVE is self:
+                _ACTIVE = None
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _frames(self) -> _Frames:
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = self._local.frames = _Frames()
+        return frames
+
+    def _op_stat(self, name: str) -> OpStat:
+        stat = self.op_stats.get(name)
+        if stat is None:
+            stat = self.op_stats.setdefault(name, OpStat())
+        return stat
+
+    def _layer_stat(self, name: str) -> LayerStat:
+        stat = self.layer_stats.get(name)
+        if stat is None:
+            stat = self.layer_stats.setdefault(name, LayerStat())
+        return stat
+
+    def _wrap_op(self, name: str, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            frames = self._frames()
+            frame = [0.0]  # seconds spent in ops this op calls internally
+            frames.op_stack.append(frame)
+            start = time.perf_counter()
+            try:
+                out = fn(*args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                frames.op_stack.pop()
+                if frames.op_stack:
+                    frames.op_stack[-1][0] += elapsed
+            self_time = elapsed - frame[0]
+            layer = frames.layer_stack[-1][0] if frames.layer_stack else None
+            is_tensor = isinstance(out, Tensor)
+            with self._lock:
+                stat = self._op_stat(name)
+                stat.forward_calls += 1
+                stat.forward_seconds += self_time
+                if is_tensor:
+                    stat.alloc_count += 1
+                    stat.alloc_bytes += out.data.nbytes
+            # Identity-return ops (dropout in eval mode) hand back an input
+            # whose closure belongs to - and was already wrapped by - the op
+            # that produced it; the marker stops re-attribution.
+            if (is_tensor and out._backward_fn is not None
+                    and not getattr(out._backward_fn, "_obs_profiled", False)):
+                out._backward_fn = self._wrap_backward(name, layer,
+                                                       out._backward_fn)
+            return out
+
+        return wrapped
+
+    def _wrap_backward(self, op_name: str, layer: str | None,
+                       inner: Callable) -> Callable:
+        def timed_backward(grad):
+            start = time.perf_counter()
+            try:
+                inner(grad)
+            finally:
+                elapsed = time.perf_counter() - start
+                with self._lock:
+                    stat = self._op_stat(op_name)
+                    stat.backward_calls += 1
+                    stat.backward_seconds += elapsed
+                    if layer is not None:
+                        self._layer_stat(layer).backward_seconds += elapsed
+
+        timed_backward._obs_profiled = True
+        return timed_backward
+
+    def _wrap_module_call(self, orig: Callable) -> Callable:
+        profiler = self
+
+        @functools.wraps(orig)
+        def wrapped(module, *args, **kwargs):
+            frames = profiler._frames()
+            name = type(module).__name__
+            frame = [name, 0.0]  # seconds spent in nested module calls
+            frames.layer_stack.append(frame)
+            start = time.perf_counter()
+            try:
+                return orig(module, *args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                frames.layer_stack.pop()
+                if frames.layer_stack:
+                    frames.layer_stack[-1][1] += elapsed
+                with profiler._lock:
+                    stat = profiler._layer_stat(name)
+                    stat.calls += 1
+                    stat.total_seconds += elapsed
+                    stat.self_seconds += elapsed - frame[1]
+
+        return wrapped
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSON-safe rows (``type: "op" | "layer"``) for JSONL export."""
+        records: list[dict[str, Any]] = []
+        with self._lock:
+            for name, s in self.op_stats.items():
+                records.append({
+                    "type": "op", "name": name,
+                    "forward_calls": s.forward_calls,
+                    "forward_seconds": s.forward_seconds,
+                    "backward_calls": s.backward_calls,
+                    "backward_seconds": s.backward_seconds,
+                    "alloc_count": s.alloc_count,
+                    "alloc_bytes": s.alloc_bytes,
+                })
+            for name, s in self.layer_stats.items():
+                records.append({
+                    "type": "layer", "name": name,
+                    "calls": s.calls,
+                    "total_seconds": s.total_seconds,
+                    "self_seconds": s.self_seconds,
+                    "backward_seconds": s.backward_seconds,
+                })
+        records.sort(key=lambda r: (r["type"],
+                                    -(r.get("forward_seconds", 0.0)
+                                      + r.get("backward_seconds", 0.0)
+                                      + r.get("self_seconds", 0.0))))
+        return records
+
+    def export(self, path: str) -> str:
+        """Append one JSONL line per op/layer (``repro.obs report`` input)."""
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in self.to_records():
+                handle.write(json.dumps(record) + "\n")
+        return path
+
+    def table(self, top: int | None = None) -> str:
+        """Human-readable per-op and per-layer tables, costliest first."""
+        from .report import render_op_table
+
+        return render_op_table(self.to_records(), top=top)

@@ -1,0 +1,266 @@
+"""``python -m repro.obs report`` — summarize trace/metrics JSONL files.
+
+Takes any mix of JSONL files produced by the obs subsystem and renders
+human-readable tables:
+
+* **span** lines (``{"type": "span", ...}`` from :mod:`repro.obs.trace`)
+  become a per-span-name table: count, total seconds, mean / p50 / p95 /
+  max milliseconds;
+* **op** / **layer** lines (from
+  :meth:`repro.obs.AutogradProfiler.export`) become the sorted per-op
+  forward/backward cost table and the per-layer table;
+* **metrics** lines (``{"type": "metrics", "metrics": {...}}`` snapshots
+  from :class:`repro.train.MetricsCallback`) become counter/gauge and
+  histogram-quantile tables;
+* **telemetry** events (``{"event": ...}`` from
+  :class:`repro.train.JsonlTelemetry`) become a one-block run summary.
+
+Unknown lines are counted and ignored, so heterogeneous files — e.g. a
+single run directory holding a trace, a profile and training telemetry —
+can be summarized in one invocation::
+
+    python -m repro.obs report runs/trace.jsonl runs/profile.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["load_events", "main", "render_metrics_table", "render_op_table",
+           "render_report", "render_span_table", "render_telemetry_summary"]
+
+
+def load_events(paths: Iterable[str]) -> list[dict[str, Any]]:
+    """Read JSONL records from every path (bad lines are skipped)."""
+    events: list[dict[str, Any]] = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    events.append(record)
+    return events
+
+
+def _fmt_table(headers: list[str], rows: list[list[str]],
+               align_left: int = 1) -> str:
+    """Monospace table; the first ``align_left`` columns left-align."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for row in [headers] + [["-" * w for w in widths]] + rows:
+        cells = [c.ljust(w) if i < align_left else c.rjust(w)
+                 for i, (c, w) in enumerate(zip(row, widths))]
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def _ms(seconds: float) -> str:
+    return f"{1e3 * seconds:.3f}"
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+def render_span_table(events: list[dict[str, Any]],
+                      top: int | None = None) -> str:
+    """Per-span-name timing table from ``type == "span"`` records."""
+    groups: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") == "span" and "dur" in event:
+            groups.setdefault(str(event.get("name")), []).append(
+                float(event["dur"]))
+    if not groups:
+        return ""
+    stats = []
+    for name, durations in groups.items():
+        arr = np.asarray(durations)
+        stats.append((float(arr.sum()), name, arr))
+    stats.sort(key=lambda item: -item[0])
+    if top is not None:
+        stats = stats[:top]
+    rows = [
+        [name, str(len(arr)), f"{total:.4f}", _ms(float(arr.mean())),
+         _ms(float(np.quantile(arr, 0.5))), _ms(float(np.quantile(arr, 0.95))),
+         _ms(float(arr.max()))]
+        for total, name, arr in stats
+    ]
+    header = ["span", "count", "total s", "mean ms", "p50 ms", "p95 ms",
+              "max ms"]
+    return "spans\n" + _fmt_table(header, rows)
+
+
+# ---------------------------------------------------------------------------
+# Profiler ops / layers
+# ---------------------------------------------------------------------------
+
+def render_op_table(records: list[dict[str, Any]],
+                    top: int | None = None) -> str:
+    """Per-op and per-layer cost tables from profiler records."""
+    ops = [r for r in records if r.get("type") == "op"]
+    layers = [r for r in records if r.get("type") == "layer"]
+    blocks = []
+    if ops:
+        ops.sort(key=lambda r: -(r.get("forward_seconds", 0.0)
+                                 + r.get("backward_seconds", 0.0)))
+        rows = [
+            [r["name"], str(r.get("forward_calls", 0)),
+             f"{r.get('forward_seconds', 0.0):.4f}",
+             str(r.get("backward_calls", 0)),
+             f"{r.get('backward_seconds', 0.0):.4f}",
+             f"{r.get('forward_seconds', 0.0) + r.get('backward_seconds', 0.0):.4f}",
+             str(r.get("alloc_count", 0)),
+             f"{r.get('alloc_bytes', 0) / 1e6:.2f}"]
+            for r in (ops[:top] if top else ops)
+        ]
+        header = ["op", "fwd calls", "fwd s", "bwd calls", "bwd s", "total s",
+                  "allocs", "alloc MB"]
+        blocks.append("ops (self time)\n" + _fmt_table(header, rows))
+    if layers:
+        layers.sort(key=lambda r: -(r.get("self_seconds", 0.0)
+                                    + r.get("backward_seconds", 0.0)))
+        rows = [
+            [r["name"], str(r.get("calls", 0)),
+             f"{r.get('total_seconds', 0.0):.4f}",
+             f"{r.get('self_seconds', 0.0):.4f}",
+             f"{r.get('backward_seconds', 0.0):.4f}"]
+            for r in (layers[:top] if top else layers)
+        ]
+        header = ["layer", "calls", "fwd total s", "fwd self s", "bwd s"]
+        blocks.append("layers\n" + _fmt_table(header, rows))
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Metrics snapshots
+# ---------------------------------------------------------------------------
+
+def _labels_str(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_metrics_table(events: list[dict[str, Any]]) -> str:
+    """Counter/gauge and histogram tables from ``type == "metrics"`` lines.
+
+    Later snapshots win per metric name (a run usually dumps one final
+    snapshot; appended files keep the most recent values).
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for event in events:
+        if event.get("type") == "metrics" and isinstance(
+                event.get("metrics"), dict):
+            merged.update(event["metrics"])
+    if not merged:
+        return ""
+    scalar_rows, hist_rows = [], []
+    for name in sorted(merged):
+        family = merged[name]
+        for series in family.get("series", []):
+            label = name + _labels_str(series.get("labels", {}))
+            if family.get("type") == "histogram":
+                hist_rows.append([
+                    label, str(series.get("count", 0)),
+                    f"{series.get('sum', 0.0):.4f}",
+                    _ms(float(series.get("p50", 0.0) or 0.0)),
+                    _ms(float(series.get("p95", 0.0) or 0.0)),
+                ])
+            else:
+                scalar_rows.append([label, family.get("type", "?"),
+                                    f"{series.get('value', 0.0):g}"])
+    blocks = []
+    if scalar_rows:
+        blocks.append("metrics\n" + _fmt_table(["metric", "type", "value"],
+                                               scalar_rows))
+    if hist_rows:
+        blocks.append("histograms\n" + _fmt_table(
+            ["metric", "count", "sum s", "p50 ms", "p95 ms"], hist_rows))
+    return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Training telemetry
+# ---------------------------------------------------------------------------
+
+def render_telemetry_summary(events: list[dict[str, Any]]) -> str:
+    """One-paragraph summary of :class:`JsonlTelemetry` event streams."""
+    runs = [e for e in events if e.get("event") == "fit_start"]
+    epochs = [e for e in events if e.get("event") == "epoch"]
+    ends = [e for e in events if e.get("event") in ("fit_end", "fit_error")]
+    if not (runs or epochs or ends):
+        return ""
+    lines = ["training telemetry"]
+    for start in runs:
+        lines.append(f"  run {start.get('run')!r}: model={start.get('model')} "
+                     f"objective={start.get('objective')} "
+                     f"epochs planned={start.get('epochs')}")
+    if epochs:
+        seconds = np.asarray([float(e.get("seconds", 0.0)) for e in epochs])
+        losses = [float(e["loss"]) for e in epochs if e.get("loss") is not None]
+        lines.append(f"  epochs recorded: {len(epochs)} "
+                     f"(mean {seconds.mean():.3f}s, total {seconds.sum():.2f}s)")
+        if losses:
+            lines.append(f"  loss: first {losses[0]:.4f} -> last {losses[-1]:.4f}")
+    for end in ends:
+        if end.get("event") == "fit_error":
+            lines.append(f"  run {end.get('run')!r} CRASHED at epoch "
+                         f"{end.get('epoch')}: {end.get('error')}")
+        else:
+            lines.append(f"  run {end.get('run')!r} finished: "
+                         f"epochs_run={end.get('epochs_run')} "
+                         f"final_loss={end.get('final_loss')}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def render_report(paths: Iterable[str], top: int | None = None) -> str:
+    """Full report over every recognized record type in ``paths``."""
+    events = load_events(paths)
+    known = {"span", "op", "layer", "metrics"}
+    other = sum(1 for e in events
+                if e.get("type") not in known and "event" not in e)
+    blocks = [
+        render_span_table(events, top=top),
+        render_op_table(events, top=top),
+        render_metrics_table(events),
+        render_telemetry_summary(events),
+    ]
+    blocks = [b for b in blocks if b]
+    if not blocks:
+        blocks = [f"no span/op/metrics records found in {len(events)} lines"]
+    elif other:
+        blocks.append(f"({other} unrecognized lines ignored)")
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="summarize trace/profile/metrics JSONL files")
+    report.add_argument("paths", nargs="+", metavar="FILE",
+                        help="JSONL files (spans, profiler ops, metrics "
+                             "snapshots, training telemetry)")
+    report.add_argument("--top", type=int, default=None,
+                        help="show only the N costliest spans/ops per table")
+    args = parser.parse_args(argv)
+    print(render_report(args.paths, top=args.top))
+    return 0

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import trace
 from .engine import PredictionEngine, topk_indices
 
 __all__ = ["MicroBatcher"]
@@ -31,6 +32,9 @@ __all__ = ["MicroBatcher"]
 logger = logging.getLogger("repro.serve.batcher")
 
 _SHUTDOWN = object()
+
+#: Batch-size histogram bounds (requests per batch, powers of two).
+_BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
 
 @dataclass
@@ -55,13 +59,38 @@ class MicroBatcher:
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()
-        self.requests_submitted = 0
-        self.batches_processed = 0
-        self.requests_processed = 0
-        self.max_batch_seen = 0
+        metrics = engine.metrics
+        self._m_submitted = metrics.counter(
+            "batcher_requests_submitted_total", "queries enqueued")
+        self._m_processed = metrics.counter(
+            "batcher_requests_processed_total", "queries resolved by the worker")
+        self._m_batches = metrics.counter(
+            "batcher_batches_total", "batches scored by the worker")
+        self._m_batch_size = metrics.histogram(
+            "batcher_batch_size", "requests coalesced per batch",
+            buckets=_BATCH_SIZE_BUCKETS)
+        self._g_max_batch = metrics.gauge(
+            "batcher_max_batch_seen", "largest batch coalesced so far")
         self._worker = threading.Thread(target=self._run, daemon=True,
                                         name="repro-serve-batcher")
         self._worker.start()
+
+    # Legacy counter attributes read through the engine's registry.
+    @property
+    def requests_submitted(self) -> int:
+        return int(self._m_submitted.value)
+
+    @property
+    def requests_processed(self) -> int:
+        return int(self._m_processed.value)
+
+    @property
+    def batches_processed(self) -> int:
+        return int(self._m_batches.value)
+
+    @property
+    def max_batch_seen(self) -> int:
+        return int(self._g_max_batch.value)
 
     # ------------------------------------------------------------------
     # Client API
@@ -73,7 +102,7 @@ class MicroBatcher:
         with self._lock:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
-            self.requests_submitted += 1
+            self._m_submitted.inc()
             self._queue.put(request)
         return request.future
 
@@ -143,13 +172,14 @@ class MicroBatcher:
         heads = np.array([r.head for r in batch], dtype=np.int64)
         rels = np.array([r.rel for r in batch], dtype=np.int64)
         try:
-            scores = self.engine.scores(heads, rels)
-            flagged = [i for i, r in enumerate(batch) if r.filter_known]
-            if flagged:
-                # fancy indexing copies, so mask the copy and write it back
-                masked = self.engine.filter.mask_known(
-                    scores[flagged], heads[flagged], rels[flagged])
-                scores[flagged] = masked
+            with trace("serve.batch", size=len(batch)):
+                scores = self.engine.scores(heads, rels)
+                flagged = [i for i, r in enumerate(batch) if r.filter_known]
+                if flagged:
+                    # fancy indexing copies, so mask the copy and write it back
+                    masked = self.engine.filter.mask_known(
+                        scores[flagged], heads[flagged], rels[flagged])
+                    scores[flagged] = masked
         except Exception as exc:  # engine failure fails every waiter, not the worker
             for request in batch:
                 request.future.set_exception(exc)
@@ -158,9 +188,11 @@ class MicroBatcher:
         for i, request in enumerate(batch):
             ids = topk_indices(scores[i], request.k)
             request.future.set_result((ids, scores[i][ids]))
-        self.batches_processed += 1
-        self.requests_processed += len(batch)
-        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        self._m_batches.inc()
+        self._m_processed.inc(len(batch))
+        self._m_batch_size.observe(len(batch))
+        if len(batch) > self.max_batch_seen:
+            self._g_max_batch.set(len(batch))
         logger.debug("processed batch of %d (lifetime mean %.2f)",
                      len(batch),
                      self.requests_processed / self.batches_processed)

@@ -34,6 +34,7 @@ import numpy as np
 from ..core import CamE, CamEConfig
 from ..datasets import ModalityFeatures, MultimodalKG
 from ..kg import KGSplit, KnowledgeGraph, Vocabulary
+from ..obs import trace
 
 __all__ = ["BUNDLE_VERSION", "BundleError", "CheckpointBundle",
            "save_bundle", "load_bundle"]
@@ -245,6 +246,11 @@ def load_bundle(path: str, strict: bool = True) -> CheckpointBundle:
     mismatch is tolerated (``build_model(strict=False)`` then loads the
     intersection).
     """
+    with trace("serve.bundle_load", path=path):
+        return _load_bundle_inner(path, strict)
+
+
+def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
     manifest, vocab, state, data = _read_parts(path)
     version = manifest.get("format_version")
     if not isinstance(version, int) or version < 1 or version > BUNDLE_VERSION:

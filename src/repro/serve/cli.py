@@ -92,6 +92,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.trace:
+        from ..obs import enable_tracing
+
+        enable_tracing(args.trace)
+        print(f"tracing spans to {args.trace} "
+              f"(summarize with: python -m repro.obs report {args.trace})")
     engine = PredictionEngine.from_bundle(args.bundle,
                                           cache_size=args.cache_size)
     batcher = MicroBatcher(engine, max_batch=args.max_batch,
@@ -141,13 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true", help="machine-readable output")
     query.set_defaults(func=_cmd_query)
 
-    serve = sub.add_parser("serve", help="run the JSON HTTP service")
+    serve = sub.add_parser(
+        "serve", help="run the JSON HTTP service (Prometheus text on /metrics)")
     serve.add_argument("--bundle", required=True)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--cache-size", type=int, default=512)
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="write request/predict spans to this JSONL file")
     serve.set_defaults(func=_cmd_serve)
 
     inspect = sub.add_parser("inspect", help="print a bundle's manifest")

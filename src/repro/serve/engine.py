@@ -19,6 +19,13 @@ All model calls run inside ``inference_mode`` (autograd off, dropout and
 batch-norm in eval mode).  The engine is thread-safe: the HTTP front end
 scores from handler threads while the micro-batcher drives it from its
 worker thread.
+
+Every counter lives on a :class:`repro.obs.MetricsRegistry` (one per
+engine unless the caller shares one), so the ``/stats`` JSON and the
+Prometheus ``/metrics`` exposition read the *same* values — the legacy
+``cache_hits`` / ``predict_seconds`` attributes are read-through
+properties over the registry, and increments are safe under concurrent
+``MicroBatcher`` / HTTP-handler access.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import numpy as np
 from ..eval.evaluator import CSRFilter, build_csr_filter
 from ..kg import KGSplit, Vocabulary
 from ..nn import inference_mode
+from ..obs import MetricsRegistry, trace
 
 __all__ = ["PredictionEngine", "topk_indices"]
 
@@ -61,7 +69,8 @@ class PredictionEngine:
 
     def __init__(self, model, split: KGSplit, *, model_name: str = "model",
                  cache_size: int = 512,
-                 filter_parts: tuple[str, ...] = ("train", "valid", "test")) -> None:
+                 filter_parts: tuple[str, ...] = ("train", "valid", "test"),
+                 registry: MetricsRegistry | None = None) -> None:
         self.model = model
         self.model_name = model_name
         self.split = split
@@ -74,12 +83,22 @@ class PredictionEngine:
         self._filter: CSRFilter | None = None
         self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.cache_evictions = 0
-        self.queries_served = 0
-        self.predict_calls = 0
-        self.predict_seconds = 0.0
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        cache_result = self.metrics.counter(
+            "serve_cache_lookups_total",
+            "score-row LRU cache lookups by result", labels=("result",))
+        self._m_hits = cache_result.labels(result="hit")
+        self._m_misses = cache_result.labels(result="miss")
+        self._m_evictions = self.metrics.counter(
+            "serve_cache_evictions_total", "score rows evicted from the LRU")
+        self._m_queries = self.metrics.counter(
+            "serve_queries_total", "(head, relation) score rows served")
+        self._m_predict_calls = self.metrics.counter(
+            "serve_predict_calls_total", "batched model predict_tails calls")
+        self._m_predict_seconds = self.metrics.histogram(
+            "serve_predict_seconds", "model predict_tails call latency")
+        self._g_cache_entries = self.metrics.gauge(
+            "serve_cache_entries", "score rows currently cached")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -137,11 +156,12 @@ class PredictionEngine:
                 tick = time.perf_counter()
                 mh = np.array([k[0] for k in missing], dtype=np.int64)
                 mr = np.array([k[1] for k in missing], dtype=np.int64)
-                with inference_mode(self.model):
-                    fresh = np.asarray(self.model.predict_tails(mh, mr))
+                with trace("serve.predict", rows=len(missing)):
+                    with inference_mode(self.model):
+                        fresh = np.asarray(self.model.predict_tails(mh, mr))
                 elapsed = time.perf_counter() - tick
-                self.predict_calls += 1
-                self.predict_seconds += elapsed
+                self._m_predict_calls.inc()
+                self._m_predict_seconds.observe(elapsed)
                 for i, key in enumerate(missing):
                     # copy: a cached row must not pin the whole batch
                     # array alive after its siblings are evicted
@@ -150,21 +170,24 @@ class PredictionEngine:
                         self._cache[key] = rows[key]
                         while len(self._cache) > self.cache_size:
                             self._cache.popitem(last=False)
-                            self.cache_evictions += 1
+                            self._m_evictions.inc()
                 logger.debug("scored %d/%d uncached rows in %.1f ms",
                              len(missing), len(keys), 1e3 * elapsed)
             # A duplicate of a just-computed key counts as a hit: only the
             # first occurrence paid for the model call.
             unpaid = set(missing)
             out = np.empty((len(keys), self.num_entities))
+            hits = 0
             for i, key in enumerate(keys):
                 out[i] = rows[key]
                 if key in unpaid:
                     unpaid.discard(key)
-                    self.cache_misses += 1
                 else:
-                    self.cache_hits += 1
-            self.queries_served += len(keys)
+                    hits += 1
+            self._m_hits.inc(hits)
+            self._m_misses.inc(len(keys) - hits)
+            self._m_queries.inc(len(keys))
+            self._g_cache_entries.set(len(self._cache))
         return out
 
     # ------------------------------------------------------------------
@@ -212,6 +235,32 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    # Legacy counter attributes read through the registry, so existing
+    # callers (tests, dashboards) keep working after the migration.
+    @property
+    def cache_hits(self) -> int:
+        return int(self._m_hits.value)
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._m_misses.value)
+
+    @property
+    def cache_evictions(self) -> int:
+        return int(self._m_evictions.value)
+
+    @property
+    def queries_served(self) -> int:
+        return int(self._m_queries.value)
+
+    @property
+    def predict_calls(self) -> int:
+        return int(self._m_predict_calls.value)
+
+    @property
+    def predict_seconds(self) -> float:
+        return float(self._m_predict_seconds.sum)
+
     def stats(self) -> dict:
         """Counters for ``/stats`` and the instrumentation logger."""
         lookups = self.cache_hits + self.cache_misses

@@ -3,8 +3,10 @@
 No third-party dependencies: a ``ThreadingHTTPServer`` dispatches to one
 :class:`ServiceApp` shared by every handler thread.  Routes:
 
-* ``GET  /healthz`` — liveness + model identity;
-* ``GET  /stats``   — server / engine / batcher counters;
+* ``GET  /healthz`` — liveness, uptime, package version, model identity;
+* ``GET  /stats``   — server / engine / batcher counters (JSON);
+* ``GET  /metrics`` — the same counters in Prometheus text exposition
+  format (scrapeable; rendered from the engine's ``MetricsRegistry``);
 * ``POST /predict`` — top-k tail or head prediction (micro-batched);
 * ``POST /score``   — explicit triple scoring.
 
@@ -12,18 +14,25 @@ Every error is a JSON envelope ``{"error": {"code", "message"}}`` with
 a matching HTTP status, so clients never have to parse HTML tracebacks.
 Entities and relations may be referred to by name or by integer id;
 unknown names come back with close-match suggestions.
+
+Request counts, error counts and latency live on the engine's
+:class:`repro.obs.MetricsRegistry` as ``http_requests_total{route,code}``
+and ``http_request_seconds``, so ``/stats`` and ``/metrics`` can never
+disagree; each ``handle`` call also runs under a ``serve.request`` span
+when tracing is enabled.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from .. import __version__
+from ..obs import render_prometheus, trace
 from .batcher import MicroBatcher
 from .engine import PredictionEngine
 
@@ -49,31 +58,49 @@ class ServiceApp:
                  batcher: MicroBatcher | None = None) -> None:
         self.engine = engine
         self.batcher = batcher
-        self._lock = threading.Lock()
-        self.requests = 0
-        self.errors = 0
-        self.latency_seconds = 0.0
+        self.started = time.time()
+        self.metrics = engine.metrics
+        self._m_requests = self.metrics.counter(
+            "http_requests_total", "HTTP requests by route and status code",
+            labels=("route", "code"))
+        self._m_latency = self.metrics.histogram(
+            "http_request_seconds", "HTTP request handling latency")
+
+    # Legacy scalar views over the labeled request counter.
+    @property
+    def requests(self) -> int:
+        return int(self._m_requests.total())
+
+    @property
+    def errors(self) -> int:
+        return int(sum(child.value for key, child in self._m_requests.children()
+                       if int(key[1]) >= 400))
+
+    @property
+    def latency_seconds(self) -> float:
+        return float(self._m_latency.sum)
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
+    def handle(self, method: str, path: str,
+               body: dict | None) -> tuple[int, dict | str]:
         tick = time.perf_counter()
-        # Count up front so /stats includes the request that asked for it.
-        with self._lock:
-            self.requests += 1
         try:
-            if method == "GET" and path == "/healthz":
-                status, payload = 200, self._healthz()
-            elif method == "GET" and path == "/stats":
-                status, payload = 200, self._stats()
-            elif method == "POST" and path == "/predict":
-                status, payload = 200, self._predict(body)
-            elif method == "POST" and path == "/score":
-                status, payload = 200, self._score(body)
-            else:
-                raise _ApiError(404, "not_found",
-                                f"no route for {method} {path}")
+            with trace("serve.request", method=method, route=path):
+                if method == "GET" and path == "/healthz":
+                    status, payload = 200, self._healthz()
+                elif method == "GET" and path == "/stats":
+                    status, payload = 200, self._stats()
+                elif method == "GET" and path == "/metrics":
+                    status, payload = 200, render_prometheus(self.metrics)
+                elif method == "POST" and path == "/predict":
+                    status, payload = 200, self._predict(body)
+                elif method == "POST" and path == "/score":
+                    status, payload = 200, self._score(body)
+                else:
+                    raise _ApiError(404, "not_found",
+                                    f"no route for {method} {path}")
         except _ApiError as exc:
             status = exc.status
             payload = {"error": {"code": exc.code, "message": exc.message}}
@@ -82,10 +109,8 @@ class ServiceApp:
             status = 500
             payload = {"error": {"code": "internal", "message": str(exc)}}
         elapsed = time.perf_counter() - tick
-        with self._lock:
-            self.latency_seconds += elapsed
-            if status >= 400:
-                self.errors += 1
+        self._m_requests.labels(route=path, code=status).inc()
+        self._m_latency.observe(elapsed)
         logger.info("%s %s -> %d in %.1f ms", method, path, status, 1e3 * elapsed)
         return status, payload
 
@@ -98,16 +123,21 @@ class ServiceApp:
             "model": self.engine.model_name,
             "num_entities": self.engine.num_entities,
             "num_relations": self.engine.num_relations,
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "version": __version__,
         }
 
     def _stats(self) -> dict:
-        with self._lock:
-            server = {
-                "requests": self.requests,
-                "errors": self.errors,
-                "mean_latency_ms": round(1e3 * self.latency_seconds / self.requests, 3)
-                if self.requests else 0.0,
-            }
+        # +1: the in-flight /stats request itself is only counted at
+        # completion, but the response should include it (as before).
+        requests = self.requests + 1
+        server = {
+            "requests": requests,
+            "errors": self.errors,
+            "mean_latency_ms": round(1e3 * self.latency_seconds / requests, 3)
+            if requests else 0.0,
+            "uptime_seconds": round(time.time() - self.started, 3),
+        }
         return {
             "server": server,
             "engine": self.engine.stats(),
@@ -189,10 +219,15 @@ class ServeHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _respond(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode("utf-8")
+    def _respond(self, status: int, payload: dict | str) -> None:
+        if isinstance(payload, str):  # pre-rendered text (Prometheus /metrics)
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)

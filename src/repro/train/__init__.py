@@ -10,7 +10,9 @@ cross-cutting features are :class:`Callback` hooks:
 * :class:`ProgressLogging` — progress under the ``repro.train`` logger;
 * :class:`EarlyStopping` — patience-based stop on the eval criterion;
 * :class:`LRScheduling` — epoch-indexed learning-rate schedules;
-* :class:`JsonlTelemetry` — one JSONL event per epoch/eval per run;
+* :class:`JsonlTelemetry` — one JSONL event per epoch/eval per run,
+  crash-safe (``fit_error`` event + handle close on failure);
+* :class:`MetricsCallback` — progress onto a ``repro.obs`` registry;
 * :class:`BundleExport` — ``repro.serve`` checkpoint bundle at fit end.
 
 ``repro.core.OneToNTrainer`` and
@@ -25,6 +27,7 @@ from .callbacks import (
     EarlyStopping,
     JsonlTelemetry,
     LRScheduling,
+    MetricsCallback,
     ProgressLogging,
     read_telemetry,
 )
@@ -45,6 +48,7 @@ __all__ = [
     "EarlyStopping",
     "LRScheduling",
     "JsonlTelemetry",
+    "MetricsCallback",
     "BundleExport",
     "read_telemetry",
 ]

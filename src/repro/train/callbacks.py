@@ -8,7 +8,10 @@ order at four points of a ``fit`` call::
     on_fit_start -> [epoch: (on_eval?) on_epoch_end]* -> on_fit_end
 
 ``on_eval`` fires only on epochs the engine evaluates (``eval_every``),
-*before* that epoch's ``on_epoch_end``.  Callbacks communicate with the
+*before* that epoch's ``on_epoch_end``.  If an epoch raises, the engine
+calls ``on_fit_error(state, exc)`` on every callback (instead of
+``on_fit_end``) and re-raises, so run artifacts — telemetry files,
+metric snapshots — survive a crash.  Callbacks communicate with the
 loop through the shared :class:`~repro.train.engine.TrainState`; setting
 ``state.stop = True`` ends training after the current epoch (the best
 state is still restored by :class:`BestStateCheckpoint`).
@@ -25,6 +28,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..eval import RankingMetrics
+from ..obs import MetricsRegistry
 
 __all__ = [
     "Callback",
@@ -33,6 +37,7 @@ __all__ = [
     "EarlyStopping",
     "LRScheduling",
     "JsonlTelemetry",
+    "MetricsCallback",
     "BundleExport",
     "read_telemetry",
 ]
@@ -46,7 +51,7 @@ def _selection_key(metrics: RankingMetrics) -> float:
 
 
 class Callback:
-    """Hook interface; subclasses override any subset of the four hooks."""
+    """Hook interface; subclasses override any subset of the hooks."""
 
     def on_fit_start(self, state) -> None: ...
 
@@ -55,6 +60,9 @@ class Callback:
     def on_eval(self, state) -> None: ...
 
     def on_fit_end(self, state) -> None: ...
+
+    def on_fit_error(self, state, exc: BaseException) -> None:
+        """Called instead of ``on_fit_end`` when the epoch loop raises."""
 
 
 class BestStateCheckpoint(Callback):
@@ -179,8 +187,12 @@ class JsonlTelemetry(Callback):
 
     Every event carries a ``time`` wall-clock stamp and is flushed as it
     is written, so a crashed or interrupted run leaves a readable,
-    resumable trail; ``append=True`` continues an existing file (the
-    new ``fit_start`` event is marked ``"resumed": true``).
+    resumable trail; if the fit raises, a final ``fit_error`` event
+    records the failing epoch and exception before the file handle is
+    closed.  ``append=True`` continues an existing file (the new
+    ``fit_start`` event is marked ``"resumed": true``).  The callback is
+    also a context manager: ``with JsonlTelemetry(path) as t:``
+    guarantees the handle is released even if ``fit`` is never reached.
     """
 
     def __init__(self, path: str, run_id: str | None = None,
@@ -238,8 +250,91 @@ class JsonlTelemetry(Callback):
             "final_loss": state.report.final_loss,
             "best_metrics": best.to_dict() if best is not None else None,
         })
-        self._fh.close()
-        self._fh = None
+        self.close()
+
+    def on_fit_error(self, state, exc: BaseException) -> None:
+        self._emit({
+            "event": "fit_error",
+            "run": self.run_id,
+            "epoch": state.epoch,
+            "epochs_run": len(state.report.epoch_losses),
+            "error": f"{type(exc).__name__}: {exc}",
+        })
+        self.close()
+
+    def close(self) -> None:
+        """Release the file handle (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTelemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class MetricsCallback(Callback):
+    """Publish training progress onto a :class:`repro.obs.MetricsRegistry`.
+
+    Registers ``train_epochs_total``, the ``train_epoch_seconds``
+    histogram and ``train_loss`` / ``train_lr`` / ``train_eval_mrr`` /
+    ``train_eval_hits{k}`` gauges, updated as the fit progresses.  Pass
+    a shared registry to co-expose training metrics with serve metrics,
+    or let the callback own one and read ``callback.registry`` after.
+
+    With ``snapshot_path`` set, a final ``{"type": "metrics", ...}``
+    JSONL snapshot is appended at fit end — **and** on a crash — so
+    ``python -m repro.obs report`` can always summarize the run.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 snapshot_path: str | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.snapshot_path = snapshot_path
+        self._c_epochs = self.registry.counter(
+            "train_epochs_total", "training epochs completed")
+        self._h_epoch_seconds = self.registry.histogram(
+            "train_epoch_seconds", "wall time per training epoch")
+        self._g_loss = self.registry.gauge(
+            "train_loss", "most recent mean epoch loss")
+        self._g_lr = self.registry.gauge(
+            "train_lr", "current optimiser learning rate")
+        self._g_mrr = self.registry.gauge(
+            "train_eval_mrr", "most recent eval MRR")
+        self._g_hits = self.registry.gauge(
+            "train_eval_hits", "most recent eval Hits@k", labels=("k",))
+
+    def on_epoch_end(self, state) -> None:
+        self._c_epochs.inc()
+        self._h_epoch_seconds.observe(state.report.epoch_seconds[-1])
+        if state.loss == state.loss:  # skip NaN (empty epoch)
+            self._g_loss.set(state.loss)
+        self._g_lr.set(state.engine.optimizer.lr)
+
+    def on_eval(self, state) -> None:
+        self._g_mrr.set(state.metrics.mrr)
+        for k, value in state.metrics.hits.items():
+            self._g_hits.labels(k=k).set(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dump of the registry (one ``report`` CLI input line)."""
+        return {"type": "metrics", "metrics": self.registry.snapshot()}
+
+    def _dump(self) -> None:
+        if self.snapshot_path is None:
+            return
+        parent = os.path.dirname(os.path.abspath(self.snapshot_path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.snapshot_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(self.snapshot()) + "\n")
+
+    def on_fit_end(self, state) -> None:
+        self._dump()
+
+    def on_fit_error(self, state, exc: BaseException) -> None:
+        self._dump()
 
 
 def read_telemetry(path: str) -> list[dict[str, Any]]:

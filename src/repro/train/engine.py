@@ -24,6 +24,7 @@ import numpy as np
 from .. import nn
 from ..eval import RankingEvaluator, RankingMetrics
 from ..kg import KGSplit
+from ..obs import trace
 from .callbacks import BestStateCheckpoint, Callback, ProgressLogging
 from .objectives import Objective
 from .report import TrainReport
@@ -143,11 +144,14 @@ class TrainingEngine:
         losses = []
         for batch in self.objective.batches():
             self.optimizer.zero_grad()
-            loss = self.objective.loss(self.model, batch)
-            loss.backward()
-            if self.grad_clip:
-                nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
-            self.optimizer.step()
+            with trace("train.forward", objective=self.objective.name):
+                loss = self.objective.loss(self.model, batch)
+            with trace("train.backward"):
+                loss.backward()
+            with trace("train.step"):
+                if self.grad_clip:
+                    nn.clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+                self.optimizer.step()
             losses.append(float(loss.data))
         return float(np.mean(losses)) if losses else float("nan")
 
@@ -180,28 +184,41 @@ class TrainingEngine:
         for callback in stack:
             callback.on_fit_start(state)
         start = time.perf_counter()
-        for epoch in range(1, epochs + 1):
-            tick = time.perf_counter()
-            loss = self.train_epoch()
-            report.epoch_seconds.append(time.perf_counter() - tick)
-            report.epoch_losses.append(loss)
-            state.epoch = epoch
-            state.loss = loss
-            if eval_every and (epoch % eval_every == 0 or epoch == epochs):
-                metrics = self.evaluator.evaluate(
-                    self.model, part=eval_part,
-                    max_queries=eval_max_queries, rng=self.rng,
-                    batch_size=eval_batch_size,
-                )
-                state.metrics = metrics
-                state.elapsed = time.perf_counter() - start
-                report.eval_history.append((epoch, state.elapsed, metrics))
+        try:
+            for epoch in range(1, epochs + 1):
+                tick = time.perf_counter()
+                with trace("train.epoch", epoch=epoch):
+                    loss = self.train_epoch()
+                report.epoch_seconds.append(time.perf_counter() - tick)
+                report.epoch_losses.append(loss)
+                state.epoch = epoch
+                state.loss = loss
+                if eval_every and (epoch % eval_every == 0 or epoch == epochs):
+                    metrics = self.evaluator.evaluate(
+                        self.model, part=eval_part,
+                        max_queries=eval_max_queries, rng=self.rng,
+                        batch_size=eval_batch_size,
+                    )
+                    state.metrics = metrics
+                    state.elapsed = time.perf_counter() - start
+                    report.eval_history.append((epoch, state.elapsed, metrics))
+                    for callback in stack:
+                        callback.on_eval(state)
                 for callback in stack:
-                    callback.on_eval(state)
+                    callback.on_epoch_end(state)
+                if state.stop:
+                    break
+        except BaseException as exc:
+            # A crashed fit must still leave usable artifacts (flushed
+            # telemetry, metric snapshots): give every callback a chance
+            # to finalize, then re-raise the original failure.  Hook
+            # errors are swallowed so they cannot mask it.
             for callback in stack:
-                callback.on_epoch_end(state)
-            if state.stop:
-                break
+                try:
+                    callback.on_fit_error(state, exc)
+                except Exception:  # noqa: BLE001 - never shadow the crash
+                    pass
+            raise
         for callback in stack:
             callback.on_fit_end(state)
         return report

@@ -1,0 +1,153 @@
+"""Metrics registry: histogram math, thread safety, Prometheus rendering."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry, render_prometheus
+
+
+class TestHistogram:
+    def test_bucket_counts_match_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        samples = rng.gamma(2.0, 0.05, size=2000)
+        hist = Histogram(DEFAULT_BUCKETS)
+        for s in samples:
+            hist.observe(s)
+        # numpy reference: cumulative count of samples <= each bound
+        # (Prometheus `le` buckets are inclusive upper bounds)
+        expected = [int(np.sum(samples <= edge)) for edge in DEFAULT_BUCKETS]
+        expected.append(len(samples))
+        assert hist.cumulative() == expected
+        assert hist.count == len(samples)
+        assert hist.sum == pytest.approx(samples.sum())
+        assert hist.mean == pytest.approx(samples.mean())
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.95, 0.99])
+    def test_quantile_close_to_numpy_within_bucket_width(self, q):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(0.0, 1.0, size=5000)
+        hist = Histogram(np.linspace(0.05, 1.0, 20))
+        for s in samples:
+            hist.observe(s)
+        estimate = hist.quantile(q)
+        exact = float(np.quantile(samples, q))
+        # linear interpolation inside a bucket is exact up to one bucket
+        # width for a uniform distribution
+        assert abs(estimate - exact) < 0.05 + 1e-9
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram((1.0, 2.0))
+        assert math.isnan(hist.quantile(0.5))
+        hist.observe(10.0)  # lands in +Inf bucket
+        assert hist.quantile(0.99) == 2.0  # clamped to highest finite edge
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, math.inf))
+
+
+class TestRegistry:
+    def test_registration_is_idempotent_and_type_checked(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "help text")
+        assert registry.counter("hits_total") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("hits_total")
+        with pytest.raises(ValueError):
+            registry.counter("hits_total", labels=("route",))
+
+    def test_counter_monotonicity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labeled_children_and_total(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labels=("route", "code"))
+        family.labels(route="/a", code=200).inc(3)
+        family.labels(route="/b", code=500).inc()
+        assert family.labels(route="/a", code=200).value == 3
+        assert family.total() == 4
+        with pytest.raises(ValueError):
+            family.labels(route="/a")  # missing label
+        with pytest.raises(ValueError):
+            family.inc()  # labeled family has no sole child
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("spins_total")
+        hist = registry.histogram("spin_size", buckets=(0.5, 1.5, 2.5))
+        n_threads, n_iter = 8, 2000
+
+        def spin():
+            for i in range(n_iter):
+                counter.inc()
+                hist.observe(i % 3)
+
+        threads = [threading.Thread(target=spin) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_iter
+        assert hist.count == n_threads * n_iter
+        assert hist.cumulative()[-1] == n_threads * n_iter
+
+
+class TestPrometheusRender:
+    def test_exposition_format_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs run").inc(7)
+        registry.gauge("queue_depth").set(3)
+        family = registry.counter("http_requests_total", labels=("route",))
+        family.labels(route='/pre"dict').inc()
+        hist = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        samples, types = {}, {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split(" ")
+                types[name] = kind
+            elif line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        assert types == {"jobs_total": "counter", "queue_depth": "gauge",
+                         "http_requests_total": "counter",
+                         "latency_seconds": "histogram"}
+        assert samples["jobs_total"] == 7
+        assert samples["queue_depth"] == 3
+        assert samples['http_requests_total{route="/pre\\"dict"}'] == 1
+        assert samples['latency_seconds_bucket{le="0.1"}'] == 1
+        assert samples['latency_seconds_bucket{le="1"}'] == 2
+        assert samples['latency_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["latency_seconds_count"] == 3
+        assert samples["latency_seconds_sum"] == pytest.approx(5.55)
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("b_seconds", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["a_total"]["series"][0]["value"] == 1
+        assert parsed["b_seconds"]["series"][0]["count"] == 1

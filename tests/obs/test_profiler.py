@@ -1,0 +1,109 @@
+"""Autograd profiler: hook installation/teardown, attribution, no-op off path."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.obs import AutogradProfiler
+
+
+def _saved_functional():
+    """Identity snapshot of every public functional op."""
+    return {name: getattr(F, name) for name in F.__all__ if callable(getattr(F, name))}
+
+
+class TestHookLifecycle:
+    def test_off_path_is_the_original_functions(self):
+        # the "disabled overhead is zero" guarantee: outside a profiling
+        # block the module attributes ARE the originals, not wrappers
+        before = _saved_functional()
+        call_before = nn.Module.__call__
+        with AutogradProfiler():
+            assert getattr(F, "matmul") is not before["matmul"]
+            assert nn.Module.__call__ is not call_before
+        after = _saved_functional()
+        assert all(after[name] is before[name] for name in before)
+        assert nn.Module.__call__ is call_before
+
+    def test_restore_on_error_inside_block(self):
+        before = _saved_functional()
+        with pytest.raises(RuntimeError):
+            with AutogradProfiler():
+                raise RuntimeError("boom")
+        assert _saved_functional() == before
+
+    def test_nested_activation_raises(self):
+        with AutogradProfiler():
+            with pytest.raises(RuntimeError):
+                with AutogradProfiler():
+                    pass
+        # outer exit must still restore cleanly
+        with AutogradProfiler():
+            pass
+
+
+class TestAttribution:
+    def test_forward_backward_and_alloc_counts(self):
+        rng = np.random.default_rng(0)
+        a = nn.Tensor(rng.normal(size=(8, 4)), requires_grad=True)
+        b = nn.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        with AutogradProfiler() as prof:
+            out = F.matmul(a, b)
+            loss = F.sum(out)
+            loss.backward()
+        mm = prof.op_stats["matmul"]
+        assert mm.forward_calls == 1
+        assert mm.backward_calls == 1
+        assert mm.forward_seconds >= 0.0
+        assert mm.alloc_count == 1
+        assert mm.alloc_bytes == 8 * 3 * 8  # float64 result
+        assert prof.op_stats["sum"].backward_calls == 1
+        # gradients flowed normally through the wrappers
+        assert a.grad is not None and b.grad is not None
+
+    def test_composite_ops_do_not_double_count_children(self):
+        x = nn.Tensor(np.ones((16, 16)), requires_grad=True)
+        with AutogradProfiler() as prof:
+            F.mean(x)  # composite: calls sum + mul internally
+        records = {r["name"]: r for r in prof.to_records() if r["type"] == "op"}
+        # self-time accounting: any op mean() delegates to shows up as its
+        # own record instead of being folded into mean's time twice
+        assert "mean" in records
+        assert records["mean"]["forward_calls"] == 1
+
+    def test_module_layers_recorded(self):
+        rng = np.random.default_rng(1)
+
+        class TwoLayer(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc1 = nn.Linear(6, 5, rng=rng)
+                self.fc2 = nn.Linear(5, 2, rng=rng)
+
+            def forward(self, x):
+                return self.fc2(F.relu(self.fc1(x)))
+
+        model = TwoLayer()
+        x = nn.Tensor(rng.normal(size=(4, 6)))
+        with AutogradProfiler() as prof:
+            model(x)
+        assert prof.layer_stats["Linear"].calls == 2
+        assert prof.layer_stats["TwoLayer"].calls == 1
+        # inclusive parent time covers its nested children
+        assert (prof.layer_stats["TwoLayer"].total_seconds
+                >= prof.layer_stats["TwoLayer"].self_seconds)
+
+    def test_export_and_table(self, tmp_path):
+        x = nn.Tensor(np.ones((4, 4)), requires_grad=True)
+        with AutogradProfiler() as prof:
+            F.sum(F.mul(x, x)).backward()
+        path = str(tmp_path / "profile.jsonl")
+        prof.export(path)
+        from repro.obs import load_events
+
+        records = load_events([path])
+        assert any(r["type"] == "op" and r["name"] == "mul" for r in records)
+        table = prof.table()
+        assert "ops (self time)" in table
+        assert "mul" in table

@@ -1,0 +1,100 @@
+"""``python -m repro.obs report`` over heterogeneous JSONL files."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import load_events, render_report
+from repro.obs.report import (
+    main,
+    render_metrics_table,
+    render_op_table,
+    render_span_table,
+)
+
+
+@pytest.fixture()
+def mixed_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    lines = [
+        {"type": "span", "name": "train.epoch", "ts": 1.0, "dur": 0.5,
+         "depth": 0, "parent": None, "thread": 1},
+        {"type": "span", "name": "train.epoch", "ts": 2.0, "dur": 0.7,
+         "depth": 0, "parent": None, "thread": 1},
+        {"type": "span", "name": "train.forward", "ts": 1.0, "dur": 0.2,
+         "depth": 1, "parent": "train.epoch", "thread": 1},
+        {"type": "op", "name": "matmul", "forward_calls": 10,
+         "forward_seconds": 0.3, "backward_calls": 10,
+         "backward_seconds": 0.2, "alloc_count": 10, "alloc_bytes": 4096},
+        {"type": "layer", "name": "Linear", "calls": 4, "total_seconds": 0.4,
+         "self_seconds": 0.3, "backward_seconds": 0.1},
+        {"type": "metrics", "metrics": {
+            "train_loss": {"type": "gauge", "help": "",
+                           "series": [{"labels": {}, "value": 0.25}]},
+            "train_epoch_seconds": {"type": "histogram", "help": "", "series": [
+                {"labels": {}, "count": 2, "sum": 1.2, "buckets": {},
+                 "p50": 0.5, "p95": 0.7, "p99": 0.7}]},
+        }},
+        {"event": "fit_start", "run": "r0", "model": "DistMult",
+         "objective": "1toN", "epochs": 2},
+        {"event": "epoch", "epoch": 1, "loss": 0.9, "seconds": 0.5},
+        {"event": "epoch", "epoch": 2, "loss": 0.25, "seconds": 0.7},
+        {"event": "fit_end", "run": "r0", "epochs_run": 2, "final_loss": 0.25},
+        {"unrelated": True},
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line) + "\n")
+        fh.write("not json\n")  # bad lines are skipped, not fatal
+    return str(path)
+
+
+def test_load_events_skips_bad_lines(mixed_file):
+    events = load_events([mixed_file])
+    assert len(events) == 11
+
+
+def test_span_table_aggregates_by_name(mixed_file):
+    table = render_span_table(load_events([mixed_file]))
+    lines = table.splitlines()
+    epoch_row = next(line for line in lines if line.startswith("train.epoch"))
+    cells = epoch_row.split()
+    assert cells[1] == "2"            # count
+    assert cells[2] == "1.2000"       # total seconds
+    # sorted by total desc: epoch (1.2s) before forward (0.2s)
+    assert lines.index(epoch_row) < lines.index(
+        next(line for line in lines if line.startswith("train.forward")))
+
+
+def test_op_and_metrics_tables(mixed_file):
+    events = load_events([mixed_file])
+    ops = render_op_table(events)
+    assert "matmul" in ops and "Linear" in ops
+    metrics = render_metrics_table(events)
+    assert "train_loss" in metrics
+    assert "train_epoch_seconds" in metrics
+
+
+def test_full_report_includes_telemetry(mixed_file):
+    report = render_report([mixed_file])
+    assert "spans" in report
+    assert "training telemetry" in report
+    assert "first 0.9000 -> last 0.2500" in report
+    assert "unrecognized" in report  # the {"unrelated": true} line
+
+
+def test_cli_main(mixed_file, capsys):
+    assert main(["report", mixed_file, "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "train.epoch" in out
+    assert "matmul" in out
+
+
+def test_module_entry_point(mixed_file):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "report", mixed_file],
+        capture_output=True, text=True)
+    assert proc.returncode == 0
+    assert "train.epoch" in proc.stdout

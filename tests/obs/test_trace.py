@@ -1,0 +1,127 @@
+"""Span tracing: nesting, timing, JSONL round-trip, no-op fast path."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+    trace,
+    traced,
+    tracing,
+)
+from repro.obs.trace import _NOOP
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    get_tracer().reset()
+    yield
+    disable_tracing()
+
+
+class TestNesting:
+    def test_nested_spans_record_parent_and_depth(self):
+        with tracing() as tracer:
+            with trace("outer"):
+                with trace("inner", step=3):
+                    pass
+        spans = {s["name"]: s for s in tracer.spans}
+        assert spans["outer"]["depth"] == 0
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["depth"] == 1
+        assert spans["inner"]["parent"] == "outer"
+        assert spans["inner"]["step"] == 3
+
+    def test_durations_nest(self):
+        with tracing() as tracer:
+            with trace("outer"):
+                with trace("inner"):
+                    time.sleep(0.02)
+        spans = {s["name"]: s for s in tracer.spans}
+        assert spans["inner"]["dur"] >= 0.02
+        assert spans["outer"]["dur"] >= spans["inner"]["dur"]
+        # children are recorded before their parents (completion order)
+        names = [s["name"] for s in tracer.spans]
+        assert names.index("inner") < names.index("outer")
+
+    def test_span_survives_exception(self):
+        with tracing() as tracer:
+            with pytest.raises(RuntimeError):
+                with trace("doomed"):
+                    raise RuntimeError("boom")
+        assert [s["name"] for s in tracer.spans] == ["doomed"]
+
+
+class TestDisabledFastPath:
+    def test_disabled_trace_returns_shared_noop(self):
+        assert not get_tracer().enabled
+        assert trace("anything") is _NOOP
+        assert trace("other", k=1) is _NOOP
+        with trace("free"):
+            pass  # no allocation, no recording
+        assert len(get_tracer().spans) == 0
+
+    def test_traced_decorator_checks_enabled_per_call(self):
+        @traced("work.unit")
+        def work(x):
+            return x * 2
+
+        assert work(3) == 6  # disabled: plain call
+        with tracing() as tracer:
+            assert work(4) == 8
+        assert [s["name"] for s in tracer.spans] == ["work.unit"]
+        assert work(5) == 10
+        assert len(tracer.spans) == 1  # no recording after disable
+
+    def test_traced_default_name(self):
+        @traced()
+        def quantify():
+            return 1
+
+        with tracing() as tracer:
+            quantify()
+        assert tracer.spans[0]["name"].endswith("quantify")
+
+
+class TestJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        enable_tracing(path)
+        with trace("epoch", epoch=1):
+            with trace("batch", size=32):
+                pass
+        # line-flushed: readable before disable_tracing closes the handle
+        events = read_trace(path)
+        assert [e["name"] for e in events] == ["batch", "epoch"]
+        assert all(e["type"] == "span" for e in events)
+        assert events[0]["size"] == 32
+        assert events[0]["parent"] == "epoch"
+        assert events[0]["dur"] >= 0.0
+        assert events[0]["thread"]
+        disable_tracing()
+        assert not get_tracer().enabled
+
+    def test_numpy_attrs_are_coerced(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "trace.jsonl")
+        enable_tracing(path)
+        with trace("np", count=np.int64(5), value=np.float32(0.5)):
+            pass
+        events = read_trace(path)
+        assert events[0]["count"] == 5
+        assert events[0]["value"] == 0.5
+
+    def test_bounded_span_buffer(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(keep=4)
+        for i in range(10):
+            with tracer.span("s", i=i):
+                pass
+        assert len(tracer.spans) == 4
+        assert [s["i"] for s in tracer.spans] == [6, 7, 8, 9]

@@ -8,6 +8,7 @@ import urllib.request
 import numpy as np
 import pytest
 
+import repro
 from repro.serve import MicroBatcher, PredictionEngine, make_server
 
 
@@ -44,9 +45,12 @@ class TestRoutes:
         server, engine, _ = service
         status, payload = _request(server, "GET", "/healthz")
         assert status == 200
+        uptime = payload.pop("uptime_seconds")
+        assert 0.0 <= uptime < 300.0
         assert payload == {"status": "ok", "model": "TransE",
                            "num_entities": engine.num_entities,
-                           "num_relations": engine.num_relations}
+                           "num_relations": engine.num_relations,
+                           "version": repro.__version__}
 
     def test_predict_tails_bit_identical(self, service, transe):
         server, engine, mkg = service
@@ -99,6 +103,27 @@ class TestRoutes:
         expected = transe.predict_tails(triples[:, 0], triples[:, 1])
         expected = expected[np.arange(len(triples)), triples[:, 2]]
         assert payload["scores"] == expected.tolist()
+
+    def test_metrics_prometheus_exposition(self, service):
+        server, _, _ = service
+        _request(server, "POST", "/predict", {"head": 0, "relation": 0, "k": 2})
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics",
+                                    timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        samples = {}
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                samples[name] = float(value)
+        assert samples["serve_queries_total"] >= 1
+        assert samples["serve_predict_seconds_count"] >= 1
+        assert samples['http_requests_total{route="/predict",code="200"}'] >= 1
+        # cumulative bucket invariant: +Inf bucket equals the count
+        assert samples['http_request_seconds_bucket{le="+Inf"}'] == \
+            samples["http_request_seconds_count"]
 
     def test_stats_reports_all_layers(self, service):
         server, _, _ = service

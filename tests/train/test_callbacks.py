@@ -18,6 +18,7 @@ from repro.train import (
     EarlyStopping,
     JsonlTelemetry,
     LRScheduling,
+    MetricsCallback,
     OneToNObjective,
     TrainingEngine,
     read_telemetry,
@@ -215,6 +216,83 @@ class TestJsonlTelemetry:
         assert end["event"] == "fit_end"
         assert end["stopped_early"] is True
         assert end["epochs_run"] == 3
+
+    def test_crash_leaves_readable_telemetry(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _, engine = make_engine(mkg)
+
+        class Bomb(Callback):
+            def on_epoch_end(self, state):
+                if state.epoch == 2:
+                    raise RuntimeError("nan loss")
+
+        telemetry = JsonlTelemetry(str(path), run_id="crash")
+        with pytest.raises(RuntimeError, match="nan loss"):
+            engine.fit(5, callbacks=[telemetry, Bomb()])
+        # handle is closed and every event (including the terminal
+        # fit_error) is flushed and parseable
+        assert telemetry._fh is None
+        events = read_telemetry(str(path))
+        assert [e["event"] for e in events] == \
+            ["fit_start", "epoch", "epoch", "fit_error"]
+        error = events[-1]
+        assert error["run"] == "crash"
+        assert error["epoch"] == 2
+        assert "RuntimeError: nan loss" in error["error"]
+
+    def test_close_is_idempotent_and_context_managed(self, mkg, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlTelemetry(str(path)) as telemetry:
+            _, engine = make_engine(mkg)
+            engine.fit(1, callbacks=[telemetry])
+            telemetry.close()
+        telemetry.close()  # no error after double close
+        assert read_telemetry(str(path))[-1]["event"] == "fit_end"
+
+
+class TestMetricsCallback:
+    def test_registry_tracks_fit_progress(self, mkg):
+        _, engine = make_engine(mkg)
+        engine._evaluator = FakeEvaluator([40.0, 50.0])
+        callback = MetricsCallback()
+        report = engine.fit(2, eval_every=1, callbacks=[callback])
+        registry = callback.registry
+        assert registry.get("train_epochs_total").value == 2
+        assert registry.get("train_epoch_seconds").count == 2
+        assert registry.get("train_loss").value == pytest.approx(
+            report.final_loss)
+        assert registry.get("train_eval_mrr").value == pytest.approx(25.0)
+        assert registry.get("train_eval_hits").labels(k=10).value == 50.0
+
+    def test_snapshot_written_on_fit_end_and_crash(self, mkg, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        _, engine = make_engine(mkg)
+        engine.fit(1, callbacks=[MetricsCallback(snapshot_path=str(path))])
+
+        class Bomb(Callback):
+            def on_epoch_end(self, state):
+                raise RuntimeError("boom")
+
+        _, engine2 = make_engine(mkg)
+        with pytest.raises(RuntimeError):
+            engine2.fit(3, callbacks=[MetricsCallback(snapshot_path=str(path)),
+                                      Bomb()])
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert len(lines) == 2  # one snapshot per run, crash included
+        for snap in lines:
+            assert snap["type"] == "metrics"
+            assert "train_epochs_total" in snap["metrics"]
+
+    def test_shared_registry_coexists_with_serve_metrics(self, mkg):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("serve_queries_total").inc(5)
+        _, engine = make_engine(mkg)
+        engine.fit(1, callbacks=[MetricsCallback(registry=registry)])
+        rendered = registry.render()
+        assert "serve_queries_total 5" in rendered
+        assert "train_epochs_total 1" in rendered
 
 
 class TestBundleExport:
