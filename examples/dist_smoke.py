@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Multi-core training smoke test: train on N workers, verify, shut down.
+
+Exercises the whole ``repro.dist`` stack end to end on a tiny DRKG-MM
+split::
+
+    python examples/dist_smoke.py [--workers N] [--epochs N] [--model M]
+
+Steps:
+
+1. train a model through the experiment runner with ``workers`` worker
+   processes (``DistributedEngine``: shared-memory parameter mirroring,
+   gradient averaging, one synchronized optimizer step per batch);
+2. evaluate on the test split through the sharded evaluator and check
+   the metrics are non-degenerate (finite losses, ranks actually
+   computed, MRR strictly better than random);
+3. assert the worker pool shut down cleanly — no orphaned ``repro-dist``
+   processes survive the run.
+
+Exits non-zero on any failure, so CI can run it as the 2-worker gate.
+"""
+
+import argparse
+import multiprocessing as mp
+import sys
+
+import numpy as np
+
+from repro.experiments import get_scale, train_model
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--model", default="DistMult")
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--scale", default="smoke")
+    args = parser.parse_args()
+
+    if args.workers > 1 and "fork" not in mp.get_all_start_methods():
+        print("fork start method unavailable; nothing to smoke-test")
+        return 0
+
+    scale = get_scale(args.scale)
+    print(f"training {args.model} on drkg-mm ({args.scale} scale, "
+          f"{args.workers} workers, {args.epochs} epochs) ...")
+    result = train_model(args.model, "drkg-mm", scale, epochs=args.epochs,
+                         workers=args.workers)
+
+    losses = result.report.epoch_losses
+    metrics = result.test_metrics
+    print(f"epoch losses: {[round(l, 4) for l in losses]}")
+    print(f"test metrics: {metrics}")
+
+    assert len(losses) == args.epochs, f"expected {args.epochs} epochs"
+    assert np.isfinite(losses).all(), f"non-finite training loss: {losses}"
+    assert metrics.num_queries > 0, "evaluation ranked no queries"
+    assert np.isfinite(metrics.mrr) and metrics.mrr > 0, "degenerate MRR"
+    # Filtered MRR (in %) of a random scorer is ~100 * (1/N) * H_N; even a
+    # couple of epochs on the tiny graph beats 1% comfortably.
+    assert metrics.mrr > 1.0, f"MRR {metrics.mrr} looks untrained/degenerate"
+
+    stragglers = [p.name for p in mp.active_children()
+                  if p.name.startswith("repro-dist")]
+    assert not stragglers, f"worker processes survived shutdown: {stragglers}"
+
+    print(f"OK: {args.workers}-worker training + sharded eval + clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

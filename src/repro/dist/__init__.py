@@ -1,0 +1,44 @@
+"""``repro.dist`` — multiprocess data-parallel training and sharded eval.
+
+A dependency-free (stdlib ``multiprocessing`` + numpy shared memory)
+subsystem that spreads the two hot loops of the repo across worker
+processes:
+
+* :class:`DistributedEngine` (:mod:`repro.dist.engine`) — a
+  :class:`~repro.train.TrainingEngine` subclass whose workers hold
+  bit-identical model replicas mirrored through
+  ``multiprocessing.shared_memory`` flat parameter buffers
+  (:mod:`repro.dist.shm`), compute forward/backward on disjoint
+  minibatch shards, and whose parent averages gradients before one
+  synchronized optimizer step.  ``world_size=1`` is bit-for-bit the
+  seed engine; dead/hung workers are retried then dropped, never
+  deadlocked on;
+* :class:`ShardedEvaluator` (:mod:`repro.dist.evaluator`) — partitions
+  filtered-ranking query batches across forked workers sharing the
+  read-only CSR filter, with exact rank-histogram merging.
+
+Quickstart (see also the README "multi-core training" section)::
+
+    from repro.dist import DistributedEngine
+    from repro.train import OneToNObjective
+
+    engine = DistributedEngine(model, split, rng,
+                               OneToNObjective(batch_size=64),
+                               world_size=4)
+    report = engine.fit(epochs=60, eval_every=10)
+
+or, from the shell, ``python -m repro.experiments table3 --workers 4``.
+"""
+
+from .engine import DistributedEngine, WorkerFailure
+from .evaluator import ShardedEvaluator, fork_available
+from .shm import GradientAverager, SharedFlatBuffer
+
+__all__ = [
+    "DistributedEngine",
+    "GradientAverager",
+    "ShardedEvaluator",
+    "SharedFlatBuffer",
+    "WorkerFailure",
+    "fork_available",
+]

@@ -1,0 +1,520 @@
+"""Multiprocess data-parallel training on top of the unified engine.
+
+:class:`DistributedEngine` subclasses
+:class:`~repro.train.engine.TrainingEngine`, so the epoch loop,
+callbacks, report and ``fit`` surface are untouched and both
+:class:`~repro.train.OneToNObjective` and
+:class:`~repro.train.NegativeSamplingObjective` run unchanged.  Only
+``train_epoch`` and the evaluator differ:
+
+* ``world_size == 1`` takes the in-process fast path (plain
+  ``TrainingEngine.train_epoch`` / ``RankingEvaluator``), which makes it
+  *bit-for-bit identical* to the seed engine — the determinism contract
+  tests pin down;
+* ``world_size > 1`` forks a persistent pool of worker processes.  Each
+  worker holds a replica of the model (fork copy-on-write), refreshed
+  every step from a shared-memory flat parameter buffer, computes
+  forward/backward on a disjoint strided shard of every minibatch, and
+  writes its flat gradient into its slot of a shared gradient slab.
+  The parent forms the shard-size-weighted gradient average — equal to
+  the full-batch gradient, since every objective loss is a per-row mean
+  — clips it, takes the single synchronized optimizer step, and
+  publishes the new parameters.
+
+**Determinism.** Worker batch *order* comes from each replica's
+identical fork-inherited RNG copy (all workers draw the same
+permutations in lockstep); per-shard *negative corruption* comes from
+``NegativeSampler.spawn(rank)`` seed-sequence streams, so a run is a
+pure function of the seed and the world size.
+
+**Fault handling.** The parent never blocks on a bare ``join``: every
+wait is a polling loop with a deadline that also checks worker liveness.
+A dead or hung worker fails the in-flight epoch; the parent terminates
+it, dispatches ``on_worker_error`` to the active callbacks (errors
+swallowed, like ``on_fit_error``), tells survivors to abandon the epoch,
+and retries it on the surviving world — up to ``max_epoch_retries``
+times, after which the failure propagates through the normal
+``on_fit_error`` path.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from queue import Empty
+
+import numpy as np
+
+from .. import nn
+from ..kg import KGSplit
+from ..obs import MetricsRegistry, disable_tracing, trace
+from ..train import NegativeSamplingObjective, OneToNObjective
+from ..train.callbacks import Callback
+from ..train.engine import TrainingEngine
+from ..train.objectives import Objective
+from .evaluator import ShardedEvaluator, fork_available
+from .shm import GradientAverager
+
+__all__ = ["DistributedEngine", "WorkerFailure"]
+
+logger = logging.getLogger("repro.dist")
+
+
+class WorkerFailure(RuntimeError):
+    """One or more worker processes died or hung during an epoch.
+
+    ``needs_abort`` records whether the surviving workers are still
+    inside the epoch's step loop (and therefore must be sent an abort
+    ack) or had already finished when the failure surfaced.
+    """
+
+    def __init__(self, ranks: list[int], reason: str,
+                 needs_abort: bool = True) -> None:
+        super().__init__(f"worker(s) {ranks} {reason}")
+        self.ranks = ranks
+        self.reason = reason
+        self.needs_abort = needs_abort
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerContext:
+    """Everything a forked worker needs (inherited, never pickled)."""
+
+    rank: int
+    model: object
+    objective: Objective
+    averager: GradientAverager
+    cmd: object        # mp.Queue: parent -> worker commands
+    ack: object        # mp.Queue: parent -> worker step/abort acks
+    results: object    # mp.Queue: worker -> parent, shared
+    fault: tuple[int, int] | None = None  # (epoch, batch) to die at (tests)
+
+
+def _num_batches(objective: Objective) -> int:
+    """Batches per epoch, computed without consuming any RNG."""
+    if isinstance(objective, OneToNObjective):
+        return len(objective.batcher)
+    if isinstance(objective, NegativeSamplingObjective):
+        n = len(objective.train_triples)
+        return (n + objective.batch_size - 1) // objective.batch_size
+    raise TypeError(
+        f"cannot shard objective {type(objective).__name__}; repro.dist "
+        "supports OneToNObjective and NegativeSamplingObjective")
+
+
+def _shard_batches(objective: Objective, shard_index: int, shard_count: int,
+                   shard_sampler):
+    """Yield this worker's strided shard of one epoch of batches.
+
+    Batch *order* consumes only the objective's own RNG — identically in
+    every worker, because all replicas hold fork-copies of the same
+    generator state and draw in lockstep.  Shard-local randomness
+    (negative corruption) comes from ``shard_sampler``, a
+    ``NegativeSampler.spawn``-derived stream that no other worker
+    observes.
+    """
+    if isinstance(objective, NegativeSamplingObjective):
+        order = objective.rng.permutation(len(objective.train_triples))
+        for start in range(0, len(order), objective.batch_size):
+            positives = objective.train_triples[
+                order[start:start + objective.batch_size]]
+            shard = positives[shard_index::shard_count]
+            if len(shard):
+                negatives = shard_sampler.corrupt(shard, objective.num_negatives)
+            else:
+                negatives = shard
+            yield (shard, negatives), len(shard)
+        return
+    # 1-to-N: every worker forms the same batches (same RNG copies) and
+    # slices its rows; labels/candidates shard along axis 0 with them.
+    for heads, rels, labels, candidates in objective.batches():
+        sl = slice(shard_index, None, shard_count)
+        cand = candidates[sl] if candidates is not None else None
+        yield (heads[sl], rels[sl], labels[sl], cand), len(heads[sl])
+
+
+def _train_worker(ctx: _WorkerContext) -> None:
+    """Forked worker main loop: epochs of (read params, backward, submit)."""
+    disable_tracing()  # don't interleave spans onto the parent's sink
+    model, objective, averager = ctx.model, ctx.objective, ctx.averager
+    shard_sampler = None
+    if isinstance(objective, NegativeSamplingObjective):
+        shard_sampler = objective.sampler.spawn(ctx.rank)
+    while True:
+        cmd = ctx.cmd.get()
+        if cmd[0] == "stop":
+            return
+        _, epoch, attempt, ranks_now = cmd
+        shard_index = ranks_now.index(ctx.rank)
+        registry = MetricsRegistry()
+        batches = registry.counter(
+            "dist_worker_batches_total", "minibatch shards processed",
+            labels=("rank",)).labels(rank=ctx.rank)
+        seconds = registry.histogram(
+            "dist_worker_batch_seconds", "per-shard forward+backward time",
+            labels=("rank",)).labels(rank=ctx.rank)
+        ctx.results.put(("meta", ctx.rank, epoch, attempt,
+                         _num_batches(objective)))
+        aborted = False
+        stream = _shard_batches(objective, shard_index, len(ranks_now),
+                                shard_sampler)
+        for b, (batch, shard_size) in enumerate(stream):
+            if ctx.fault is not None and ctx.fault == (epoch, b):
+                os._exit(3)  # simulate a SIGKILL'd worker (tests)
+            tick = time.perf_counter()
+            averager.read_params_into(model)
+            if shard_size:
+                model.zero_grad()
+                loss = objective.loss(model, batch)
+                loss.backward()
+                loss_value = float(loss.data)
+            else:  # more workers than rows in this batch
+                loss_value = 0.0
+            averager.write_gradients(model, ctx.rank, shard_size)
+            seconds.observe(time.perf_counter() - tick)
+            batches.inc()
+            ctx.results.put(("grad", ctx.rank, epoch, attempt, b,
+                             loss_value, shard_size))
+            if ctx.ack.get()[0] == "abort":
+                aborted = True
+                break
+        if not aborted:
+            ctx.results.put(("epoch_done", ctx.rank, epoch, attempt,
+                             registry.snapshot()))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Pool:
+    """Parent-side handle on the forked worker world."""
+
+    averager: GradientAverager
+    procs: dict[int, object]            # rank -> Process (alive world)
+    cmd: dict[int, object]              # rank -> command queue
+    ack: dict[int, object]              # rank -> ack queue
+    results: object                     # shared results queue
+    failed: list[int] = field(default_factory=list)
+    # In-order messages of the current (epoch, attempt) that arrived
+    # while the parent was collecting a different kind — e.g. a fast
+    # worker's first gradient landing during meta collection.
+    stash: list[tuple] = field(default_factory=list)
+
+
+class DistributedEngine(TrainingEngine):
+    """Data-parallel :class:`TrainingEngine` over forked worker processes.
+
+    Parameters beyond the base engine:
+
+    world_size:
+        Worker processes.  ``1`` (or any platform without the ``fork``
+        start method) trains in-process, bit-identically to
+        :class:`TrainingEngine`.
+    step_timeout:
+        Seconds the parent waits for all shard gradients of one batch
+        before declaring the stragglers hung.
+    max_epoch_retries:
+        Times a failed epoch is retried on the surviving world before
+        the failure propagates (through ``on_fit_error``, as usual).
+    registry:
+        Parent :class:`~repro.obs.MetricsRegistry`; per-worker epoch
+        snapshots are merged into it and parent-side counters
+        (``dist_worker_failures_total``, ``dist_epoch_retries_total``,
+        ``dist_step_seconds``) live here.
+    """
+
+    def __init__(self, model, split: KGSplit, rng: np.random.Generator,
+                 objective: Objective, *, world_size: int = 1,
+                 lr: float = 1e-3, grad_clip: float = 5.0,
+                 optimizer: nn.Optimizer | None = None,
+                 callbacks: tuple[Callback, ...] | list[Callback] = (),
+                 step_timeout: float = 60.0, max_epoch_retries: int = 2,
+                 registry: MetricsRegistry | None = None,
+                 _fault_injection: dict[int, tuple[int, int]] | None = None
+                 ) -> None:
+        super().__init__(model, split, rng, objective, lr=lr,
+                         grad_clip=grad_clip, optimizer=optimizer,
+                         callbacks=callbacks)
+        self._init_dist(world_size, step_timeout=step_timeout,
+                        max_epoch_retries=max_epoch_retries,
+                        registry=registry, _fault_injection=_fault_injection)
+
+    def _init_dist(self, world_size: int, *, step_timeout: float = 60.0,
+                   max_epoch_retries: int = 2,
+                   registry: MetricsRegistry | None = None,
+                   _fault_injection: dict[int, tuple[int, int]] | None = None
+                   ) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if world_size > 1 and not fork_available():  # pragma: no cover
+            logger.warning("fork start method unavailable; "
+                           "falling back to world_size=1")
+            world_size = 1
+        if world_size > 1:
+            _num_batches(self.objective)  # raise early on unshardable regimes
+        self.world_size = world_size
+        self.step_timeout = step_timeout
+        self.max_epoch_retries = max_epoch_retries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._fault_injection = dict(_fault_injection or {})
+        self._pool: _Pool | None = None
+        self._epoch_index = 0
+        self._c_failures = self.registry.counter(
+            "dist_worker_failures_total", "worker processes lost")
+        self._c_retries = self.registry.counter(
+            "dist_epoch_retries_total", "epochs retried after a failure")
+        self._h_step = self.registry.histogram(
+            "dist_step_seconds", "synchronized optimizer step latency")
+        self.registry.gauge("dist_world_size", "live worker processes").set(
+            world_size if world_size > 1 else 1)
+
+    @classmethod
+    def from_engine(cls, engine: TrainingEngine, world_size: int,
+                    **opts) -> "DistributedEngine":
+        """Adopt an already-constructed engine without re-preparing it.
+
+        ``Objective.prepare`` consumed the engine's RNG at construction;
+        calling it again would shift every downstream draw.  This copies
+        the prepared state — model, split, RNG, objective, optimizer,
+        callbacks — verbatim, so the adopted engine's ``world_size=1``
+        behaviour remains bit-identical to the original.
+        """
+        self = cls.__new__(cls)
+        self.model = engine.model
+        self.split = engine.split
+        self.rng = engine.rng
+        self.objective = engine.objective
+        self.grad_clip = engine.grad_clip
+        self.optimizer = engine.optimizer
+        self.callbacks = list(engine.callbacks)
+        self._evaluator = None
+        self._active_state = None
+        self._active_callbacks = ()
+        self._init_dist(world_size, **opts)
+        return self
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    @property
+    def evaluator(self):
+        """Sharded evaluator at ``world_size > 1``, base evaluator at 1."""
+        if self._evaluator is None:
+            if self.world_size > 1:
+                self._evaluator = ShardedEvaluator(
+                    self.split, num_workers=self.world_size,
+                    timeout=max(self.step_timeout, 120.0))
+            else:
+                self._evaluator = super().evaluator
+        return self._evaluator
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> float:
+        if self.world_size == 1:
+            return super().train_epoch()
+        self._epoch_index += 1
+        for attempt in range(self.max_epoch_retries + 1):
+            self._ensure_pool()
+            alive = sorted(self._pool.procs)
+            if not alive:
+                raise WorkerFailure([], "no surviving workers")
+            try:
+                with trace("dist.epoch", epoch=self._epoch_index,
+                           world=len(alive), attempt=attempt):
+                    return self._run_epoch(alive, attempt)
+            except WorkerFailure as failure:
+                self._handle_failure(failure, alive)
+                if attempt >= self.max_epoch_retries:
+                    raise
+                self._c_retries.inc()
+                logger.warning("retrying epoch %d on %d survivor(s)",
+                               self._epoch_index, len(self._pool.procs))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fit(self, epochs: int, **kwargs):
+        """Same surface as :meth:`TrainingEngine.fit`; pool torn down after."""
+        try:
+            return super().fit(epochs, **kwargs)
+        finally:
+            self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        ctx = mp.get_context("fork")
+        averager = GradientAverager(self.model, self.world_size)
+        results = ctx.Queue()
+        procs, cmd, ack = {}, {}, {}
+        for rank in range(self.world_size):
+            cmd[rank] = ctx.Queue()
+            ack[rank] = ctx.Queue()
+            wctx = _WorkerContext(
+                rank=rank, model=self.model, objective=self.objective,
+                averager=averager, cmd=cmd[rank], ack=ack[rank],
+                results=results, fault=self._fault_injection.get(rank))
+            proc = ctx.Process(target=_train_worker, args=(wctx,),
+                               daemon=True, name=f"repro-dist-{rank}")
+            proc.start()
+            procs[rank] = proc
+        self._pool = _Pool(averager=averager, procs=procs, cmd=cmd, ack=ack,
+                           results=results)
+        logger.info("started %d dist worker(s)", self.world_size)
+
+    def shutdown(self) -> None:
+        """Stop workers and release shared memory; never blocks forever."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        for rank, proc in pool.procs.items():
+            try:
+                pool.cmd[rank].put(("stop",))
+            except Exception:  # pragma: no cover - broken queue
+                pass
+        for proc in pool.procs.values():
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - hung-worker cleanup
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for queue in (*pool.cmd.values(), *pool.ack.values(), pool.results):
+            queue.cancel_join_thread()
+            queue.close()
+        pool.averager.close()
+        self.registry.gauge("dist_world_size").set(0)
+
+    # ------------------------------------------------------------------
+    # One distributed epoch
+    # ------------------------------------------------------------------
+    def _collect(self, kind: str, pending: set[int], epoch: int, attempt: int,
+                 timeout: float, needs_abort: bool = True) -> dict[int, tuple]:
+        """Gather one ``kind`` message per pending rank, fault-aware.
+
+        Polls the shared results queue with a deadline — never a bare
+        blocking ``get`` — checking worker liveness between polls.
+        Messages from earlier epochs/aborted attempts are dropped;
+        current-attempt messages of a *different* kind (a fast worker's
+        first gradient arriving during meta collection) are stashed for
+        the next call.  Raises :class:`WorkerFailure` naming the ranks
+        that died or never reported.
+        """
+        pool = self._pool
+        out: dict[int, tuple] = {}
+        stash: list[tuple] = []
+        for msg in pool.stash:
+            if msg[2] != epoch or msg[3] != attempt:
+                continue
+            if msg[0] == kind and msg[1] in pending:
+                out[msg[1]] = msg
+                pending.discard(msg[1])
+            else:
+                stash.append(msg)
+        pool.stash = stash
+        deadline = time.monotonic() + timeout
+        while pending:
+            try:
+                msg = pool.results.get(timeout=0.05)
+            except (Empty, EOFError):
+                msg = None
+            except Exception:  # pragma: no cover - half-written pickle
+                msg = None
+            if msg is not None:
+                if msg[2] != epoch or msg[3] != attempt:
+                    continue  # stale: an earlier epoch or aborted attempt
+                if msg[0] == kind and msg[1] in pending:
+                    out[msg[1]] = msg
+                    pending.discard(msg[1])
+                else:
+                    pool.stash.append(msg)
+                continue
+            dead = [r for r in pending if not pool.procs[r].is_alive()]
+            if dead:
+                raise WorkerFailure(dead, "died mid-epoch",
+                                    needs_abort=needs_abort)
+            if time.monotonic() > deadline:
+                raise WorkerFailure(sorted(pending),
+                                    f"hung (> {timeout:.0f}s)",
+                                    needs_abort=needs_abort)
+        return out
+
+    def _run_epoch(self, alive: list[int], attempt: int) -> float:
+        pool = self._pool
+        epoch = self._epoch_index
+        pool.stash = []
+        for rank in alive:
+            pool.cmd[rank].put(("epoch", epoch, attempt, list(alive)))
+        metas = self._collect("meta", set(alive), epoch, attempt,
+                              self.step_timeout)
+        counts = {meta[4] for meta in metas.values()}
+        if len(counts) != 1:  # pragma: no cover - replica divergence guard
+            raise RuntimeError(f"workers disagree on batch count: {counts}")
+        num_batches = counts.pop()
+
+        losses = []
+        for b in range(num_batches):
+            grads = self._collect("grad", set(alive), epoch, attempt,
+                                  self.step_timeout)
+            if any(msg[4] != b for msg in grads.values()):  # pragma: no cover
+                raise RuntimeError("workers fell out of batch lockstep")
+            with self._h_step.time(), trace("dist.step", batch=b):
+                weight = sum(msg[6] for msg in grads.values())
+                if weight > 0:
+                    pool.averager.average_into(self.model, alive)
+                    if self.grad_clip:
+                        nn.clip_grad_norm(self.optimizer.parameters,
+                                          self.grad_clip)
+                    self.optimizer.step()
+                    pool.averager.publish_params(self.model)
+                    losses.append(sum(msg[5] * msg[6] for msg in
+                                      grads.values()) / weight)
+            for rank in alive:
+                pool.ack[rank].put(("step",))
+        # Survivors past this point have left the step loop, so a
+        # failure here must not enqueue abort acks they would misread
+        # during the next epoch.
+        dones = self._collect("epoch_done", set(alive), epoch, attempt,
+                              self.step_timeout, needs_abort=False)
+        for msg in dones.values():
+            self.registry.merge(msg[4])
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def _handle_failure(self, failure: WorkerFailure, alive: list[int]) -> None:
+        """Remove failed workers, notify callbacks, abort the survivors."""
+        pool = self._pool
+        for rank in failure.ranks:
+            proc = pool.procs.pop(rank, None)
+            if proc is None:
+                continue
+            proc.terminate()
+            proc.join(timeout=1.0)
+            pool.failed.append(rank)
+            self._c_failures.inc()
+            logger.error("dist worker %d %s; removing from world",
+                         rank, failure.reason)
+            self._dispatch_worker_error(rank, failure)
+        self.registry.gauge("dist_world_size").set(len(pool.procs))
+        if failure.needs_abort:
+            # Survivors are blocked on (or heading for) their step ack:
+            # one abort each sends them back to the command loop.
+            for rank in alive:
+                if rank in pool.procs:
+                    pool.ack[rank].put(("abort",))
+
+    def _dispatch_worker_error(self, rank: int, exc: BaseException) -> None:
+        """``on_fit_error``-style dispatch: every hook runs, errors swallowed."""
+        for callback in self._active_callbacks:
+            try:
+                callback.on_worker_error(self._active_state, rank, exc)
+            except Exception:  # noqa: BLE001 - never mask recovery
+                pass

@@ -1,0 +1,155 @@
+"""Shared-memory flat buffers for cross-process parameter mirroring.
+
+``repro.dist`` keeps every worker's model replica bit-identical by
+exchanging raw ``float64`` vectors through
+:mod:`multiprocessing.shared_memory`:
+
+* one *parameter* buffer holds the canonical flat parameter vector the
+  parent publishes after each optimizer step;
+* one *gradient slab* holds ``world_size`` flat gradient vectors, one
+  slot per worker, written after each local backward pass.
+
+Layout comes from :class:`repro.nn.serialize.FlatSpec`, so the same
+ordered view serves checkpoint diffing, bundle export and IPC.  All
+buffers are created by the parent before forking; workers attach to the
+inherited :class:`~multiprocessing.shared_memory.SharedMemory` objects
+directly (fork start method), so no name handshake is needed.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..nn.serialize import FlatSpec, flatten_state_dict
+
+__all__ = ["SharedFlatBuffer", "GradientAverager"]
+
+_FLOAT64 = np.dtype(np.float64)
+
+
+class SharedFlatBuffer:
+    """A ``(rows, size)`` float64 matrix backed by shared memory.
+
+    ``rows=1`` gives the parameter buffer; ``rows=world_size`` gives the
+    gradient slab.  The creating process owns the segment and must call
+    :meth:`close` (which also unlinks); forked children share the
+    mapping for free and never unlink.
+    """
+
+    def __init__(self, rows: int, size: int) -> None:
+        if rows < 1 or size < 1:
+            raise ValueError(f"need rows >= 1 and size >= 1, got {rows}x{size}")
+        self.rows = rows
+        self.size = size
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=rows * size * _FLOAT64.itemsize)
+        self.array = np.ndarray((rows, size), dtype=_FLOAT64,
+                                buffer=self._shm.buf)
+        self.array.fill(0.0)
+        self._owner = True
+
+    def row(self, index: int) -> np.ndarray:
+        """Writable flat view of one row."""
+        return self.array[index]
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        if self._shm is None:
+            return
+        # Drop the exported ndarray first: SharedMemory.close() refuses
+        # while views of its buffer are alive.
+        self.array = None
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, BufferError):  # pragma: no cover - defensive
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedFlatBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class GradientAverager:
+    """Param-server style state shared between the parent and its workers.
+
+    The parent constructs one averager per training pool.  Per step:
+
+    1. each worker refreshes its replica from :attr:`params`, runs
+       forward/backward on its shard, and calls
+       :meth:`write_gradients` into its slot (plus its shard size into
+       :attr:`weights`);
+    2. the parent calls :meth:`average_into` which forms the
+       shard-size-weighted mean over the participating slots and
+       installs it as ``param.grad`` on the canonical model — equal to
+       the full-batch gradient, because every objective loss is a
+       per-row mean;
+    3. after the optimizer step the parent calls
+       :meth:`publish_params` and the next round begins.
+
+    The weighting makes the average exact under uneven shards (strided
+    sharding leaves some workers one row short).
+    """
+
+    def __init__(self, model, world_size: int) -> None:
+        self.world_size = world_size
+        params = dict(model.named_parameters())
+        self.spec = FlatSpec.from_state_dict(
+            {name: p.data for name, p in params.items()})
+        self.params = SharedFlatBuffer(1, self.spec.total_size)
+        self.grads = SharedFlatBuffer(world_size, self.spec.total_size)
+        # Per-worker shard sizes for the current step (row 0 unused pad).
+        self.weights = SharedFlatBuffer(1, world_size)
+        self.publish_params(model)
+
+    # -- parent side ----------------------------------------------------
+    def publish_params(self, model) -> None:
+        """Write the canonical flat parameter vector for workers to read."""
+        state = {name: p.data for name, p in model.named_parameters()}
+        flatten_state_dict(state, spec=self.spec, out=self.params.row(0))
+
+    def average_into(self, model, ranks: list[int]) -> None:
+        """Install the weighted mean of ``ranks``' gradient slots."""
+        w = np.array([self.weights.row(0)[r] for r in ranks])
+        total = w.sum()
+        if total <= 0:
+            raise ValueError(f"no gradient weight among ranks {ranks}")
+        mean = np.zeros(self.spec.total_size)
+        for rank, weight in zip(ranks, w):
+            mean += (weight / total) * self.grads.row(rank)
+        for name, param in model.named_parameters():
+            param.grad = mean[self.spec.slot(name)].reshape(param.data.shape).copy()
+
+    # -- worker side ----------------------------------------------------
+    def read_params_into(self, model) -> None:
+        """Refresh a replica from the published parameter vector."""
+        flat = self.params.row(0)
+        for name, param in model.named_parameters():
+            param.data[...] = flat[self.spec.slot(name)].reshape(param.data.shape)
+
+    def write_gradients(self, model, rank: int, weight: float) -> None:
+        """Flatten a replica's gradients into slot ``rank``.
+
+        Parameters a batch never touched (``grad is None``) contribute
+        zeros, exactly as they would in a single-process step.
+        """
+        slot = self.grads.row(rank)
+        for name, param in model.named_parameters():
+            sl = self.spec.slot(name)
+            if param.grad is None:
+                slot[sl] = 0.0
+            else:
+                slot[sl] = np.asarray(param.grad).reshape(-1)
+        self.weights.row(0)[rank] = float(weight)
+
+    def close(self) -> None:
+        """Release all shared segments (parent side, after joins)."""
+        self.params.close()
+        self.grads.close()
+        self.weights.close()

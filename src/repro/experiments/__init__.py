@@ -22,6 +22,7 @@ from .runner import (
     get_prepared,
     set_export_dir,
     set_telemetry_dir,
+    set_workers,
     train_model,
 )
 from .scale import PAPER, SMALL, SMOKE, Scale, get_scale
@@ -37,7 +38,7 @@ from .table4_relations import render_table4, render_table5, run_table4, run_tabl
 __all__ = [
     "Scale", "SMOKE", "SMALL", "PAPER", "get_scale",
     "RunResult", "RunnerContext", "train_model", "get_prepared",
-    "clear_run_cache", "set_export_dir", "set_telemetry_dir",
+    "clear_run_cache", "set_export_dir", "set_telemetry_dir", "set_workers",
     "format_table", "format_series", "format_histogram",
     "run_table2", "render_table2",
     "run_table3", "render_table3", "PAPER_TABLE3", "improvement_over_best_competitor",

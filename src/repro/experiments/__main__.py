@@ -82,6 +82,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="record repro.obs spans (epochs, eval batches, "
                              "...) to DIR/trace.jsonl; summarize with "
                              "'python -m repro.obs report'")
+    parser.add_argument("--workers", type=int, metavar="N", default=1,
+                        help="train every model on N repro.dist worker "
+                             "processes with sharded evaluation "
+                             "(default: 1 = in-process)")
     args = parser.parse_args(argv)
 
     if args.export_bundle:
@@ -96,6 +100,10 @@ def main(argv: list[str] | None = None) -> int:
         from .runner import set_trace_dir
 
         set_trace_dir(args.trace_dir)
+    if args.workers != 1:
+        from .runner import set_workers
+
+        set_workers(args.workers)
     scale = get_scale(args.scale)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -31,7 +31,7 @@ from .scale import Scale
 
 __all__ = ["RunResult", "RunnerContext", "get_prepared", "train_model",
            "clear_run_cache", "set_export_dir", "set_telemetry_dir",
-           "set_trace_dir"]
+           "set_trace_dir", "set_workers"]
 
 logger = logging.getLogger("repro.experiments.runner")
 
@@ -52,6 +52,9 @@ class RunnerContext:
     run_cache: dict[tuple, "RunResult"] = field(default_factory=dict)
     export_dir: str | None = None
     telemetry_dir: str | None = None
+    #: Worker processes per training run (``repro.dist``); 1 trains
+    #: in-process, bit-identically to the seed engine.
+    workers: int = 1
 
     def clear(self) -> None:
         """Drop all cached runs and features (frees memory in long sessions)."""
@@ -81,6 +84,20 @@ def set_telemetry_dir(path: str | None) -> None:
     event per epoch/eval (see :class:`repro.train.JsonlTelemetry`).
     """
     DEFAULT_CONTEXT.telemetry_dir = path
+
+
+def set_workers(workers: int) -> None:
+    """Train every subsequent :func:`train_model` on ``workers`` processes.
+
+    Values above 1 wrap each trainer in
+    :class:`repro.dist.DistributedEngine` (data-parallel gradient
+    averaging over forked workers) and run evaluation through its
+    sharded evaluator; ``1`` restores the in-process engine.  This is
+    the ``--workers N`` flag of ``python -m repro.experiments``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    DEFAULT_CONTEXT.workers = workers
 
 
 def set_trace_dir(path: str | None) -> None:
@@ -148,6 +165,7 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
                 export_bundle: str | None = None,
                 early_stopping: int | None = None,
                 callbacks: tuple[Callback, ...] | list[Callback] = (),
+                workers: int | None = None,
                 context: RunnerContext | None = None) -> RunResult:
     """Train ``model_name`` on ``dataset`` and evaluate on test (cached).
 
@@ -168,10 +186,17 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
     ``export_dir`` (:func:`set_export_dir` / ``--export-bundle``) makes
     *every* run (cached or fresh) emit one, so any experiment doubles as
     a bundle factory.  Exported bundles embed the training report.
+
+    ``workers`` (default: the context's ``workers``, i.e. ``--workers``)
+    trains on that many ``repro.dist`` worker processes and shards the
+    epoch/test evals across them; it is part of the cache key because a
+    multi-worker negative-sampling run draws different corruption
+    streams than the single-process one.
     """
     ctx = context if context is not None else DEFAULT_CONTEXT
+    workers = workers if workers is not None else ctx.workers
     key = (model_name, dataset, scale.name, seed, epochs, negatives_1ton,
-           eval_batch_size, early_stopping)
+           eval_batch_size, early_stopping, workers)
     cacheable = not callbacks
     if cacheable and key in ctx.run_cache:
         result = ctx.run_cache[key]
@@ -182,6 +207,10 @@ def train_model(model_name: str, dataset: str, scale: Scale, seed: int = 0,
     model, trainer = build_model(model_name, mkg, feats, rng,
                                  dim=scale.model_dim,
                                  negatives_1ton=negatives_1ton)
+    if workers > 1:
+        from ..dist import DistributedEngine
+
+        trainer = DistributedEngine.from_engine(trainer, world_size=workers)
     budget = epochs if epochs is not None else _epochs_for(model_name, scale)
     run_callbacks: list[Callback] = list(callbacks)
     if early_stopping:

@@ -24,6 +24,25 @@ from .graph import KnowledgeGraph
 __all__ = ["NegativeSampler", "bernoulli_probabilities", "self_adversarial_weights"]
 
 
+def _child_seed_sequence(rng: np.random.Generator,
+                         seed_offset: int) -> np.random.SeedSequence:
+    """Deterministic child seed sequence for a shard-local generator.
+
+    Extends the generator's own :class:`~numpy.random.SeedSequence`
+    spawn key with ``seed_offset``, so the child stream depends only on
+    the parent's seed and the offset — never on how much of the parent
+    stream has been consumed.  Generators built without a seed sequence
+    (directly from a raw ``BitGenerator``) fall back to a bare
+    ``SeedSequence(seed_offset)``, which is still deterministic.
+    """
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if isinstance(seed_seq, np.random.SeedSequence):
+        return np.random.SeedSequence(
+            entropy=seed_seq.entropy,
+            spawn_key=tuple(seed_seq.spawn_key) + (seed_offset,))
+    return np.random.SeedSequence(seed_offset)
+
+
 def bernoulli_probabilities(triples: np.ndarray, num_relations: int) -> np.ndarray:
     """Per-relation probability of corrupting the *head*.
 
@@ -99,6 +118,30 @@ class NegativeSampler:
             if bernoulli
             else np.full(num_rel, 0.5)
         )
+
+    def spawn(self, seed_offset: int) -> "NegativeSampler":
+        """A shard-local sampler with an independent deterministic stream.
+
+        The child shares this sampler's immutable tables (true-triple
+        set, Bernoulli probabilities) but owns a fresh
+        :class:`numpy.random.Generator` derived from this sampler's seed
+        sequence and ``seed_offset`` — the ``SeedSequence.spawn``
+        convention.  Two samplers built from the same seed produce
+        identical children for the same offset, and children at
+        different offsets are statistically independent; neither
+        consumes the parent's stream.  This is the per-worker RNG
+        contract ``repro.dist`` relies on: worker ``w`` corrupts its
+        minibatch shard with ``sampler.spawn(w)`` and stays
+        deterministic regardless of what the other workers draw.
+        """
+        child = object.__new__(NegativeSampler)
+        child.num_entities = self.num_entities
+        child.filtered = self.filtered
+        child._true = self._true
+        child._head_prob = self._head_prob
+        child.rng = np.random.default_rng(
+            _child_seed_sequence(self.rng, int(seed_offset)))
+        return child
 
     def corrupt(self, triples: np.ndarray, num_negatives: int = 1) -> np.ndarray:
         """Return ``(len(triples) * num_negatives, 3)`` corrupted triples."""

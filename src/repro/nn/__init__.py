@@ -26,7 +26,13 @@ from .layers import (
 )
 from .module import Module, ModuleList, inference_mode
 from .optim import SGD, Adam, ExponentialLR, StepLR, clip_grad_norm
-from .serialize import load_module, save_module
+from .serialize import (
+    FlatSpec,
+    flatten_state_dict,
+    load_module,
+    save_module,
+    unflatten_state_dict,
+)
 from .tensor import Parameter, Tensor, is_grad_enabled, no_grad
 
 __all__ = [
@@ -60,5 +66,8 @@ __all__ = [
     "ExponentialLR",
     "clip_grad_norm",
     "save_module",
+    "FlatSpec",
+    "flatten_state_dict",
+    "unflatten_state_dict",
     "load_module",
 ]

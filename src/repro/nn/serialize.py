@@ -1,14 +1,29 @@
-"""Checkpoint save/load for modules (``.npz`` based)."""
+"""Checkpoint save/load for modules (``.npz`` based) and flat views.
+
+Besides the ``.npz`` round-trip, this module provides the ordered
+flat-vector view of a state dict (:class:`FlatSpec`,
+:func:`flatten_state_dict`, :func:`unflatten_state_dict`) that
+``repro.dist`` uses to mirror model replicas through
+``multiprocessing.shared_memory`` buffers — and that is handy on its own
+for checkpoint diffing (``np.abs(flat_a - flat_b)``).
+"""
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "FlatSpec",
+    "flatten_state_dict",
+    "unflatten_state_dict",
+]
 
 
 def save_module(module: Module, path: str) -> None:
@@ -22,6 +37,98 @@ def save_module(module: Module, path: str) -> None:
     with open(tmp, "wb") as handle:
         np.savez(handle, **state)
     os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class FlatSpec:
+    """Layout of a state dict inside one flat ``float64`` vector.
+
+    ``names`` preserves the state dict's own ordering; entry ``i``
+    occupies ``flat[offsets[i]:offsets[i] + sizes[i]]`` reshaped to
+    ``shapes[i]`` and cast back to ``dtypes[i]``.  Two modules of the
+    same architecture produce identical specs, which is what lets
+    ``repro.dist`` exchange raw vectors between process replicas.
+    """
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    dtypes: tuple[np.dtype, ...]
+    offsets: tuple[int, ...]
+    sizes: tuple[int, ...]
+    total_size: int
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "FlatSpec":
+        names, shapes, dtypes, offsets, sizes = [], [], [], [], []
+        offset = 0
+        for name, array in state.items():
+            array = np.asarray(array)
+            names.append(name)
+            shapes.append(tuple(array.shape))
+            dtypes.append(array.dtype)
+            offsets.append(offset)
+            sizes.append(int(array.size))
+            offset += int(array.size)
+        return cls(names=tuple(names), shapes=tuple(shapes),
+                   dtypes=tuple(dtypes), offsets=tuple(offsets),
+                   sizes=tuple(sizes), total_size=offset)
+
+    def slot(self, name: str) -> slice:
+        """The flat-vector slice holding ``name``."""
+        i = self.names.index(name)
+        return slice(self.offsets[i], self.offsets[i] + self.sizes[i])
+
+
+def flatten_state_dict(
+    state: dict[str, np.ndarray],
+    spec: FlatSpec | None = None,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, FlatSpec]:
+    """Pack a state dict into one ordered flat ``float64`` vector.
+
+    Without ``spec`` the layout is derived from ``state`` itself; with a
+    ``spec`` the arrays are validated against it (names in order, exact
+    shapes), so replicas cannot silently diverge in layout.  ``out``
+    writes into an existing vector — e.g. a shared-memory view — instead
+    of allocating; it must have ``spec.total_size`` elements.
+    """
+    if spec is None:
+        spec = FlatSpec.from_state_dict(state)
+    elif tuple(state.keys()) != spec.names:
+        raise ValueError(
+            f"state dict keys {list(state)} do not match spec names "
+            f"{list(spec.names)}")
+    if out is None:
+        out = np.empty(spec.total_size, dtype=np.float64)
+    elif out.shape != (spec.total_size,):
+        raise ValueError(
+            f"out must be a ({spec.total_size},) vector, got {out.shape}")
+    for name, shape, offset, size in zip(spec.names, spec.shapes,
+                                         spec.offsets, spec.sizes):
+        array = np.asarray(state[name])
+        if array.shape != shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: spec {shape}, got {array.shape}")
+        out[offset:offset + size] = array.reshape(-1)
+    return out, spec
+
+
+def unflatten_state_dict(flat: np.ndarray, spec: FlatSpec) -> dict[str, np.ndarray]:
+    """Rebuild a state dict from a flat vector (inverse of flattening).
+
+    Entries are cast back to their recorded dtypes, so integer buffers
+    (e.g. batch-norm step counts) survive the ``float64`` detour.
+    """
+    flat = np.asarray(flat).reshape(-1)
+    if flat.shape != (spec.total_size,):
+        raise ValueError(
+            f"flat vector must have {spec.total_size} elements, got {flat.shape}")
+    state: dict[str, np.ndarray] = {}
+    for name, shape, dtype, offset, size in zip(spec.names, spec.shapes,
+                                                spec.dtypes, spec.offsets,
+                                                spec.sizes):
+        state[name] = flat[offset:offset + size].reshape(shape).astype(dtype)
+    return state
 
 
 def load_module(module: Module, path: str, strict: bool = True) -> Module:

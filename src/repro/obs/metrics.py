@@ -91,6 +91,10 @@ class Counter:
         with self._lock:
             self._value += amount
 
+    def merge_series(self, series: Mapping[str, Any]) -> None:
+        """Fold one snapshot series into this counter (values sum)."""
+        self.inc(float(series["value"]))
+
     @property
     def value(self) -> float:
         with self._lock:
@@ -116,6 +120,10 @@ class Gauge:
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
+
+    def merge_series(self, series: Mapping[str, Any]) -> None:
+        """Fold one snapshot series into this gauge (incoming value wins)."""
+        self.set(float(series["value"]))
 
     @property
     def value(self) -> float:
@@ -159,6 +167,28 @@ class Histogram:
     def time(self) -> "_HistogramTimer":
         """Context manager observing its own wall-clock duration."""
         return _HistogramTimer(self)
+
+    def merge_series(self, series: Mapping[str, Any]) -> None:
+        """Fold one snapshot series into this histogram (bucket-wise add).
+
+        ``series`` is the JSON form :meth:`MetricsRegistry.snapshot`
+        emits: cumulative ``buckets`` keyed by formatted ``le`` bound
+        (``+Inf`` last), plus ``sum`` and ``count``.  The incoming bucket
+        bounds must match this histogram's exactly.
+        """
+        cumulative = list(series["buckets"].items())
+        incoming_edges = tuple(float(edge) for edge, _ in cumulative[:-1])
+        if incoming_edges != self.edges or cumulative[-1][0] != "+Inf":
+            raise ValueError(
+                f"histogram bucket mismatch: have {self.edges}, "
+                f"snapshot has {incoming_edges}")
+        counts = [int(cum) for _, cum in cumulative]
+        per_bucket = [counts[0]] + [b - a for a, b in zip(counts, counts[1:])]
+        with self._lock:
+            for i, c in enumerate(per_bucket):
+                self.counts[i] += c
+            self.sum += float(series["sum"])
+            self.count += int(series["count"])
 
     @property
     def mean(self) -> float:
@@ -385,6 +415,38 @@ class MetricsRegistry:
             out[family.name] = {"type": family.kind, "help": family.help,
                                 "series": series}
         return out
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Aggregate a :meth:`snapshot` dump into this registry.
+
+        The dual of :meth:`snapshot`: per-worker registries serialised to
+        JSON (``repro.dist`` workers ship one per epoch) fold into the
+        parent so one registry reflects the whole world.  Counters sum,
+        histograms add bucket-wise (sum/count included), gauges take the
+        incoming value.  Families and labeled children missing here are
+        registered on the fly; a family that exists with a different
+        type, label schema or histogram buckets raises ``ValueError``
+        (the same invariant ``_register`` enforces).
+        """
+        for name, family_snap in snapshot.items():
+            kind = family_snap["type"]
+            if kind not in _TYPES:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+            help = family_snap.get("help", "")
+            for series in family_snap.get("series", ()):
+                labels = dict(series.get("labels", {}))
+                label_names = tuple(labels)
+                if kind == "histogram":
+                    edges = tuple(float(e) for e in series["buckets"]
+                                  if e != "+Inf")
+                    family = self.histogram(name, help, labels=label_names,
+                                            buckets=edges)
+                elif kind == "counter":
+                    family = self.counter(name, help, labels=label_names)
+                else:
+                    family = self.gauge(name, help, labels=label_names)
+                child = family.labels(**labels) if label_names else family._sole()
+                child.merge_series(series)
 
     def render(self) -> str:
         """The registry in Prometheus text exposition format (v0.0.4)."""

@@ -64,6 +64,15 @@ class Callback:
     def on_fit_error(self, state, exc: BaseException) -> None:
         """Called instead of ``on_fit_end`` when the epoch loop raises."""
 
+    def on_worker_error(self, state, rank: int, exc: BaseException) -> None:
+        """A ``repro.dist`` worker died or hung; training continues.
+
+        Dispatched by :class:`repro.dist.DistributedEngine` when a
+        worker process fails mid-epoch, before the epoch is retried on
+        the surviving world.  Like ``on_fit_error``, hook exceptions are
+        swallowed by the dispatcher so telemetry cannot break recovery.
+        """
+
 
 class BestStateCheckpoint(Callback):
     """Track the best eval by Hits@10 and restore it when training ends.
@@ -251,6 +260,15 @@ class JsonlTelemetry(Callback):
             "best_metrics": best.to_dict() if best is not None else None,
         })
         self.close()
+
+    def on_worker_error(self, state, rank: int, exc: BaseException) -> None:
+        self._emit({
+            "event": "worker_error",
+            "run": self.run_id,
+            "epoch": state.epoch,
+            "rank": rank,
+            "error": f"{type(exc).__name__}: {exc}",
+        })
 
     def on_fit_error(self, state, exc: BaseException) -> None:
         self._emit({

@@ -97,6 +97,8 @@ class TrainingEngine:
                           else nn.Adam(list(model.parameters()), lr=lr))
         self.callbacks = list(callbacks)
         self._evaluator: RankingEvaluator | None = None
+        self._active_state: TrainState | None = None
+        self._active_callbacks: tuple[Callback, ...] = ()
         objective.prepare(model, split, rng)
 
     # ------------------------------------------------------------------
@@ -180,6 +182,12 @@ class TrainingEngine:
         stack.append(ProgressLogging(verbose=verbose))
         stack.extend(self.callbacks)
         stack.extend(callbacks)
+        # Expose the live fit context so hooks that fire from *inside*
+        # train_epoch — e.g. repro.dist dispatching on_worker_error when
+        # a worker process dies mid-epoch — reach the same state and
+        # callback stack the loop uses.
+        self._active_state = state
+        self._active_callbacks = tuple(stack)
 
         for callback in stack:
             callback.on_fit_start(state)

@@ -1,0 +1,24 @@
+"""Shared tiny fixtures for the repro.dist tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DRKGConfig, generate_drkg_mm
+
+
+@pytest.fixture(scope="session")
+def mkg():
+    return generate_drkg_mm(DRKGConfig().scaled(0.12))
+
+
+@pytest.fixture
+def model_factory(mkg):
+    """Deterministic fresh models: same seed -> bit-identical weights."""
+    from repro.baselines import DistMult
+
+    def make(seed=0, dim=16):
+        rng = np.random.default_rng(seed)
+        return DistMult(mkg.num_entities, mkg.num_relations, dim=dim,
+                        rng=rng), rng
+
+    return make

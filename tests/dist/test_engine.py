@@ -1,0 +1,192 @@
+"""DistributedEngine: parity, determinism, and fault recovery.
+
+The contract under test (DESIGN.md §10):
+
+* ``world_size=1`` is **bit-for-bit** the seed :class:`TrainingEngine`;
+* ``world_size=2`` matches the single-process trajectory within 1e-10
+  for 1-to-N training (the gradient average equals the full-batch
+  gradient; only float summation order differs);
+* multi-worker runs are a pure function of the seed (re-running gives
+  bit-identical weights);
+* a worker killed mid-epoch never hangs the run — the epoch retries on
+  the surviving world and ``on_worker_error`` fires.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.dist import DistributedEngine, WorkerFailure
+from repro.dist.engine import _num_batches
+from repro.train import (
+    Callback,
+    NegativeSamplingObjective,
+    OneToNObjective,
+    TrainingEngine,
+)
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="repro.dist multi-process paths need the fork start method")
+
+
+def state_arrays(model):
+    return {k: np.asarray(v) for k, v in model.state_dict().items()}
+
+
+def assert_states_equal(a, b, atol=0.0):
+    assert set(a) == set(b)
+    for key in a:
+        if atol:
+            np.testing.assert_allclose(a[key], b[key], rtol=0.0, atol=atol,
+                                       err_msg=key)
+        else:
+            np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+class TestWorldOneParity:
+    def test_bit_identical_to_seed_engine(self, mkg, model_factory):
+        model_a, rng_a = model_factory(seed=0)
+        base = TrainingEngine(model_a, mkg.split, rng_a,
+                              OneToNObjective(batch_size=64))
+        report_a = base.fit(2, eval_every=1)
+
+        model_b, rng_b = model_factory(seed=0)
+        dist = DistributedEngine(model_b, mkg.split, rng_b,
+                                 OneToNObjective(batch_size=64), world_size=1)
+        report_b = dist.fit(2, eval_every=1)
+
+        assert report_a.epoch_losses == report_b.epoch_losses
+        assert [m for _, _, m in report_a.eval_history] == \
+               [m for _, _, m in report_b.eval_history]
+        assert_states_equal(state_arrays(model_a), state_arrays(model_b))
+
+    def test_from_engine_preserves_prepared_state(self, mkg, model_factory):
+        model_a, rng_a = model_factory(seed=3)
+        base = TrainingEngine(model_a, mkg.split, rng_a,
+                              NegativeSamplingObjective(batch_size=128))
+        report_a = base.fit(2)
+
+        model_b, rng_b = model_factory(seed=3)
+        plain = TrainingEngine(model_b, mkg.split, rng_b,
+                               NegativeSamplingObjective(batch_size=128))
+        adopted = DistributedEngine.from_engine(plain, world_size=1)
+        report_b = adopted.fit(2)
+
+        assert report_a.epoch_losses == report_b.epoch_losses
+        assert_states_equal(state_arrays(model_a), state_arrays(model_b))
+
+
+class TestWorldTwoParity:
+    def test_1ton_trajectory_matches_single_process(self, mkg, model_factory):
+        model_a, rng_a = model_factory(seed=0)
+        base = TrainingEngine(model_a, mkg.split, rng_a,
+                              OneToNObjective(batch_size=64))
+        report_a = base.fit(2)
+
+        model_b, rng_b = model_factory(seed=0)
+        dist = DistributedEngine(model_b, mkg.split, rng_b,
+                                 OneToNObjective(batch_size=64), world_size=2)
+        report_b = dist.fit(2)
+
+        # The shard-size-weighted gradient average equals the full-batch
+        # gradient; only summation order differs.
+        assert_states_equal(state_arrays(model_a), state_arrays(model_b),
+                            atol=1e-10)
+        np.testing.assert_allclose(report_a.epoch_losses,
+                                   report_b.epoch_losses, atol=1e-10)
+
+    def test_negative_sampling_runs_are_deterministic(self, mkg, model_factory):
+        def run():
+            model, rng = model_factory(seed=0)
+            engine = DistributedEngine(
+                model, mkg.split, rng,
+                NegativeSamplingObjective(batch_size=128, num_negatives=2),
+                world_size=2)
+            report = engine.fit(2)
+            return state_arrays(model), report.epoch_losses
+
+        state_a, losses_a = run()
+        state_b, losses_b = run()
+        assert losses_a == losses_b
+        assert all(np.isfinite(losses_a))
+        assert_states_equal(state_a, state_b)
+
+    def test_shutdown_leaves_no_workers(self, mkg, model_factory):
+        model, rng = model_factory(seed=0)
+        engine = DistributedEngine(model, mkg.split, rng,
+                                   OneToNObjective(batch_size=64),
+                                   world_size=2)
+        engine.fit(1)  # fit() tears the pool down in its finally block
+        assert engine._pool is None
+        assert not [p for p in mp.active_children()
+                    if p.name.startswith("repro-dist")]
+
+
+class TestFaultHandling:
+    def test_killed_worker_recovers_and_notifies(self, mkg, model_factory):
+        events = []
+
+        class Recorder(Callback):
+            def on_worker_error(self, state, rank, exc):
+                events.append((rank, exc))
+
+        model, rng = model_factory(seed=0)
+        engine = DistributedEngine(
+            model, mkg.split, rng, OneToNObjective(batch_size=64),
+            world_size=2, step_timeout=30.0, callbacks=[Recorder()],
+            _fault_injection={1: (1, 2)})  # rank 1 dies at epoch 1, batch 2
+        report = engine.fit(2)
+
+        assert len(report.epoch_losses) == 2
+        assert all(np.isfinite(report.epoch_losses))
+        assert [rank for rank, _ in events] == [1]
+        assert isinstance(events[0][1], WorkerFailure)
+        assert engine.registry.get("dist_worker_failures_total").total() == 1
+        assert engine.registry.get("dist_epoch_retries_total").total() == 1
+
+    def test_callback_errors_are_swallowed(self, mkg, model_factory):
+        class Exploder(Callback):
+            def on_worker_error(self, state, rank, exc):
+                raise RuntimeError("hook bug")
+
+        model, rng = model_factory(seed=0)
+        engine = DistributedEngine(
+            model, mkg.split, rng, OneToNObjective(batch_size=64),
+            world_size=2, callbacks=[Exploder()],
+            _fault_injection={1: (1, 0)})
+        report = engine.fit(1)
+        assert np.isfinite(report.epoch_losses[0])
+
+    def test_exhausted_retries_propagate(self, mkg, model_factory):
+        failures = []
+
+        class Recorder(Callback):
+            def on_fit_error(self, state, exc):
+                failures.append(exc)
+
+        model, rng = model_factory(seed=0)
+        engine = DistributedEngine(
+            model, mkg.split, rng, OneToNObjective(batch_size=64),
+            world_size=2, max_epoch_retries=0, callbacks=[Recorder()],
+            _fault_injection={0: (1, 1)})
+        with pytest.raises(WorkerFailure):
+            engine.fit(1)
+        assert len(failures) == 1
+        assert engine._pool is None  # fit's finally still tore down
+
+
+class TestValidation:
+    def test_world_size_below_one_rejected(self, mkg, model_factory):
+        model, rng = model_factory(seed=0)
+        with pytest.raises(ValueError):
+            DistributedEngine(model, mkg.split, rng,
+                              OneToNObjective(batch_size=64), world_size=0)
+
+    def test_unshardable_objective_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="cannot shard"):
+            _num_batches(Opaque())

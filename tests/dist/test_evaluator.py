@@ -1,0 +1,91 @@
+"""ShardedEvaluator: exact parity with the single-process evaluator."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.dist import ShardedEvaluator
+from repro.eval import RankingEvaluator
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="sharded evaluation needs the fork start method")
+
+
+@pytest.fixture
+def single(mkg):
+    return RankingEvaluator(mkg.split)
+
+
+def sharded(mkg, **kwargs):
+    kwargs.setdefault("num_workers", 2)
+    kwargs.setdefault("min_queries_per_worker", 1)
+    return ShardedEvaluator(mkg.split, **kwargs)
+
+
+class TestExactParity:
+    @needs_fork
+    def test_metrics_exactly_equal_full_part(self, mkg, model_factory, single):
+        model, _ = model_factory(seed=1)
+        expected = single.evaluate(model, part="valid", max_queries=None)
+        actual = sharded(mkg).evaluate(model, part="valid", max_queries=None)
+        assert expected == actual
+
+    @needs_fork
+    def test_ranks_exactly_equal(self, mkg, model_factory, single):
+        model, _ = model_factory(seed=1)
+        expected = single.compute_ranks(model, mkg.split.test)
+        actual = sharded(mkg).compute_ranks(model, mkg.split.test)
+        np.testing.assert_array_equal(expected, actual)
+
+    @needs_fork
+    def test_subsampled_eval_equal_given_same_rng(self, mkg, model_factory,
+                                                  single):
+        # Query subsampling draws from the caller's rng *before* sharding,
+        # so identical rngs must give identical metrics.
+        model, _ = model_factory(seed=1)
+        expected = single.evaluate(model, part="valid", max_queries=50,
+                                   rng=np.random.default_rng(9))
+        actual = sharded(mkg).evaluate(model, part="valid", max_queries=50,
+                                       rng=np.random.default_rng(9))
+        assert expected == actual
+
+
+class TestFallbacks:
+    def test_single_worker_stays_in_process(self, mkg, model_factory, single):
+        model, _ = model_factory(seed=1)
+        evaluator = sharded(mkg, num_workers=1)
+        expected = single.evaluate(model, part="valid", max_queries=None)
+        assert evaluator.evaluate(model, part="valid", max_queries=None) \
+            == expected
+        assert evaluator.recomputed_chunks == 0
+
+    def test_tiny_query_sets_stay_in_process(self, mkg, model_factory, single):
+        # 10 queries under min_queries_per_worker=32 -> no fork overhead.
+        model, _ = model_factory(seed=1)
+        evaluator = sharded(mkg, min_queries_per_worker=32)
+        triples = mkg.split.valid[:5]  # 5 triples -> 10 directed queries
+        np.testing.assert_array_equal(
+            evaluator.compute_ranks(model, triples),
+            single.compute_ranks(model, triples))
+
+    @needs_fork
+    def test_dead_worker_chunk_recomputed_in_parent(self, mkg, model_factory,
+                                                    single, monkeypatch):
+        # Make every forked worker die instantly: the parent must fall
+        # back to recomputing all chunks itself, still exactly.
+        import repro.dist.evaluator as mod
+
+        def dying_worker(*args, **kwargs):
+            import os
+
+            os._exit(3)
+
+        monkeypatch.setattr(mod, "_eval_worker", dying_worker)
+        model, _ = model_factory(seed=1)
+        evaluator = sharded(mkg, timeout=30.0)
+        expected = single.evaluate(model, part="valid", max_queries=None)
+        assert evaluator.evaluate(model, part="valid", max_queries=None) \
+            == expected
+        assert evaluator.recomputed_chunks >= 1

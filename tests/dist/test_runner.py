@@ -1,0 +1,48 @@
+"""--workers wiring through the experiment runner and CLI."""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE, train_model
+from repro.experiments.runner import DEFAULT_CONTEXT, set_workers
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="multi-worker training needs the fork start method")
+
+
+class TestSetWorkers:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            set_workers(0)
+
+    def test_sets_default_context(self):
+        try:
+            set_workers(3)
+            assert DEFAULT_CONTEXT.workers == 3
+        finally:
+            set_workers(1)
+
+    def test_cli_flag_parses(self):
+        from repro.experiments.__main__ import main
+
+        try:
+            assert main(["table2", "--scale", "smoke", "--workers", "2"]) == 0
+            assert DEFAULT_CONTEXT.workers == 2
+        finally:
+            set_workers(1)
+
+
+class TestTrainModelWorkers:
+    @needs_fork
+    def test_workers_train_and_cache_separately(self):
+        single = train_model("DistMult", "drkg-mm", SMOKE, epochs=1)
+        multi = train_model("DistMult", "drkg-mm", SMOKE, epochs=1, workers=2)
+        assert multi is not single
+        assert np.isfinite(multi.report.epoch_losses).all()
+        assert multi.test_metrics.num_queries > 0
+        # Same arguments hit the workers=2 cache entry.
+        assert train_model("DistMult", "drkg-mm", SMOKE, epochs=1,
+                           workers=2) is multi

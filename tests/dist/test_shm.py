@@ -1,0 +1,88 @@
+"""Shared-memory flat buffers and the gradient averager."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.dist import GradientAverager, SharedFlatBuffer
+
+
+class Net(nn.Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        self.fc = nn.Linear(4, 3, rng=np.random.default_rng(seed))
+        self.scale = nn.Parameter(np.ones(3))
+
+
+class TestSharedFlatBuffer:
+    def test_rows_are_views_of_one_segment(self):
+        with SharedFlatBuffer(3, 5) as buf:
+            buf.row(1)[:] = 7.0
+            assert buf.array[1].sum() == 35.0
+            assert buf.array[0].sum() == 0.0
+
+    def test_close_is_idempotent(self):
+        buf = SharedFlatBuffer(1, 4)
+        buf.close()
+        buf.close()
+        assert buf.array is None
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            SharedFlatBuffer(0, 4)
+        with pytest.raises(ValueError):
+            SharedFlatBuffer(1, 0)
+
+
+class TestGradientAverager:
+    def test_publish_then_read_round_trips_params(self):
+        source, target = Net(seed=1), Net(seed=2)
+        averager = GradientAverager(source, world_size=2)
+        try:
+            averager.read_params_into(target)
+            for (_, p_src), (_, p_tgt) in zip(source.named_parameters(),
+                                              target.named_parameters()):
+                np.testing.assert_array_equal(p_src.data, p_tgt.data)
+        finally:
+            averager.close()
+
+    def test_weighted_average_matches_hand_computation(self):
+        model = Net()
+        averager = GradientAverager(model, world_size=2)
+        try:
+            grads = {}
+            for rank, weight in ((0, 3.0), (1, 1.0)):
+                for _, param in model.named_parameters():
+                    param.grad = np.full(param.data.shape, float(rank + 1))
+                averager.write_gradients(model, rank, weight)
+                grads[rank] = rank + 1.0
+            averager.average_into(model, [0, 1])
+            # weighted mean: (3*1 + 1*2) / 4 = 1.25 everywhere
+            for _, param in model.named_parameters():
+                np.testing.assert_allclose(param.grad, 1.25)
+        finally:
+            averager.close()
+
+    def test_none_grads_contribute_zeros(self):
+        model = Net()
+        averager = GradientAverager(model, world_size=1)
+        try:
+            for _, param in model.named_parameters():
+                param.grad = None
+            averager.write_gradients(model, 0, 2.0)
+            averager.average_into(model, [0])
+            for _, param in model.named_parameters():
+                np.testing.assert_array_equal(param.grad,
+                                              np.zeros(param.data.shape))
+        finally:
+            averager.close()
+
+    def test_zero_total_weight_rejected(self):
+        model = Net()
+        averager = GradientAverager(model, world_size=1)
+        try:
+            averager.write_gradients(model, 0, 0.0)
+            with pytest.raises(ValueError):
+                averager.average_into(model, [0])
+        finally:
+            averager.close()

@@ -35,3 +35,8 @@ class TestExamples:
         proc = _run("custom_multimodal_kg.py")
         assert proc.returncode == 0, proc.stderr
         assert "Oxacillin" in proc.stdout
+
+    def test_dist_smoke(self):
+        proc = _run("dist_smoke.py", "--workers", "2", "--epochs", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "clean shutdown" in proc.stdout

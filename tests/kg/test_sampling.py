@@ -101,3 +101,55 @@ class TestNegativeSampler:
         neg = sampler.corrupt(g.triples, 2)
         assert neg[:, [0, 2]].min() >= 0
         assert neg[:, [0, 2]].max() < g.num_entities
+
+
+class TestSamplerSpawn:
+    """Per-shard RNG contract: spawn(offset) is a pure function of the seed."""
+
+    def test_same_seed_same_offset_identical_streams(self):
+        g = line_graph()
+        a = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        b = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        child_a, child_b = a.spawn(3), b.spawn(3)
+        for _ in range(5):
+            np.testing.assert_array_equal(child_a.corrupt(g.triples, 2),
+                                          child_b.corrupt(g.triples, 2))
+
+    def test_different_offsets_diverge(self):
+        g = line_graph()
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        neg0 = sampler.spawn(0).corrupt(g.triples, 4)
+        neg1 = sampler.spawn(1).corrupt(g.triples, 4)
+        assert not np.array_equal(neg0, neg1)
+
+    def test_spawn_does_not_consume_parent_stream(self):
+        g = line_graph()
+        a = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        b = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        a.spawn(0), a.spawn(1)  # must not advance a.rng
+        np.testing.assert_array_equal(a.corrupt(g.triples, 2),
+                                      b.corrupt(g.triples, 2))
+
+    def test_spawn_independent_of_parent_consumption(self):
+        # The child stream depends only on (seed, offset), not on how
+        # much of the parent stream was drawn before spawning.
+        g = line_graph()
+        fresh = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        drained = NegativeSampler(g, g.triples, np.random.default_rng(7))
+        drained.corrupt(g.triples, 3)  # consume some parent stream
+        np.testing.assert_array_equal(fresh.spawn(2).corrupt(g.triples, 2),
+                                      drained.spawn(2).corrupt(g.triples, 2))
+
+    def test_child_shares_tables_and_filtering(self):
+        g = line_graph(8)
+        sampler = NegativeSampler(g, g.triples, np.random.default_rng(0),
+                                  filtered=True)
+        child = sampler.spawn(1)
+        assert child.filtered is True
+        assert child.num_entities == g.num_entities
+        assert child._true is sampler._true
+        true = g.triple_set()
+        for _ in range(10):
+            neg = child.corrupt(g.triples, 2)
+            collisions = sum(tuple(map(int, row)) in true for row in neg)
+            assert collisions <= len(neg) * 0.05

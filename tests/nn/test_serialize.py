@@ -78,3 +78,62 @@ class TestLoadModule:
         fresh = nn.BatchNorm1d(2)
         nn.load_module(fresh, path)
         np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+
+
+class TestFlatten:
+    """flatten/unflatten round trips: the repro.dist IPC wire format."""
+
+    def test_round_trip_simple_module(self):
+        net = Net()
+        flat, spec = nn.flatten_state_dict(net.state_dict())
+        assert flat.dtype == np.float64
+        assert flat.shape == (spec.total_size,)
+        restored = nn.unflatten_state_dict(flat, spec)
+        for name, value in net.state_dict().items():
+            np.testing.assert_array_equal(restored[name], np.asarray(value))
+            assert restored[name].dtype == np.asarray(value).dtype
+
+    def test_spec_slots_are_ordered_and_disjoint(self):
+        net = Net()
+        _, spec = nn.flatten_state_dict(net.state_dict())
+        assert list(spec.names) == list(net.state_dict())
+        cursor = 0
+        for name in spec.names:
+            sl = spec.slot(name)
+            assert sl.start == cursor
+            cursor = sl.stop
+        assert cursor == spec.total_size
+
+    def test_flatten_into_preallocated_buffer(self):
+        net = Net()
+        flat, spec = nn.flatten_state_dict(net.state_dict())
+        out = np.zeros(spec.total_size)
+        flat2, _ = nn.flatten_state_dict(net.state_dict(), spec=spec, out=out)
+        assert flat2 is out
+        np.testing.assert_array_equal(out, flat)
+
+    def test_mismatched_spec_rejected(self):
+        net = Net()
+        _, spec = nn.flatten_state_dict(net.state_dict())
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(ValueError):
+            nn.flatten_state_dict(state, spec=spec)
+
+    def test_round_trip_every_registry_model(self):
+        from repro.baselines import MODEL_REGISTRY, build_model
+        from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+
+        mkg = generate_drkg_mm(DRKGConfig().scaled(0.12))
+        feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6,
+                               d_s=6, gin_epochs=1, compgcn_epochs=1)
+        for name in sorted(MODEL_REGISTRY):
+            model, _ = build_model(name, mkg, feats,
+                                   np.random.default_rng(1), dim=8)
+            state = {k: p.data for k, p in model.named_parameters()}
+            flat, spec = nn.flatten_state_dict(state)
+            restored = nn.unflatten_state_dict(flat, spec)
+            assert set(restored) == set(state), name
+            for key in state:
+                np.testing.assert_array_equal(
+                    restored[key], np.asarray(state[key]), err_msg=f"{name}.{key}")

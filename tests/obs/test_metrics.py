@@ -151,3 +151,94 @@ class TestPrometheusRender:
         parsed = json.loads(json.dumps(snap))
         assert parsed["a_total"]["series"][0]["value"] == 1
         assert parsed["b_seconds"]["series"][0]["count"] == 1
+
+
+class TestMerge:
+    """Registry.merge: the exact dual of snapshot (repro.dist fan-in)."""
+
+    def test_counters_sum_across_snapshots(self):
+        worker_a, worker_b, parent = (MetricsRegistry() for _ in range(3))
+        worker_a.counter("batches_total").inc(3)
+        worker_b.counter("batches_total").inc(4)
+        parent.counter("batches_total").inc(1)
+        parent.merge(worker_a.snapshot())
+        parent.merge(worker_b.snapshot())
+        assert parent.get("batches_total").total() == 8
+
+    def test_gauge_takes_incoming_value(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("world_size").set(4)
+        worker.gauge("world_size").set(3)
+        parent.merge(worker.snapshot())
+        assert parent.get("world_size")._sole().value == 3
+
+    def test_histograms_add_bucketwise(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        edges = (1.0, 2.0, 5.0)
+        for value in (0.5, 1.5, 10.0):
+            parent.histogram("step_seconds", buckets=edges).observe(value)
+        for value in (0.7, 4.0):
+            worker.histogram("step_seconds", buckets=edges).observe(value)
+        parent.merge(worker.snapshot())
+        hist = parent.get("step_seconds")._sole()
+        # hand-computed cumulative counts: <=1: {0.5, 0.7}, <=2: +1.5,
+        # <=5: +4.0, +Inf: +10.0
+        assert hist.cumulative() == [2, 3, 4, 5]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(0.5 + 1.5 + 10.0 + 0.7 + 4.0)
+
+    def test_merge_is_idempotent_on_counts_not_values(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.counter("n").inc(2)
+        snap = worker.snapshot()
+        parent.merge(snap)
+        parent.merge(snap)  # merging the same snapshot twice double-counts
+        assert parent.get("n").total() == 4
+
+    def test_unseen_family_registered_on_the_fly(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        worker.counter("c", labels=("rank",)).labels(rank=3).inc(2)
+        parent.merge(worker.snapshot())
+        assert parent.get("h")._sole().count == 1
+        assert parent.get("h")._sole().edges == (1.0, 2.0)
+        assert parent.get("c").labels(rank=3).value == 2
+
+    def test_labeled_children_merge_independently(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        for rank in (0, 1):
+            worker.counter("c", labels=("rank",)).labels(rank=rank).inc(rank + 1)
+        parent.counter("c", labels=("rank",)).labels(rank=0).inc(10)
+        parent.merge(worker.snapshot())
+        assert parent.get("c").labels(rank=0).value == 11
+        assert parent.get("c").labels(rank=1).value == 2
+
+    def test_bucket_mismatch_rejected(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        parent.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+    def test_type_mismatch_rejected(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.counter("m").inc()
+        parent.gauge("m").set(1)
+        with pytest.raises(ValueError):
+            parent.merge(worker.snapshot())
+
+    def test_unknown_type_rejected(self):
+        parent = MetricsRegistry()
+        with pytest.raises(ValueError):
+            parent.merge({"m": {"type": "summary", "series": []}})
+
+    def test_round_trip_through_json(self):
+        import json
+
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+        worker.counter("c").inc(3)
+        snap = json.loads(json.dumps(worker.snapshot()))
+        parent.merge(snap)
+        assert parent.get("c").total() == 3
+        assert parent.get("h")._sole().cumulative() == [0, 1, 1]
