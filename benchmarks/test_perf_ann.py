@@ -1,0 +1,148 @@
+"""ANN serving benchmark: approximate vs exact top-k throughput + recall.
+
+Builds a TransE whose entity table is a clustered point cloud (the
+distribution trained embedding tables exhibit and the regime IVF is
+designed for), attaches an int8 IVF index, and measures — for the exact
+path and for at least three ``nprobe`` settings — queries/second and
+recall@10 against the exact ranking.  Also records the quantized-table
+memory footprint.  Everything lands in
+``benchmarks/results/BENCH_ann.json``.
+
+Acceptance bars asserted here:
+
+* recall@10 >= 0.95 at the index's default ``nprobe``;
+* recall@10 == 1.0 at ``nprobe == nlist`` (full probe + exact rerank);
+* int8 stored table <= 30% of the float64 table bytes.
+
+Set ``BENCH_ANN_QUICK=1`` (CI) for a smaller entity table and fewer
+query repetitions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.ann import default_nprobe
+from repro.baselines import TransE
+from repro.kg import KGSplit, KnowledgeGraph, Vocabulary
+from repro.serve import AnnServing, PredictionEngine
+
+from conftest import RESULTS_DIR
+
+QUICK = bool(os.environ.get("BENCH_ANN_QUICK"))
+NUM_ENTITIES = 2000 if QUICK else 8000
+NUM_CLUSTERS = 32 if QUICK else 80
+DIM = 16 if QUICK else 32
+NUM_QUERIES = 64 if QUICK else 200
+REPEATS = 1 if QUICK else 3
+K = 10
+MIN_DEFAULT_RECALL = 0.95
+MAX_INT8_RATIO = 0.30
+
+
+def make_engine() -> PredictionEngine:
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(NUM_CLUSTERS, DIM))
+    table = centers[rng.integers(0, NUM_CLUSTERS, NUM_ENTITIES)]
+    table += 0.05 * rng.normal(size=table.shape)
+    triples = np.stack([rng.integers(0, NUM_ENTITIES, 60),
+                        rng.integers(0, 4, 60),
+                        rng.integers(0, NUM_ENTITIES, 60)], axis=1)
+    graph = KnowledgeGraph(
+        entities=Vocabulary([f"e{i}" for i in range(NUM_ENTITIES)]),
+        relations=Vocabulary([f"r{i}" for i in range(4)]),
+        triples=triples, name="bench-ann")
+    split = KGSplit(graph=graph, train=triples[:40], valid=triples[40:50],
+                    test=triples[50:])
+    model = TransE(NUM_ENTITIES, 4, dim=DIM, rng=np.random.default_rng(1))
+    model.entity_embedding.weight.data[:] = table
+    model.relation_embedding.weight.data[:] *= 0.02
+    ann = AnnServing.build(model, store="int8", seed=0)
+    # cache_size=0: every exact query pays the full row scan, which is
+    # the honest baseline the ANN path is being compared against.
+    return PredictionEngine(model, split, model_name="TransE", cache_size=0,
+                            ann=ann)
+
+
+def time_queries(fn, queries, repeats: int) -> float:
+    """Best-of-N wall seconds to answer every query in ``queries``."""
+    fn(*queries[0])  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        for head, rel in queries:
+            fn(head, rel)
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def test_ann_throughput_and_recall():
+    engine = make_engine()
+    index = engine.ann.index
+    rng = np.random.default_rng(2)
+    queries = [(int(h), int(r)) for h, r in zip(
+        rng.integers(0, NUM_ENTITIES, NUM_QUERIES),
+        rng.integers(0, 4, NUM_QUERIES))]
+
+    exact_ids = {q: engine.top_k_tails(*q, K, approx=False)[0]
+                 for q in dict.fromkeys(queries)}
+    exact_seconds = time_queries(
+        lambda h, r: engine.top_k_tails(h, r, K, approx=False),
+        queries, REPEATS)
+
+    nprobes = sorted({1, default_nprobe(index.nlist), index.nlist})
+    record = {
+        "quick": QUICK,
+        "num_entities": NUM_ENTITIES,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "nlist": index.nlist,
+        "default_nprobe": index.default_nprobe,
+        "memory": index.memory(),
+        "exact": {"seconds": exact_seconds,
+                  "queries_per_sec": NUM_QUERIES / exact_seconds},
+        "approx": {},
+    }
+
+    for nprobe in nprobes:
+        seconds = time_queries(
+            lambda h, r: engine.top_k_tails(h, r, K, approx=True,
+                                            nprobe=nprobe),
+            queries, REPEATS)
+        recalls = []
+        for q in dict.fromkeys(queries):
+            ids, _ = engine.top_k_tails(*q, K, approx=True, nprobe=nprobe)
+            ref = exact_ids[q]
+            recalls.append(len(set(ids) & set(ref)) / len(ref))
+        record["approx"][str(nprobe)] = {
+            "nprobe": nprobe,
+            "seconds": seconds,
+            "queries_per_sec": NUM_QUERIES / seconds,
+            "speedup_vs_exact": exact_seconds / seconds,
+            "recall_at_10": float(np.mean(recalls)),
+        }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_ann.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+
+    default_row = record["approx"][str(index.default_nprobe)]
+    full_row = record["approx"][str(index.nlist)]
+    print(f"\n[ann] E={NUM_ENTITIES} nlist={index.nlist} "
+          f"exact={record['exact']['queries_per_sec']:.0f} q/s; "
+          f"nprobe={index.default_nprobe}: "
+          f"{default_row['queries_per_sec']:.0f} q/s "
+          f"({default_row['speedup_vs_exact']:.1f}x, "
+          f"recall@10={default_row['recall_at_10']:.3f}) "
+          f"[written to {path}]")
+
+    assert record["memory"]["table_ratio_vs_float64"] <= MAX_INT8_RATIO, record
+    assert default_row["recall_at_10"] >= MIN_DEFAULT_RECALL, record
+    assert full_row["recall_at_10"] == 1.0, record

@@ -1,0 +1,22 @@
+"""``repro.ann`` — approximate nearest-neighbor candidate generation.
+
+Sublinear top-k serving needs two ingredients this package provides in
+pure numpy (no new dependencies):
+
+* :func:`kmeans` (:mod:`repro.ann.kmeans`) — the seeded, deterministic
+  coarse quantizer;
+* :class:`IVFIndex` (:mod:`repro.ann.ivf`) — inverted lists over an
+  entity embedding table with contiguous per-list storage, quantized
+  stored vectors (:class:`repro.nn.quant.QuantizedTable`), and
+  ``nprobe``-controlled probing.
+
+The serving layer (:mod:`repro.serve.ann`) couples an index to a model:
+probed candidates are re-scored through the model's *exact* scoring
+function, so approximation only ever costs recall, never score
+fidelity.
+"""
+
+from .ivf import METRICS, IVFIndex, default_nlist, default_nprobe
+from .kmeans import kmeans
+
+__all__ = ["IVFIndex", "METRICS", "default_nlist", "default_nprobe", "kmeans"]

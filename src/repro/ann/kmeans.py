@@ -1,0 +1,91 @@
+"""Seeded k-means coarse quantizer (pure numpy, deterministic).
+
+The IVF index needs one thing from clustering: a stable partition of the
+entity embedding table into ``nlist`` cells whose centroids can be
+ranked cheaply at query time.  Lloyd iterations with k-means++ seeding
+are plenty — the partition only gates *recall*, never correctness,
+because every probed candidate is re-scored exactly afterwards.
+
+Determinism contract: identical ``(vectors, k, seed, iters)`` produce
+identical centroids and assignments on every platform numpy supports,
+so a bundle's precomputed index can be regenerated bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans"]
+
+
+def _squared_distances(x: np.ndarray, centroids: np.ndarray,
+                       block: int = 65536) -> np.ndarray:
+    """``(N, K)`` squared L2 distances, blocked over rows to bound memory."""
+    n = len(x)
+    c_norm = (centroids * centroids).sum(axis=1)
+    out = np.empty((n, len(centroids)))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        xb = x[start:stop]
+        out[start:stop] = ((xb * xb).sum(axis=1)[:, None]
+                           - 2.0 * (xb @ centroids.T) + c_norm)
+    # Rounding can push tiny true-zero distances negative; clamp so
+    # argmin ties resolve on magnitude, not sign noise.
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def _plusplus_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D^2 sampling."""
+    n = len(x)
+    chosen = np.empty(k, dtype=np.int64)
+    chosen[0] = rng.integers(n)
+    closest = _squared_distances(x, x[chosen[:1]])[:, 0]
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:  # all remaining points coincide with a centroid
+            chosen[i] = rng.integers(n)
+        else:
+            chosen[i] = rng.choice(n, p=closest / total)
+        new_d = _squared_distances(x, x[chosen[i:i + 1]])[:, 0]
+        np.minimum(closest, new_d, out=closest)
+    return x[chosen].copy()
+
+
+def kmeans(x: np.ndarray, k: int, *, iters: int = 20,
+           seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``x`` (``(N, d)`` float) into ``k`` cells.
+
+    Returns ``(centroids, assign)`` with ``centroids`` of shape
+    ``(k, d)`` (float64) and ``assign`` of shape ``(N,)`` (int64 cell
+    per row).  ``k`` is clamped to ``N``.  Empty cells are repaired each
+    iteration by re-seeding them on the point currently farthest from
+    its centroid, so every returned cell is non-empty whenever
+    ``k <= N``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected (N, d) vectors, got shape {x.shape}")
+    n = len(x)
+    if n == 0:
+        raise ValueError("cannot cluster an empty vector set")
+    k = int(min(max(1, k), n))
+    rng = np.random.default_rng(seed)
+    centroids = _plusplus_init(x, k, rng)
+    assign = np.zeros(n, dtype=np.int64)
+    for _ in range(max(1, iters)):
+        dists = _squared_distances(x, centroids)
+        assign = dists.argmin(axis=1).astype(np.int64)
+        closest = dists[np.arange(n), assign]
+        counts = np.bincount(assign, minlength=k)
+        for empty in np.flatnonzero(counts == 0):
+            victim = int(closest.argmax())
+            assign[victim] = empty
+            closest[victim] = 0.0
+            counts = np.bincount(assign, minlength=k)
+        # Mean update via per-cell scatter-add (vectorized over dims).
+        sums = np.zeros((k, x.shape[1]))
+        np.add.at(sums, assign, x)
+        counts = np.bincount(assign, minlength=k)
+        centroids = sums / counts[:, None]
+    return centroids, assign

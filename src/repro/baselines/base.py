@@ -90,12 +90,28 @@ class EmbeddingModel(nn.Module):
     and :meth:`predict_tails` (numpy, inference).  ``relation_factor``
     lets models that need several vectors per relation (PairRE, DualE)
     widen the relation table.
+
+    **Approximate-serving hooks.**  Models whose candidate ranking is a
+    fixed metric between a per-``(h, r)`` query vector and the entity
+    table opt into ANN candidate generation (:mod:`repro.ann`) by
+    setting :attr:`ann_metric` and implementing :meth:`ann_queries`;
+    :meth:`ann_vectors` supplies the indexed table (the raw entity
+    embedding by default).  Models with a cheap exact per-triple path
+    additionally implement ``score_cells(heads, rels, tails)`` — the
+    serving layer uses it both to rerank probed candidates exactly and
+    to score explicit triples without materialising ``(B, E)`` rows.
+    Models that set neither are served through the exact full-row path.
     """
 
     #: Dtype ``predict_tails`` allocates score matrices in.  ``None``
     #: keeps float64 (exact parity with training math); set to
     #: ``np.float32`` for the inference fast path on large entity sets.
     inference_dtype: np.dtype | type | None = None
+
+    #: ANN index metric this model ranks under (``"l1"`` / ``"l2"`` /
+    #: ``"ip"``), or ``None`` when approximate candidate generation is
+    #: unsupported and serving must use the exact path.
+    ann_metric: str | None = None
 
     def __init__(self, num_entities: int, num_relations: int, dim: int,
                  rng: np.random.Generator | None = None,
@@ -130,6 +146,24 @@ class EmbeddingModel(nn.Module):
                 f"(< {self.num_relations}); got max {int(rels.max())}"
             )
         return self.predict_tails(np.asarray(tails), rels + self.num_relations)
+
+    # Approximate-serving hooks ----------------------------------------
+    def ann_vectors(self) -> np.ndarray:
+        """The entity-side table an ANN index should be built over.
+
+        Rows must be laid out so that :meth:`ann_queries` vectors are
+        directly comparable under :attr:`ann_metric`.
+        """
+        return self.entity_embedding.weight.data
+
+    def ann_queries(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
+        """Per-query vectors in :meth:`ann_vectors` layout (``(B, d)``).
+
+        Only meaningful when :attr:`ann_metric` is set; the base class
+        has no model-generic query transform.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support ANN candidate generation")
 
     # Helpers -----------------------------------------------------------
     def _gather(self, triples: np.ndarray) -> tuple[nn.Tensor, nn.Tensor, nn.Tensor]:

@@ -9,7 +9,7 @@ initialisation (:mod:`repro.nn.init`), Adam/SGD optimisers
 a finite-difference gradient checker (:mod:`repro.nn.gradcheck`).
 """
 
-from . import functional, gradcheck, init, optim, serialize
+from . import functional, gradcheck, init, optim, quant, serialize
 from .layers import (
     BatchNorm1d,
     BatchNorm2d,
@@ -26,6 +26,7 @@ from .layers import (
 )
 from .module import Module, ModuleList, inference_mode
 from .optim import SGD, Adam, ExponentialLR, StepLR, clip_grad_norm
+from .quant import QuantizedTable, quantize_table
 from .serialize import (
     FlatSpec,
     flatten_state_dict,
@@ -40,7 +41,10 @@ __all__ = [
     "gradcheck",
     "init",
     "optim",
+    "quant",
     "serialize",
+    "QuantizedTable",
+    "quantize_table",
     "Tensor",
     "Parameter",
     "is_grad_enabled",

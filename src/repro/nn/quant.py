@@ -1,0 +1,140 @@
+"""Quantized embedding-table kernels (int8 / float16) with dequant-on-gather.
+
+Entity embedding tables dominate serve-path memory: a DRKG-scale table
+(97k entities x 400 dims, float64) is ~300 MB before the model even
+scores a query.  :class:`QuantizedTable` stores such a table in a
+compressed dtype and reconstructs float64 rows only for the ids a query
+actually touches:
+
+* ``int8`` — symmetric per-dimension scaling: ``scale[d] =
+  max(|w[:, d]|) / 127`` and ``codes = round(w / scale)``, so the table
+  shrinks 8x vs float64 (plus one float64 scale per dimension) with a
+  worst-case per-cell error of ``scale[d] / 2``;
+* ``float16`` — IEEE half precision, 4x smaller, ~3 decimal digits;
+* ``float32`` / ``float64`` — passthrough dtypes for completeness, so
+  callers can select precision with one string.
+
+The kernels below are the numpy analogue of a fused dequantize+gather /
+dequantize+GEMM: ``gather`` upcasts only the requested rows, and ``dot``
+folds the int8 scale into the *query* side (``(q * scale) @ codes.T``)
+so the big code matrix is never materialised in float64.  The IVF index
+(:mod:`repro.ann.ivf`) stores its per-list vectors through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QuantizedTable", "quantize_table", "QUANT_MODES"]
+
+#: Supported storage modes, in decreasing compression order.
+QUANT_MODES = ("int8", "float16", "float32", "float64")
+
+
+@dataclass
+class QuantizedTable:
+    """An ``(N, d)`` float table stored in a compressed dtype.
+
+    ``codes`` holds the stored representation; ``scale`` is the
+    per-dimension dequantization factor (``None`` for float modes).
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray | None
+    mode: str
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def quantize(cls, weight: np.ndarray, mode: str = "int8") -> "QuantizedTable":
+        """Compress ``weight`` (any float dtype) into ``mode`` storage."""
+        weight = np.asarray(weight, dtype=np.float64)
+        if weight.ndim != 2:
+            raise ValueError(f"expected a 2-D table, got shape {weight.shape}")
+        if mode == "int8":
+            peak = np.abs(weight).max(axis=0)
+            # All-zero dimensions quantize to zero codes; scale 1 avoids
+            # divide-by-zero without changing any reconstructed value.
+            scale = np.where(peak > 0, peak / 127.0, 1.0)
+            codes = np.clip(np.rint(weight / scale), -127, 127).astype(np.int8)
+            return cls(codes=codes, scale=scale, mode=mode)
+        if mode in ("float16", "float32"):
+            return cls(codes=weight.astype(mode), scale=None, mode=mode)
+        if mode == "float64":
+            return cls(codes=weight, scale=None, mode=mode)
+        raise ValueError(f"unknown quantization mode {mode!r}; "
+                         f"choose from {QUANT_MODES}")
+
+    # ------------------------------------------------------------------
+    # Shape / memory introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.codes.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage bytes (codes + scales)."""
+        return int(self.codes.nbytes + (self.scale.nbytes if self.scale is not None else 0))
+
+    def compression_vs_float64(self) -> float:
+        """``stored bytes / float64 bytes`` for the same table."""
+        full = self.codes.shape[0] * self.codes.shape[1] * 8
+        return self.nbytes / full if full else 1.0
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Dequantized float64 rows for ``ids`` (dequant-on-gather).
+
+        Only the gathered rows are upcast, so memory traffic stays
+        proportional to the result, not the table.
+        """
+        rows = self.codes[np.asarray(ids, dtype=np.int64)]
+        if self.mode == "int8":
+            return rows.astype(np.float64) * self.scale
+        return rows.astype(np.float64, copy=False)
+
+    def dequantize(self) -> np.ndarray:
+        """The full float64 table (tests / debugging; O(table) memory)."""
+        return self.gather(np.arange(self.codes.shape[0]))
+
+    def dot(self, queries: np.ndarray, ids: np.ndarray | None = None) -> np.ndarray:
+        """Inner products ``queries @ table[ids].T`` without dequantizing.
+
+        For int8 storage the per-dimension scale is folded into the
+        query side first — ``(q * scale) @ codes.T`` — so the code
+        matrix participates in the GEMM in its compact dtype's natural
+        float32 upcast instead of a materialised float64 copy.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        codes = self.codes if ids is None else self.codes[np.asarray(ids, np.int64)]
+        if self.mode == "int8":
+            return (queries * self.scale) @ codes.astype(np.float32).T
+        return queries @ codes.astype(np.float64, copy=False).T
+
+    # ------------------------------------------------------------------
+    # Serialization (bundle embedding)
+    # ------------------------------------------------------------------
+    def to_arrays(self, prefix: str = "") -> dict[str, np.ndarray]:
+        out = {f"{prefix}codes": self.codes}
+        if self.scale is not None:
+            out[f"{prefix}scale"] = self.scale
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray], mode: str,
+                    prefix: str = "") -> "QuantizedTable":
+        return cls(codes=np.asarray(arrays[f"{prefix}codes"]),
+                   scale=(np.asarray(arrays[f"{prefix}scale"])
+                          if f"{prefix}scale" in arrays else None),
+                   mode=mode)
+
+
+def quantize_table(weight: np.ndarray, mode: str = "int8") -> QuantizedTable:
+    """Functional alias for :meth:`QuantizedTable.quantize`."""
+    return QuantizedTable.quantize(weight, mode)

@@ -26,6 +26,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    exponential_buckets,
     render_prometheus,
 )
 from .profiler import AutogradProfiler
@@ -51,6 +52,7 @@ __all__ = [
     "Tracer",
     "disable_tracing",
     "enable_tracing",
+    "exponential_buckets",
     "get_tracer",
     "load_events",
     "read_trace",

@@ -41,6 +41,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "exponential_buckets",
     "render_prometheus",
 ]
 
@@ -50,6 +51,22 @@ DEFAULT_BUCKETS = (
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket bounds: ``start * factor**i``.
+
+    The Prometheus client-library helper, for size-like histograms
+    (batch sizes, candidate counts) where latencies' DEFAULT_BUCKETS
+    don't fit.  ``start`` must be positive and ``factor`` > 1.
+    """
+    if start <= 0:
+        raise ValueError(f"start must be positive, got {start}")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return tuple(float(start) * float(factor) ** i for i in range(count))
+
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 

@@ -6,6 +6,9 @@ Turns any trained registry model into a queryable artifact:
   (model + config + vocab + split + modality features + state dict);
 * :mod:`repro.serve.engine` — top-k / triple-scoring engine with an LRU
   score-row cache and known-triple filtering;
+* :mod:`repro.serve.ann` — sublinear approximate top-k: couples an
+  :class:`repro.ann.IVFIndex` over the (optionally quantized) entity
+  table to the model's exact rerank;
 * :mod:`repro.serve.batcher` — micro-batching of concurrent queries;
 * :mod:`repro.serve.http` — stdlib JSON HTTP API
   (``/predict``, ``/score``, ``/healthz``, ``/stats``);
@@ -17,6 +20,7 @@ Instrumentation uses the standard :mod:`logging` hierarchy under the
 latencies and lifecycle events at ``INFO``.
 """
 
+from .ann import ANN_FORMAT_VERSION, AnnError, AnnServing, supports_ann
 from .batcher import MicroBatcher
 from .bundle import (
     BUNDLE_VERSION,
@@ -29,6 +33,9 @@ from .engine import PredictionEngine, topk_indices
 from .http import ServiceApp, make_server
 
 __all__ = [
+    "ANN_FORMAT_VERSION",
+    "AnnError",
+    "AnnServing",
     "BUNDLE_VERSION",
     "BundleError",
     "CheckpointBundle",
@@ -38,5 +45,6 @@ __all__ = [
     "load_bundle",
     "make_server",
     "save_bundle",
+    "supports_ann",
     "topk_indices",
 ]

@@ -1,0 +1,157 @@
+"""Couples an :class:`repro.ann.IVFIndex` to a loaded model for serving.
+
+The index alone only answers "which entities live near this query
+vector under the index metric".  Serving needs more:
+
+* the **query transform** — the model maps ``(h, r)`` to a vector in
+  entity-table layout (:meth:`EmbeddingModel.ann_queries`);
+* the **exact rerank** — probed candidates are re-scored through the
+  model's real scoring function (``score_cells``), so the returned
+  top-k carries exactly the scores the exact path would have produced
+  for those entities.  Approximation can therefore only *miss* a true
+  top-k entity (recall), never mis-score or mis-order the candidates it
+  does return;
+* **artifact versioning** — the payload embedded in checkpoint bundles
+  carries its own format version so old readers fail loudly instead of
+  deserialising garbage.
+
+:func:`supports_ann` is the single capability gate: a model qualifies
+iff it declares ``ann_metric`` and implements both ``ann_queries`` and
+``score_cells``.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..ann import IVFIndex
+from ..obs import trace
+
+__all__ = ["ANN_FORMAT_VERSION", "AnnError", "AnnServing", "supports_ann"]
+
+logger = logging.getLogger("repro.serve.ann")
+
+#: Version of the (meta, arrays) payload embedded in bundles.  Bump when
+#: the layout changes; readers reject newer versions explicitly.
+ANN_FORMAT_VERSION = 1
+
+
+class AnnError(RuntimeError):
+    """ANN serving misconfiguration (unsupported model, payload mismatch)."""
+
+
+def supports_ann(model) -> bool:
+    """Whether ``model`` can serve approximate top-k queries."""
+    return (getattr(model, "ann_metric", None) is not None
+            and callable(getattr(model, "ann_queries", None))
+            and callable(getattr(model, "score_cells", None)))
+
+
+@dataclass
+class AnnServing:
+    """An IVF index validated against (and queried through) one model."""
+
+    index: IVFIndex
+    build_seconds: float = 0.0
+    source: str = "built"  # "built" | "bundle"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, model, *, nlist: int | None = None,
+              nprobe: int | None = None, store: str = "int8",
+              seed: int = 0) -> "AnnServing":
+        """Train an index over ``model``'s entity table.
+
+        Raises :class:`AnnError` for models without the ANN hooks —
+        callers that want a soft failure should gate on
+        :func:`supports_ann` first.
+        """
+        if not supports_ann(model):
+            raise AnnError(
+                f"{type(model).__name__} does not support ANN candidate "
+                "generation (needs ann_metric + ann_queries + score_cells); "
+                "serve it through the exact path instead")
+        tick = time.perf_counter()
+        with trace("serve.ann_build", model=type(model).__name__):
+            index = IVFIndex.build(model.ann_vectors(), metric=model.ann_metric,
+                                   nlist=nlist, nprobe=nprobe, store=store,
+                                   seed=seed)
+        elapsed = time.perf_counter() - tick
+        logger.info(
+            "built IVF index: %d vectors, nlist=%d, nprobe=%d, store=%s, "
+            "metric=%s in %.1f ms", index.num_vectors, index.nlist,
+            index.default_nprobe, index.store, index.metric, 1e3 * elapsed)
+        return cls(index=index, build_seconds=elapsed, source="built")
+
+    def validate_for(self, model, num_entities: int) -> None:
+        """Fail fast when an index does not match the engine's model."""
+        if not supports_ann(model):
+            raise AnnError(
+                f"cannot attach an ANN index to {type(model).__name__}: "
+                "model has no ANN hooks")
+        if self.index.metric != model.ann_metric:
+            raise AnnError(
+                f"index metric {self.index.metric!r} does not match model "
+                f"metric {model.ann_metric!r}")
+        if self.index.num_vectors != num_entities:
+            raise AnnError(
+                f"index covers {self.index.num_vectors} entities but the "
+                f"bundle has {num_entities}")
+        dim = np.shape(model.ann_vectors())[1]
+        if self.index.dim != dim:
+            raise AnnError(
+                f"index dim {self.index.dim} does not match entity table "
+                f"dim {dim}")
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def candidates(self, model, heads: np.ndarray, rels: np.ndarray,
+                   nprobe: int | None = None) -> list[np.ndarray]:
+        """Probed candidate entity ids for a ``(h, r)`` query batch."""
+        queries = model.ann_queries(np.asarray(heads, np.int64),
+                                    np.asarray(rels, np.int64))
+        return self.index.probe(queries, nprobe)
+
+    # ------------------------------------------------------------------
+    # Bundle payload
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        meta, arrays = self.index.to_arrays()
+        meta["format_version"] = ANN_FORMAT_VERSION
+        return meta, arrays
+
+    @classmethod
+    def from_payload(cls, meta: dict[str, Any],
+                     arrays: dict[str, np.ndarray]) -> "AnnServing":
+        version = meta.get("format_version")
+        if version != ANN_FORMAT_VERSION:
+            raise AnnError(
+                f"unsupported ANN artifact format_version {version!r} "
+                f"(this build reads version {ANN_FORMAT_VERSION})")
+        try:
+            index = IVFIndex.from_arrays(meta, arrays)
+        except KeyError as exc:
+            raise AnnError(f"malformed ANN artifact: {exc.args[0]}") from None
+        return cls(index=index, source="bundle")
+
+    def stats(self) -> dict[str, Any]:
+        memory = self.index.memory()
+        return {
+            "source": self.source,
+            "metric": self.index.metric,
+            "store": self.index.store,
+            "nlist": self.index.nlist,
+            "default_nprobe": self.index.default_nprobe,
+            "num_vectors": self.index.num_vectors,
+            "dim": self.index.dim,
+            "table_bytes": memory["table_bytes"],
+            "table_ratio_vs_float64": round(memory["table_ratio_vs_float64"], 4),
+        }

@@ -19,6 +19,13 @@ Two on-disk layouts are supported and auto-detected on load:
   / ``data.npz`` (easy to inspect and diff);
 * a single ``.npz`` file with the JSON documents embedded as string
   arrays (easy to ship).
+
+Format version 2 adds an *optional* approximate-serving artifact: a
+precomputed IVF index + quantized entity table
+(:class:`repro.serve.ann.AnnServing`), stored as ``ann.npz`` in the
+directory layout / ``ann::``-prefixed arrays in the single-file layout,
+described by an ``"ann"`` manifest section carrying its own format
+version.  Version-1 bundles (no ``"ann"`` section) load unchanged.
 """
 
 from __future__ import annotations
@@ -39,12 +46,13 @@ from ..obs import trace
 __all__ = ["BUNDLE_VERSION", "BundleError", "CheckpointBundle",
            "save_bundle", "load_bundle"]
 
-BUNDLE_VERSION = 1
+BUNDLE_VERSION = 2
 
 _MANIFEST = "manifest.json"
 _VOCAB = "vocab.json"
 _STATE = "state.npz"
 _DATA = "data.npz"
+_ANN = "ann.npz"
 
 
 class BundleError(RuntimeError):
@@ -68,6 +76,7 @@ class CheckpointBundle:
     split: KGSplit
     features: ModalityFeatures
     state: dict[str, np.ndarray]
+    ann_arrays: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -87,6 +96,18 @@ class CheckpointBundle:
     @property
     def relations(self) -> Vocabulary:
         return self.split.graph.relations
+
+    def ann_payload(self) -> tuple[dict[str, Any], dict[str, np.ndarray]] | None:
+        """The embedded ANN artifact as ``(meta, arrays)``, or ``None``.
+
+        The caller (``AnnServing.from_payload``) owns format-version
+        validation; this accessor only reunites the manifest section
+        with its arrays.
+        """
+        meta = self.manifest.get("ann")
+        if not meta or self.ann_arrays is None:
+            return None
+        return meta, self.ann_arrays
 
     @property
     def train_report(self):
@@ -135,14 +156,17 @@ class CheckpointBundle:
 def save_bundle(path: str, model, model_name: str, split: KGSplit,
                 features: ModalityFeatures, dim: int,
                 extra: dict[str, Any] | None = None,
-                report=None) -> str:
+                report=None, ann=None) -> str:
     """Write ``model`` (+ everything needed to rebuild it) to ``path``.
 
     ``path`` ending in ``.npz`` selects the single-file layout, anything
     else the directory layout.  ``report`` (a
     :class:`repro.train.TrainReport`) embeds the training history —
     losses, timings, eval metrics — in the manifest, recoverable via
-    :attr:`CheckpointBundle.train_report`.  Returns ``path``.
+    :attr:`CheckpointBundle.train_report`.  ``ann`` (an
+    :class:`repro.serve.AnnServing`) embeds a precomputed IVF index +
+    quantized entity table so servers can answer approximate top-k
+    without rebuilding it on load.  Returns ``path``.
     """
     state = model.state_dict()
     config = None
@@ -167,6 +191,10 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
         "extra": extra or {},
         "train_report": report.to_dict() if report is not None else None,
     }
+    ann_arrays: dict[str, np.ndarray] = {}
+    if ann is not None:
+        ann_meta, ann_arrays = ann.to_payload()
+        manifest["ann"] = ann_meta
     vocab = {
         "entities": graph.entities.names(),
         "relations": graph.relations.names(),
@@ -184,6 +212,7 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
     if _is_single_file(path):
         arrays = {f"state::{k}": v for k, v in state.items()}
         arrays.update(data)
+        arrays.update({f"ann::{k}": v for k, v in ann_arrays.items()})
         arrays["__manifest__"] = np.array(json.dumps(manifest))
         arrays["__vocab__"] = np.array(json.dumps(vocab))
         tmp = f"{path}.tmp"
@@ -197,7 +226,10 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
             with open(tmp, "w", encoding="utf-8") as handle:
                 json.dump(doc, handle, indent=2)
             os.replace(tmp, os.path.join(path, name))
-        for name, arrays in ((_STATE, state), (_DATA, data)):
+        parts = [(_STATE, state), (_DATA, data)]
+        if ann_arrays:
+            parts.append((_ANN, ann_arrays))
+        for name, arrays in parts:
             tmp = os.path.join(path, f"{name}.tmp")
             with open(tmp, "wb") as handle:
                 np.savez(handle, **arrays)
@@ -205,7 +237,9 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
     return path
 
 
-def _read_parts(path: str) -> tuple[dict, dict, dict[str, np.ndarray], dict[str, np.ndarray]]:
+def _read_parts(path: str) -> tuple[dict, dict, dict[str, np.ndarray],
+                                    dict[str, np.ndarray],
+                                    dict[str, np.ndarray]]:
     if _is_single_file(path):
         if not os.path.exists(path):
             raise BundleError(f"bundle file {path!r} does not exist")
@@ -221,7 +255,9 @@ def _read_parts(path: str) -> tuple[dict, dict, dict[str, np.ndarray], dict[str,
                      for name in files if name.startswith("state::")}
             data = {name: archive[name] for name in files
                     if name.startswith(("split::", "features::"))}
-        return manifest, vocab, state, data
+            ann = {name[len("ann::"):]: archive[name]
+                   for name in files if name.startswith("ann::")}
+        return manifest, vocab, state, data, ann
     for required in (_MANIFEST, _VOCAB, _STATE, _DATA):
         if not os.path.exists(os.path.join(path, required)):
             raise BundleError(f"bundle dir {path!r} is missing {required}")
@@ -233,7 +269,12 @@ def _read_parts(path: str) -> tuple[dict, dict, dict[str, np.ndarray], dict[str,
         state = {name: archive[name] for name in archive.files}
     with np.load(os.path.join(path, _DATA)) as archive:
         data = {name: archive[name] for name in archive.files}
-    return manifest, vocab, state, data
+    ann: dict[str, np.ndarray] = {}
+    ann_path = os.path.join(path, _ANN)
+    if os.path.exists(ann_path):
+        with np.load(ann_path) as archive:
+            ann = {name: archive[name] for name in archive.files}
+    return manifest, vocab, state, data, ann
 
 
 def load_bundle(path: str, strict: bool = True) -> CheckpointBundle:
@@ -251,7 +292,7 @@ def load_bundle(path: str, strict: bool = True) -> CheckpointBundle:
 
 
 def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
-    manifest, vocab, state, data = _read_parts(path)
+    manifest, vocab, state, data, ann_arrays = _read_parts(path)
     version = manifest.get("format_version")
     if not isinstance(version, int) or version < 1 or version > BUNDLE_VERSION:
         raise BundleError(
@@ -266,6 +307,13 @@ def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
             f"bundle {path!r} state arrays disagree with manifest: "
             f"missing {missing}; extra {extra}"
         )
+    if manifest.get("ann") and not ann_arrays:
+        if strict:
+            raise BundleError(
+                f"bundle {path!r} declares an ANN artifact in its manifest "
+                "but carries no ANN arrays")
+        manifest = dict(manifest)
+        manifest.pop("ann")
     for key in ("split::train", "split::valid", "split::test",
                 "features::molecular", "features::textual",
                 "features::structural", "features::has_molecule"):
@@ -291,4 +339,5 @@ def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
         has_molecule=data["features::has_molecule"].astype(bool),
     )
     return CheckpointBundle(manifest=manifest, split=split,
-                            features=features, state=state)
+                            features=features, state=state,
+                            ann_arrays=ann_arrays or None)

@@ -35,46 +35,66 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from ..baselines import get_spec
     from ..experiments import get_scale
     from ..experiments.runner import get_prepared, train_model
+    from .ann import AnnServing, supports_ann
 
     get_spec(args.model)  # fail fast with the full name list
     scale = get_scale(args.scale)
     result = train_model(args.model, args.dataset, scale, seed=args.seed,
                          epochs=args.epochs)
     mkg, feats = get_prepared(args.dataset, scale, args.seed)
+    ann = None
+    if args.ann:
+        if not supports_ann(result.model):
+            raise SystemExit(
+                f"--ann: {args.model} has no ANN hooks; export without --ann "
+                "and serve it through the exact path")
+        ann = AnnServing.build(result.model, nlist=args.ann_nlist,
+                               nprobe=args.ann_nprobe, store=args.ann_store,
+                               seed=args.seed)
     save_bundle(args.out, result.model, args.model, mkg.split, feats,
                 dim=scale.model_dim,
                 extra={"scale": scale.name, "seed": args.seed,
-                       "test_metrics": result.test_metrics.as_row()})
-    print(json.dumps({
+                       "test_metrics": result.test_metrics.as_row()},
+                ann=ann)
+    payload = {
         "bundle": args.out,
         "model": args.model,
         "dataset": args.dataset,
         "scale": scale.name,
         "test_mrr": round(result.test_metrics.mrr, 4),
-    }, indent=2))
+    }
+    if ann is not None:
+        payload["ann"] = ann.stats()
+    print(json.dumps(payload, indent=2))
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = PredictionEngine.from_bundle(args.bundle)
+    engine = PredictionEngine.from_bundle(
+        args.bundle, ann="require" if args.approx else "auto")
     rel = engine.relations.resolve(args.relation)
     if (args.head is None) == (args.tail is None):
         raise SystemExit("provide exactly one of --head / --tail")
     if args.head is not None:
         anchor = engine.entities.resolve(args.head)
         ids, scores = engine.top_k_tails(anchor, rel, args.k,
-                                         filter_known=args.filter_known)
+                                         filter_known=args.filter_known,
+                                         approx=args.approx,
+                                         nprobe=args.nprobe)
         direction = "tail"
     else:
         anchor = engine.entities.resolve(args.tail)
         ids, scores = engine.top_k_heads(anchor, rel, args.k,
-                                         filter_known=args.filter_known)
+                                         filter_known=args.filter_known,
+                                         approx=args.approx,
+                                         nprobe=args.nprobe)
         direction = "head"
     payload = {
         "direction": direction,
         "anchor": engine.entities.name(anchor),
         "relation": engine.relations.name(rel),
         "filter_known": args.filter_known,
+        "approx": bool(args.approx),
         "results": [
             {"id": int(i), "entity": engine.entities.name(int(i)),
              "score": float(s)}
@@ -99,7 +119,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"tracing spans to {args.trace} "
               f"(summarize with: python -m repro.obs report {args.trace})")
     engine = PredictionEngine.from_bundle(args.bundle,
-                                          cache_size=args.cache_size)
+                                          cache_size=args.cache_size,
+                                          ann=args.ann,
+                                          approx_default=args.approx_default)
+    if engine.ann is not None:
+        recall = engine.ann_self_check()
+        print(f"ann: {engine.ann.index.nlist} lists, default nprobe "
+              f"{engine.ann.index.default_nprobe}, self-check recall@10 "
+              f"{recall:.3f}")
     batcher = MicroBatcher(engine, max_batch=args.max_batch,
                            max_delay=args.max_delay_ms / 1e3)
     server = make_server(engine, batcher, host=args.host, port=args.port)
@@ -134,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the preset's epoch budget")
     export.add_argument("--out", required=True,
                         help="bundle path (dir, or *.npz for single-file)")
+    export.add_argument("--ann", action="store_true",
+                        help="embed a precomputed IVF ANN index in the bundle")
+    export.add_argument("--ann-nlist", type=int, default=None,
+                        help="IVF list count (default: round(sqrt(entities)))")
+    export.add_argument("--ann-nprobe", type=int, default=None,
+                        help="default probe count (default: ceil(nlist/4))")
+    export.add_argument("--ann-store", default="int8",
+                        choices=["int8", "float16", "float32", "float64"],
+                        help="quantization of the stored entity table")
     export.set_defaults(func=_cmd_export)
 
     query = sub.add_parser("query", help="answer one top-k query from a bundle")
@@ -145,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--filter-known", action="store_true",
                        help="drop tails already present in train/valid/test")
     query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.add_argument("--approx", action="store_true",
+                       help="use the bundle's ANN index (requires one)")
+    query.add_argument("--nprobe", type=int, default=None,
+                       help="IVF lists to probe (default: index setting)")
     query.set_defaults(func=_cmd_query)
 
     serve = sub.add_parser(
@@ -157,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=512)
     serve.add_argument("--trace", metavar="FILE", default=None,
                        help="write request/predict spans to this JSONL file")
+    serve.add_argument("--ann", default="auto",
+                       choices=["auto", "off", "require", "build"],
+                       help="ANN index policy: auto uses a bundled index when "
+                            "present, build trains one at startup")
+    serve.add_argument("--approx-default", action="store_true",
+                       help="serve /predict approximately unless a request "
+                            "opts out")
     serve.set_defaults(func=_cmd_serve)
 
     inspect = sub.add_parser("inspect", help="print a bundle's manifest")

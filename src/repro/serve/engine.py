@@ -6,14 +6,24 @@ the query API the serving front ends need:
 * ``top_k_tails(h, r, k)`` / ``top_k_heads(t, r, k)`` — head-side
   queries rank through the inverse-relation convention
   (``r + num_relations``), exactly as the evaluator does;
-* ``score_triples(triples)`` — scores gathered from the same
-  ``predict_tails`` rows, so single-triple scores are always consistent
-  with the rankings that surface them;
+* ``score_triples(triples)`` — served from cached score rows when one
+  is resident; cache misses use the model's direct per-cell path
+  (``score_cells``) when it has one, so scoring ``B`` explicit triples
+  costs ``O(B * d)`` instead of ``B`` full ``(1, E)`` rows (models
+  without a direct path fall back to row scoring);
 * optional known-triple filtering through the evaluator's CSR filter
   (``CSRFilter.mask_known``), built once per engine;
 * an LRU cache of per-``(h, r)`` score rows with hit/miss/eviction
   counters — repeated queries for a hot ``(head, relation)`` pair never
-  touch the model twice.
+  touch the model twice;
+* an optional **approximate fast path** (``top_k_tails(...,
+  approx=True)``): an attached :class:`repro.serve.ann.AnnServing`
+  (IVF index over the entity table, usually loaded cold from the
+  bundle) generates ``nprobe``-controlled candidates that are reranked
+  through the model's exact ``score_cells`` — sublinear in the entity
+  count, with scores identical to the exact path for every returned
+  entity.  Requests fall back to the exact path (and a fallback
+  counter) when no index is attached or the model lacks the hooks.
 
 All model calls run inside ``inference_mode`` (autograd off, dropout and
 batch-norm in eval mode).  The engine is thread-safe: the HTTP front end
@@ -40,9 +50,13 @@ import numpy as np
 from ..eval.evaluator import CSRFilter, build_csr_filter
 from ..kg import KGSplit, Vocabulary
 from ..nn import inference_mode
-from ..obs import MetricsRegistry, trace
+from ..obs import MetricsRegistry, exponential_buckets, trace
+from .ann import AnnError, AnnServing, supports_ann
 
 __all__ = ["PredictionEngine", "topk_indices"]
+
+#: Rerank-set / probe-count histogram bounds (candidates per query).
+_CANDIDATE_BUCKETS = exponential_buckets(1, 4, 10)
 
 logger = logging.getLogger("repro.serve.engine")
 
@@ -70,7 +84,9 @@ class PredictionEngine:
     def __init__(self, model, split: KGSplit, *, model_name: str = "model",
                  cache_size: int = 512,
                  filter_parts: tuple[str, ...] = ("train", "valid", "test"),
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 ann: AnnServing | None = None,
+                 approx_default: bool = False) -> None:
         self.model = model
         self.model_name = model_name
         self.split = split
@@ -83,6 +99,10 @@ class PredictionEngine:
         self._filter: CSRFilter | None = None
         self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
+        if ann is not None:
+            ann.validate_for(model, self.num_entities)
+        self.ann = ann
+        self.approx_default = bool(approx_default)
         self.metrics = registry if registry is not None else MetricsRegistry()
         cache_result = self.metrics.counter(
             "serve_cache_lookups_total",
@@ -99,22 +119,72 @@ class PredictionEngine:
             "serve_predict_seconds", "model predict_tails call latency")
         self._g_cache_entries = self.metrics.gauge(
             "serve_cache_entries", "score rows currently cached")
+        self._g_cache_hit_rate = self.metrics.gauge(
+            "serve_cache_hit_rate", "lifetime hits / lookups of the row cache")
+        self._m_cell_calls = self.metrics.counter(
+            "serve_cell_score_calls_total",
+            "direct per-cell scoring calls (score_triples fast path)")
+        self._m_cells_scored = self.metrics.counter(
+            "serve_cells_scored_total",
+            "(h, r, t) cells scored through the direct path")
+        self._m_cell_seconds = self.metrics.histogram(
+            "serve_cell_score_seconds", "direct per-cell scoring latency")
+        self._m_ann_queries = self.metrics.counter(
+            "serve_ann_queries_total", "top-k queries answered by the ANN path")
+        self._m_ann_fallbacks = self.metrics.counter(
+            "serve_ann_fallbacks_total",
+            "approx requests served exactly (no index / unsupported model)")
+        self._m_ann_probed = self.metrics.histogram(
+            "serve_ann_probed_lists", "inverted lists probed per ANN query",
+            buckets=_CANDIDATE_BUCKETS)
+        self._m_ann_rerank = self.metrics.histogram(
+            "serve_ann_rerank_candidates",
+            "candidates exactly reranked per ANN query",
+            buckets=_CANDIDATE_BUCKETS)
+        self._g_ann_recall = self.metrics.gauge(
+            "serve_ann_recall_check",
+            "recall@k of the ANN path vs the exact path (last self-check)")
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_bundle(cls, path: str, strict: bool = True,
+    def from_bundle(cls, path: str, strict: bool = True, ann: str = "auto",
                     **kwargs) -> "PredictionEngine":
-        """Load a checkpoint bundle and wrap its model in an engine."""
+        """Load a checkpoint bundle and wrap its model in an engine.
+
+        ``ann`` controls the approximate-serving index:
+
+        * ``"auto"`` (default) — attach the bundle's precomputed index
+          when one is present, otherwise serve exactly;
+        * ``"off"`` — ignore any bundled index;
+        * ``"require"`` — raise :class:`AnnError` unless the bundle
+          ships an index;
+        * ``"build"`` — use the bundled index, or train one now from the
+          loaded model's entity table (raises for unsupported models).
+        """
         from .bundle import load_bundle
 
+        if ann not in ("auto", "off", "require", "build"):
+            raise ValueError(f"ann must be auto|off|require|build, got {ann!r}")
         bundle = load_bundle(path, strict=strict)
         model = bundle.build_model(strict=strict)
+        serving = None
+        if ann != "off":
+            payload = bundle.ann_payload()
+            if payload is not None:
+                serving = AnnServing.from_payload(*payload)
+                logger.info("loaded bundled ANN index: nlist=%d, store=%s",
+                            serving.index.nlist, serving.index.store)
+            elif ann == "require":
+                raise AnnError(f"bundle {path!r} carries no ANN artifact")
+            elif ann == "build":
+                serving = AnnServing.build(model)
         logger.info("loaded bundle %s (model=%s, entities=%d, relations=%d)",
                     path, bundle.model_name, bundle.split.num_entities,
                     bundle.split.num_relations)
-        return cls(model, bundle.split, model_name=bundle.model_name, **kwargs)
+        return cls(model, bundle.split, model_name=bundle.model_name,
+                   ann=serving, **kwargs)
 
     @property
     def filter(self) -> CSRFilter:
@@ -167,10 +237,7 @@ class PredictionEngine:
                     # array alive after its siblings are evicted
                     rows[key] = fresh[i].copy()
                     if self.cache_size > 0:
-                        self._cache[key] = rows[key]
-                        while len(self._cache) > self.cache_size:
-                            self._cache.popitem(last=False)
-                            self._m_evictions.inc()
+                        self._insert_row(key, rows[key])
                 logger.debug("scored %d/%d uncached rows in %.1f ms",
                              len(missing), len(keys), 1e3 * elapsed)
             # A duplicate of a just-computed key counts as a hit: only the
@@ -184,17 +251,37 @@ class PredictionEngine:
                     unpaid.discard(key)
                 else:
                     hits += 1
-            self._m_hits.inc(hits)
-            self._m_misses.inc(len(keys) - hits)
+            self._record_lookups(hits, len(keys) - hits)
             self._m_queries.inc(len(keys))
-            self._g_cache_entries.set(len(self._cache))
         return out
+
+    def _insert_row(self, key: tuple[int, int], row: np.ndarray) -> None:
+        """Cache a row (lock held); evictions keep the entries gauge live."""
+        self._cache[key] = row
+        evicted = 0
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            evicted += 1
+        if evicted:
+            self._m_evictions.inc(evicted)
+        self._g_cache_entries.set(len(self._cache))
+
+    def _record_lookups(self, hits: int, misses: int) -> None:
+        """Bump hit/miss counters and refresh the derived hit-rate gauge."""
+        if hits:
+            self._m_hits.inc(hits)
+        if misses:
+            self._m_misses.inc(misses)
+        lookups = self._m_hits.value + self._m_misses.value
+        if lookups:
+            self._g_cache_hit_rate.set(self._m_hits.value / lookups)
 
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------
     def top_k_tails(self, head: int, rel: int, k: int = 10,
-                    filter_known: bool = False) -> tuple[np.ndarray, np.ndarray]:
+                    filter_known: bool = False, approx: bool | None = None,
+                    nprobe: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Best ``k`` tail candidates for ``(head, rel, ?)``.
 
         Returns ``(entity_ids, scores)`` sorted by descending score (ties
@@ -202,15 +289,56 @@ class PredictionEngine:
         for head-side queries.  With ``filter_known=True`` every tail
         already present in the bundled train/valid/test triples is
         removed from the candidates before ranking.
+
+        ``approx=True`` routes through the attached ANN index (candidate
+        probing + exact rerank; ``nprobe`` overrides the index default);
+        ``approx=None`` follows the engine's ``approx_default``.  With
+        ``approx=False`` (or no usable index — counted as a fallback)
+        the result is bit-identical to the pre-ANN exact path.
         """
+        if approx is None:
+            approx = self.approx_default
+        if approx:
+            if self.ann is not None and supports_ann(self.model):
+                return self._top_k_approx(head, rel, k, filter_known, nprobe)
+            self._m_ann_fallbacks.inc()
         row = self.scores([head], [rel])[0]
         if filter_known:
             self.filter.mask_known(row[None], np.array([head]), np.array([rel]))
         ids = topk_indices(row, k)
         return ids, row[ids]
 
+    def _top_k_approx(self, head: int, rel: int, k: int, filter_known: bool,
+                      nprobe: int | None) -> tuple[np.ndarray, np.ndarray]:
+        """IVF candidate generation + exact rerank for one query."""
+        index = self.ann.index
+        probed = index.default_nprobe if nprobe is None else max(1, min(int(nprobe), index.nlist))
+        with trace("serve.ann_search", nprobe=probed, k=k):
+            cands = self.ann.candidates(self.model, [head], [rel], probed)[0]
+            if filter_known and len(cands):
+                known = self.filter.row(head, rel)
+                if len(known):
+                    cands = cands[~np.isin(cands, known)]
+            self._m_ann_probed.observe(probed)
+            self._m_ann_rerank.observe(len(cands))
+            self._m_ann_queries.inc()
+            self._m_queries.inc()
+            if len(cands) == 0:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            fill = np.full(len(cands), 0, dtype=np.int64)
+            scores = np.asarray(self.model.score_cells(
+                fill + int(head), fill + int(rel), cands))
+            k = min(int(k), len(cands))
+            if k <= 0:
+                return np.empty(0, dtype=np.int64), np.empty(0)
+            part = np.argpartition(-scores, k - 1)[:k]
+            order = np.lexsort((cands[part], -scores[part]))
+            sel = part[order]
+            return cands[sel].astype(np.int64), scores[sel]
+
     def top_k_heads(self, tail: int, rel: int, k: int = 10,
-                    filter_known: bool = False) -> tuple[np.ndarray, np.ndarray]:
+                    filter_known: bool = False, approx: bool | None = None,
+                    nprobe: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """Best ``k`` head candidates for ``(?, rel, tail)``.
 
         Ranks through the inverse relation ``rel + num_relations`` — the
@@ -222,15 +350,93 @@ class PredictionEngine:
                 f"[0, {self.num_relations}); got {rel}"
             )
         return self.top_k_tails(tail, rel + self.num_relations, k,
-                                filter_known=filter_known)
+                                filter_known=filter_known, approx=approx,
+                                nprobe=nprobe)
 
     def score_triples(self, triples: np.ndarray) -> np.ndarray:
-        """Scores for explicit ``(h, r, t)`` rows (consistent with top-k)."""
+        """Scores for explicit ``(h, r, t)`` rows.
+
+        Rows already resident in the LRU cache are gathered from the
+        cached ``(1, E)`` score row (consistent with any ranking that
+        surfaced them).  Cache misses use the model's direct per-cell
+        path (``score_cells``) when it has one — ``O(d)`` per triple
+        instead of a full entity row — and never populate the row cache.
+        The direct path evaluates the same scoring function in the same
+        float64 arithmetic; for GEMM-based models the per-cell result
+        may differ from the row path in the final ulp.  Models without
+        ``score_cells`` keep the original row-scoring behaviour exactly.
+        """
         triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
         if len(triples) == 0:
             return np.empty(0)
-        scores = self.scores(triples[:, 0], triples[:, 1])
-        return scores[np.arange(len(triples)), triples[:, 2]]
+        cell_fn = getattr(self.model, "score_cells", None)
+        if cell_fn is None:
+            scores = self.scores(triples[:, 0], triples[:, 1])
+            return scores[np.arange(len(triples)), triples[:, 2]]
+        with self._lock:
+            out = np.empty(len(triples))
+            missing: list[int] = []
+            hits = 0
+            for i, (h, r, t) in enumerate(triples.tolist()):
+                row = self._cache.get((h, r))
+                if row is not None:
+                    self._cache.move_to_end((h, r))
+                    out[i] = row[t]
+                    hits += 1
+                else:
+                    missing.append(i)
+            if missing:
+                sub = triples[missing]
+                tick = time.perf_counter()
+                with trace("serve.score_cells", cells=len(missing)):
+                    out[missing] = np.asarray(
+                        cell_fn(sub[:, 0], sub[:, 1], sub[:, 2]))
+                self._m_cell_seconds.observe(time.perf_counter() - tick)
+                self._m_cell_calls.inc()
+                self._m_cells_scored.inc(len(missing))
+            self._record_lookups(hits, len(missing))
+        return out
+
+    # ------------------------------------------------------------------
+    # ANN management
+    # ------------------------------------------------------------------
+    def attach_ann(self, ann: AnnServing, approx_default: bool | None = None) -> None:
+        """Attach (and validate) an ANN index after construction."""
+        ann.validate_for(self.model, self.num_entities)
+        self.ann = ann
+        if approx_default is not None:
+            self.approx_default = bool(approx_default)
+
+    def ann_self_check(self, num_queries: int = 32, k: int = 10,
+                       nprobe: int | None = None, seed: int = 0) -> float:
+        """Measured recall@k of the ANN path against the exact path.
+
+        Samples ``num_queries`` seeded ``(head, relation)`` pairs,
+        compares approximate and exact top-k id sets, stores the mean
+        recall on the ``serve_ann_recall_check`` gauge, and returns it.
+        The exact rows are computed directly on the model so the serving
+        row cache is neither consulted nor polluted.
+        """
+        if self.ann is None:
+            raise AnnError("no ANN index attached to this engine")
+        rng = np.random.default_rng(seed)
+        heads = rng.integers(0, self.num_entities, size=num_queries)
+        rels = rng.integers(0, 2 * self.num_relations, size=num_queries)
+        with inference_mode(self.model):
+            rows = np.asarray(self.model.predict_tails(heads, rels))
+        recalls = []
+        for head, rel, row in zip(heads, rels, rows):
+            exact = set(topk_indices(row, k).tolist())
+            if not exact:
+                continue
+            ids, _ = self._top_k_approx(int(head), int(rel), k, False, nprobe)
+            recalls.append(len(exact & set(ids.tolist())) / len(exact))
+        recall = float(np.mean(recalls)) if recalls else 0.0
+        self._g_ann_recall.set(recall)
+        logger.info("ANN self-check: recall@%d = %.4f over %d queries "
+                    "(nprobe=%s)", k, recall, num_queries,
+                    nprobe if nprobe is not None else "default")
+        return recall
 
     # ------------------------------------------------------------------
     # Introspection
@@ -264,6 +470,17 @@ class PredictionEngine:
     def stats(self) -> dict:
         """Counters for ``/stats`` and the instrumentation logger."""
         lookups = self.cache_hits + self.cache_misses
+        ann: dict | None = None
+        if self.ann is not None:
+            reranked = self._m_ann_rerank
+            ann = dict(self.ann.stats())
+            ann.update({
+                "approx_default": self.approx_default,
+                "queries": int(self._m_ann_queries.value),
+                "fallbacks": int(self._m_ann_fallbacks.value),
+                "mean_rerank_candidates": round(reranked.mean, 3),
+                "recall_check": round(float(self._g_ann_recall.value), 4),
+            })
         return {
             "model": self.model_name,
             "num_entities": self.num_entities,
@@ -271,13 +488,17 @@ class PredictionEngine:
             "queries_served": self.queries_served,
             "predict_calls": self.predict_calls,
             "predict_seconds": round(self.predict_seconds, 6),
+            "cell_score_calls": int(self._m_cell_calls.value),
+            "cells_scored": int(self._m_cells_scored.value),
             "cache": {
                 "capacity": self.cache_size,
                 "size": len(self._cache),
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "evictions": self.cache_evictions,
+                "lookups": lookups,
                 "hit_rate": round(self.cache_hits / lookups, 4) if lookups else 0.0,
             },
+            "ann": ann,
             "filter_built": self._filter is not None,
         }

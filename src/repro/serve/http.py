@@ -7,7 +7,9 @@ No third-party dependencies: a ``ThreadingHTTPServer`` dispatches to one
 * ``GET  /stats``   — server / engine / batcher counters (JSON);
 * ``GET  /metrics`` — the same counters in Prometheus text exposition
   format (scrapeable; rendered from the engine's ``MetricsRegistry``);
-* ``POST /predict`` — top-k tail or head prediction (micro-batched);
+* ``POST /predict`` — top-k tail or head prediction (micro-batched;
+  optional ``"approx"`` / ``"nprobe"`` fields route through the engine's
+  ANN index instead, bypassing the batcher);
 * ``POST /score``   — explicit triple scoring.
 
 Every error is a JSON envelope ``{"error": {"code", "message"}}`` with
@@ -171,9 +173,30 @@ class ServiceApp:
         filter_known = body.get("filter_known", False)
         if not isinstance(filter_known, bool):
             raise _ApiError(400, "bad_request", "'filter_known' must be a bool")
+        approx = body.get("approx", None)
+        if approx is not None and not isinstance(approx, bool):
+            raise _ApiError(400, "bad_request", "'approx' must be a bool")
+        nprobe = body.get("nprobe", None)
+        if nprobe is not None and (not isinstance(nprobe, int)
+                                   or isinstance(nprobe, bool) or nprobe < 1):
+            raise _ApiError(400, "bad_request",
+                            f"'nprobe' must be a positive int, got {nprobe!r}")
+        use_approx = self.engine.approx_default if approx is None else approx
+        if use_approx and self.engine.ann is None:
+            raise _ApiError(400, "ann_unavailable",
+                            "this server has no ANN index; retry with "
+                            "'approx': false or restart with --ann build")
 
         query_rel = rel if has_head else rel + self.engine.num_relations
-        if self.batcher is not None:
+        if use_approx or nprobe is not None:
+            # Approximate requests skip the micro-batcher: the ANN path
+            # neither reads nor fills the row cache, so there is nothing
+            # to coalesce.
+            ids, scores = self.engine.top_k_tails(anchor, query_rel, k,
+                                                  filter_known=filter_known,
+                                                  approx=use_approx,
+                                                  nprobe=nprobe)
+        elif self.batcher is not None:
             ids, scores = self.batcher.predict(anchor, query_rel, k, filter_known)
         else:
             ids, scores = self.engine.top_k_tails(anchor, query_rel, k,
@@ -186,6 +209,7 @@ class ServiceApp:
                 "relation": self.engine.relations.name(rel),
                 "k": k,
                 "filter_known": filter_known,
+                "approx": use_approx,
             },
             "results": [
                 {"id": int(i), "entity": entities.name(int(i)), "score": float(s)}

@@ -1,0 +1,23 @@
+"""Shared vector sets for the ANN tests."""
+
+import numpy as np
+import pytest
+
+
+def clustered_vectors(num: int, dim: int, num_clusters: int,
+                      seed: int = 0, spread: float = 0.08) -> np.ndarray:
+    """A mixture of tight gaussians — the regime IVF indexes exist for.
+
+    Trained entity tables cluster by entity type / neighborhood, so this
+    (not an isotropic cloud, the ANN worst case) is the representative
+    distribution for recall assertions.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(num_clusters, dim))
+    assign = rng.integers(0, num_clusters, size=num)
+    return centers[assign] + spread * rng.normal(size=(num, dim))
+
+
+@pytest.fixture(scope="session")
+def clustered():
+    return clustered_vectors(2000, 16, 40, seed=0)

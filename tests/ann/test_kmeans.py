@@ -1,0 +1,52 @@
+"""Seeded k-means: determinism, cell invariants, degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.ann import kmeans
+
+
+class TestKMeans:
+    def test_deterministic_for_identical_inputs(self, clustered):
+        c1, a1 = kmeans(clustered, 16, seed=3)
+        c2, a2 = kmeans(clustered, 16, seed=3)
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_seed_changes_partition(self, clustered):
+        _, a1 = kmeans(clustered, 16, seed=0)
+        _, a2 = kmeans(clustered, 16, seed=1)
+        assert not np.array_equal(a1, a2)
+
+    def test_shapes_and_dtypes(self, clustered):
+        centroids, assign = kmeans(clustered, 10)
+        assert centroids.shape == (10, clustered.shape[1])
+        assert centroids.dtype == np.float64
+        assert assign.shape == (len(clustered),)
+        assert assign.dtype == np.int64
+
+    def test_every_cell_nonempty(self, clustered):
+        _, assign = kmeans(clustered, 25, seed=7)
+        assert len(np.unique(assign)) == 25
+
+    def test_k_clamped_to_n(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        centroids, assign = kmeans(x, 50)
+        assert len(centroids) == 5
+        assert len(np.unique(assign)) == 5
+
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(1)
+        centers = 100.0 * np.eye(4)[:, :3]  # 4 far-apart centers in 3-D
+        x = np.concatenate([c + 0.01 * rng.normal(size=(30, 3))
+                            for c in centers])
+        _, assign = kmeans(x, 4, seed=0)
+        # Each true cluster must land entirely in one cell.
+        for block in range(4):
+            assert len(np.unique(assign[30 * block:30 * (block + 1)])) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="empty"):
+            kmeans(np.empty((0, 4)), 2)
+        with pytest.raises(ValueError, match="shape"):
+            kmeans(np.zeros(7), 2)

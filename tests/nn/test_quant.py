@@ -1,0 +1,83 @@
+"""Quantized embedding tables: error bounds, memory, kernels, payload."""
+
+import numpy as np
+import pytest
+
+from repro.nn import QuantizedTable, quantize_table
+from repro.nn.quant import QUANT_MODES
+
+
+@pytest.fixture()
+def weight():
+    return np.random.default_rng(0).normal(size=(128, 24))
+
+
+class TestInt8:
+    def test_memory_within_30_percent_of_float64(self, weight):
+        table = QuantizedTable.quantize(weight, "int8")
+        assert table.compression_vs_float64() <= 0.30
+        assert table.nbytes == weight.size + weight.shape[1] * 8
+
+    def test_reconstruction_error_bounded_by_half_scale(self, weight):
+        table = QuantizedTable.quantize(weight, "int8")
+        err = np.abs(table.dequantize() - weight)
+        # Symmetric rounding: every cell within scale/2 of the original,
+        # with a tiny epsilon for the division round-trip.
+        assert np.all(err <= table.scale / 2 + 1e-12)
+
+    def test_zero_column_round_trips_exactly(self):
+        w = np.random.default_rng(1).normal(size=(32, 4))
+        w[:, 2] = 0.0
+        table = QuantizedTable.quantize(w, "int8")
+        np.testing.assert_array_equal(table.dequantize()[:, 2], 0.0)
+        assert table.scale[2] == 1.0  # divide-by-zero guard
+
+    def test_codes_are_int8(self, weight):
+        table = QuantizedTable.quantize(weight, "int8")
+        assert table.codes.dtype == np.int8
+        assert np.abs(table.codes).max() <= 127
+
+
+class TestKernels:
+    @pytest.mark.parametrize("mode", QUANT_MODES)
+    def test_gather_matches_dequantize_rows(self, weight, mode):
+        table = QuantizedTable.quantize(weight, mode)
+        ids = np.array([0, 5, 5, 127])
+        np.testing.assert_array_equal(table.gather(ids),
+                                      table.dequantize()[ids])
+        assert table.gather(ids).dtype == np.float64
+
+    def test_float64_mode_is_lossless(self, weight):
+        table = QuantizedTable.quantize(weight, "float64")
+        np.testing.assert_array_equal(table.dequantize(), weight)
+
+    def test_float16_halves_twice(self, weight):
+        table = QuantizedTable.quantize(weight, "float16")
+        assert table.compression_vs_float64() == 0.25
+        np.testing.assert_allclose(table.dequantize(), weight, atol=1e-2)
+
+    @pytest.mark.parametrize("mode", QUANT_MODES)
+    def test_dot_matches_dequantized_gemm(self, weight, mode):
+        table = QuantizedTable.quantize(weight, mode)
+        queries = np.random.default_rng(2).normal(size=(3, weight.shape[1]))
+        ref = queries @ table.dequantize().T
+        np.testing.assert_allclose(table.dot(queries), ref, rtol=1e-5)
+        ids = np.array([1, 9, 64])
+        np.testing.assert_allclose(table.dot(queries, ids), ref[:, ids],
+                                   rtol=1e-5)
+
+    def test_unknown_mode_raises(self, weight):
+        with pytest.raises(ValueError, match="int4"):
+            quantize_table(weight, "int4")
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_table(np.zeros(5), "int8")
+
+
+class TestPayload:
+    @pytest.mark.parametrize("mode", ("int8", "float16"))
+    def test_round_trip(self, weight, mode):
+        table = QuantizedTable.quantize(weight, mode)
+        clone = QuantizedTable.from_arrays(table.to_arrays(prefix="t_"),
+                                           mode, prefix="t_")
+        np.testing.assert_array_equal(clone.codes, table.codes)
+        np.testing.assert_array_equal(clone.dequantize(), table.dequantize())

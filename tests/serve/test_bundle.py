@@ -104,3 +104,35 @@ class TestValidation:
             load_bundle(str(tmp_path / "nope.npz"))
         with pytest.raises(BundleError):
             load_bundle(str(tmp_path))  # dir without manifest
+
+    def test_declared_ann_without_arrays_raises(self, prepared, transe, tmp_path):
+        from repro.serve import AnnServing
+
+        mkg, feats = prepared
+        path = str(tmp_path / "bundle")
+        save_bundle(path, transe, "TransE", mkg.split, feats, dim=16,
+                    ann=AnnServing.build(transe))
+        os.remove(os.path.join(path, "ann.npz"))
+        with pytest.raises(BundleError, match="ANN"):
+            load_bundle(path)
+        # Lenient load degrades to a plain bundle instead of failing.
+        bundle = load_bundle(path, strict=False)
+        assert bundle.ann_payload() is None
+        assert "ann" not in bundle.manifest
+
+    def test_version_2_written_and_version_1_still_read(self, transe_bundle):
+        bundle = load_bundle(transe_bundle)
+        assert bundle.manifest["format_version"] == BUNDLE_VERSION == 2
+        assert bundle.ann_payload() is None  # optional artifact absent
+        manifest_path = os.path.join(transe_bundle, "manifest.json")
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        try:
+            assert load_bundle(transe_bundle).manifest["format_version"] == 1
+        finally:
+            manifest["format_version"] = BUNDLE_VERSION
+            with open(manifest_path, "w") as handle:
+                json.dump(manifest, handle)

@@ -23,6 +23,17 @@ def exported(tmp_path_factory):
     return path
 
 
+@pytest.fixture(scope="module")
+def exported_ann(tmp_path_factory):
+    """`serve export --ann` once for the module (index embedded)."""
+    path = str(tmp_path_factory.mktemp("cli") / "transe_ann.bundle")
+    code = main(["--log-level", "warning", "export", "--model", "TransE",
+                 "--dataset", "drkg-mm", "--scale", "smoke", "--epochs", "1",
+                 "--out", path, "--ann", "--ann-store", "int8"])
+    assert code == 0
+    return path
+
+
 class TestExport:
     def test_bundle_written_and_loadable(self, exported, capsys):
         bundle = load_bundle(exported)
@@ -58,6 +69,36 @@ class TestQuery:
         assert code == 0
         out = capsys.readouterr().out
         assert "head-prediction" in out
+
+
+class TestAnnFlags:
+    def test_export_embeds_index_and_reports_it(self, exported_ann, capsys):
+        bundle = load_bundle(exported_ann)
+        assert bundle.manifest["ann"]["store"] == "int8"
+        assert bundle.ann_payload() is not None
+
+    def test_approx_query_matches_exact_at_full_probe(self, exported_ann,
+                                                      capsys):
+        bundle = load_bundle(exported_ann)
+        head = bundle.entities.name(0)
+        rel = bundle.relations.name(0)
+        nlist = bundle.manifest["ann"]["nlist"]
+        base = ["--log-level", "warning", "query", "--bundle", exported_ann,
+                "--head", head, "--relation", rel, "--k", "3", "--json"]
+        assert main(base) == 0
+        exact = json.loads(capsys.readouterr().out)
+        assert main(base + ["--approx", "--nprobe", str(nlist)]) == 0
+        approx = json.loads(capsys.readouterr().out)
+        assert approx["approx"] is True
+        assert [r["id"] for r in approx["results"]] == \
+            [r["id"] for r in exact["results"]]
+
+    def test_approx_query_without_index_fails(self, exported):
+        from repro.serve import AnnError
+
+        with pytest.raises(AnnError, match="no ANN artifact"):
+            main(["--log-level", "warning", "query", "--bundle", exported,
+                  "--head", "0", "--relation", "0", "--approx"])
 
     def test_both_anchors_rejected(self, exported):
         with pytest.raises(SystemExit):

@@ -49,6 +49,43 @@ class TestTopK:
         with pytest.raises(ValueError, match="original relation id"):
             engine.top_k_heads(0, engine.num_relations, k=3)
 
+    def test_topk_heads_filter_known_excludes_known_heads(self, engine, prepared):
+        """Head-side filtering works through the inverse-relation row."""
+        mkg, _ = prepared
+        _h, r, t = (int(v) for v in mkg.split.train[0])
+        inverse = r + engine.num_relations
+        known = set(build_csr_filter(mkg.split).row(t, inverse).tolist())
+        assert known
+        ids, scores = engine.top_k_heads(t, r, k=engine.num_entities,
+                                         filter_known=True)
+        assert not (known & set(ids.tolist()))
+        # Survivors keep the scores of the unfiltered inverse-relation query.
+        plain_ids, plain_scores = engine.top_k_heads(t, r,
+                                                     k=engine.num_entities)
+        lookup = dict(zip(plain_ids.tolist(), plain_scores.tolist()))
+        for i, s in zip(ids.tolist(), scores.tolist()):
+            assert lookup[i] == s
+
+
+class TestTopKIndices:
+    def test_k_at_least_num_entities_returns_full_ranking(self):
+        row = np.array([0.5, 2.0, -1.0])
+        for k in (3, 4, 100):
+            np.testing.assert_array_equal(topk_indices(row, k), [1, 0, 2])
+
+    def test_all_tie_row_ranks_by_ascending_id(self):
+        row = np.full(6, 1.25)
+        np.testing.assert_array_equal(topk_indices(row, 4), [0, 1, 2, 3])
+        np.testing.assert_array_equal(topk_indices(row, 10), np.arange(6))
+
+    def test_all_filtered_row_is_empty(self):
+        row = np.full(5, -np.inf)
+        assert topk_indices(row, 3).shape == (0,)
+        assert topk_indices(row, 3).dtype == np.int64
+
+    def test_nonpositive_k(self):
+        assert topk_indices(np.array([1.0, 2.0]), 0).shape == (0,)
+
 
 class TestScoreTriples:
     def test_parity_with_predict_tails(self, engine, transe, prepared):
@@ -61,6 +98,52 @@ class TestScoreTriples:
 
     def test_empty_input(self, engine):
         assert engine.score_triples(np.empty((0, 3))).shape == (0,)
+
+    def test_cold_cache_uses_direct_cells_not_rows(self, engine, prepared):
+        """A cache miss scores only the requested cells: no predict_tails
+        call, no row-cache population."""
+        mkg, _ = prepared
+        triples = mkg.split.test[:6]
+        engine.score_triples(triples)
+        stats = engine.stats()
+        assert stats["predict_calls"] == 0
+        assert stats["cell_score_calls"] == 1
+        assert stats["cells_scored"] == 6
+        assert stats["cache"]["size"] == 0
+
+    def test_cached_rows_serve_hits(self, engine, prepared):
+        """Triples whose (h, r) row is resident read from the cache and
+        only the misses go through the direct-cell path."""
+        mkg, _ = prepared
+        h, r, t = (int(v) for v in mkg.split.test[0])
+        engine.top_k_tails(h, r, k=3)          # primes the (h, r) row
+        before = engine.stats()["cells_scored"]
+        other = mkg.split.test[1]
+        got = engine.score_triples(np.array([[h, r, t], list(other)]))
+        stats = engine.stats()
+        assert stats["cells_scored"] == before + 1  # only the uncached triple
+        assert stats["cache"]["hits"] == 1
+        row = engine.scores([h], [r])[0]
+        assert got[0] == row[t]
+
+    def test_row_fallback_for_models_without_score_cells(self, transe, prepared):
+        """Models lacking the direct path keep the original row-scoring
+        behaviour (and populate the row cache)."""
+        mkg, _ = prepared
+
+        class RowOnly:
+            predict_tails = staticmethod(transe.predict_tails)
+
+        engine = PredictionEngine(RowOnly(), mkg.split, cache_size=8)
+        triples = mkg.split.test[:4]
+        got = engine.score_triples(triples)
+        stats = engine.stats()
+        assert stats["predict_calls"] == 1
+        assert stats["cell_score_calls"] == 0
+        assert stats["cache"]["size"] > 0
+        rows = transe.predict_tails(triples[:, 0], triples[:, 1])
+        np.testing.assert_array_equal(
+            got, rows[np.arange(len(triples)), triples[:, 2]])
 
 
 class TestCache:
@@ -89,6 +172,31 @@ class TestCache:
         stats = engine.stats()
         assert stats["cache"]["size"] == 4
         assert stats["cache"]["evictions"] == 6
+
+    def test_entries_gauge_tracks_evictions(self, transe, prepared):
+        """The serve_cache_entries gauge must stay truthful after the
+        cache fills: evictions update it, not just inserts."""
+        mkg, _ = prepared
+        engine = PredictionEngine(transe, mkg.split, cache_size=3)
+        gauge = engine.metrics.gauge("serve_cache_entries", "")
+        for h in range(3):
+            engine.top_k_tails(h, 0, k=1)
+        assert gauge.value == 3
+        for h in range(3, 9):
+            engine.top_k_tails(h, 0, k=1)
+        assert gauge.value == 3  # evictions kept it at capacity, not 9
+        assert len(engine._cache) == 3
+
+    def test_hit_rate_gauge_and_stats_agree(self, engine):
+        gauge = engine.metrics.gauge("serve_cache_hit_rate", "")
+        engine.top_k_tails(6, 0, k=2)
+        assert gauge.value == 0.0
+        engine.top_k_tails(6, 0, k=2)
+        engine.top_k_tails(6, 0, k=2)
+        stats = engine.stats()["cache"]
+        assert stats["lookups"] == 3
+        assert stats["hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+        assert gauge.value == pytest.approx(stats["hit_rate"], abs=1e-4)
 
     def test_cached_row_is_not_aliased(self, engine, transe):
         ids, scores = engine.top_k_tails(5, 0, k=3, filter_known=False)
