@@ -1,0 +1,171 @@
+"""Admission control: per-client token buckets + bounded endpoint queues.
+
+Everything here is synchronous and allocation-light because it sits on
+the front-end event loop's hot path — one admission decision per POST
+request, before any bytes cross a process boundary.
+
+Two independent gates, both answering "admit or shed, and if shed, when
+should the client retry":
+
+* :class:`TokenBucket` / :class:`RateLimiter` — per-client request
+  budget.  A client that exhausts its bucket is shed with the exact
+  number of seconds until its next token accrues, so well-behaved
+  clients can honour ``Retry-After`` and converge on the permitted
+  rate instead of hammering.
+* :class:`AdmissionController` — per-endpoint depth accounting.  Depth
+  counts queued *and* in-flight requests (work the pool has accepted
+  responsibility for); once it reaches the watermark the endpoint sheds
+  with a configured ``Retry-After`` hint.
+
+The clock is injectable (``time.monotonic`` by default) so tests drive
+bucket refill deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+
+__all__ = ["TokenBucket", "RateLimiter", "AdmissionController",
+           "AdmissionTicket", "format_retry_after"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``acquire()`` returns ``(admitted, retry_after_seconds)``;
+    ``retry_after_seconds`` is 0.0 on admits and the exact time until one
+    full token accrues on sheds.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "clock")
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.tokens = float(burst)
+        self.clock = clock
+        self.updated = clock()
+
+    def acquire(self, amount: float = 1.0) -> tuple[bool, float]:
+        now = self.clock()
+        self.tokens = min(self.burst, self.tokens + (now - self.updated) * self.rate)
+        self.updated = now
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True, 0.0
+        return False, (amount - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client :class:`TokenBucket` map with LRU-bounded client count.
+
+    Thread-safe: the front-end event loop is single-threaded, but the
+    threaded server could share one of these across handler threads.
+    """
+
+    def __init__(self, rate: float, burst: int, max_clients: int = 1024,
+                 clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.max_clients = int(max_clients)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def acquire(self, client: str) -> tuple[bool, float]:
+        """Admission decision for one request from ``client``."""
+        if not self.enabled:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            return bucket.acquire()
+
+    def num_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+class AdmissionTicket:
+    """Handle for one admitted request; ``release()`` exactly once."""
+
+    __slots__ = ("_controller", "_route", "_released")
+
+    def __init__(self, controller: "AdmissionController", route: str) -> None:
+        self._controller = controller
+        self._route = route
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release(self._route)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded per-endpoint depth accounting with a shed watermark."""
+
+    def __init__(self, max_depth: int, retry_after: float = 1.0) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self.retry_after = float(retry_after)
+        self._lock = threading.Lock()
+        self._depth: dict[str, int] = {}
+
+    def try_admit(self, route: str) -> tuple[AdmissionTicket | None, float]:
+        """Admit one request on ``route`` or shed it.
+
+        Returns ``(ticket, 0.0)`` on admit and ``(None, retry_after)``
+        once the endpoint's depth has reached the watermark.
+        """
+        with self._lock:
+            depth = self._depth.get(route, 0)
+            if depth >= self.max_depth:
+                return None, self.retry_after
+            self._depth[route] = depth + 1
+        return AdmissionTicket(self, route), 0.0
+
+    def _release(self, route: str) -> None:
+        with self._lock:
+            depth = self._depth.get(route, 0)
+            if depth <= 1:
+                self._depth.pop(route, None)
+            else:
+                self._depth[route] = depth - 1
+
+    def depth(self, route: str) -> int:
+        with self._lock:
+            return self._depth.get(route, 0)
+
+    def depths(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._depth)
+
+
+def format_retry_after(seconds: float) -> str:
+    """``Retry-After`` header value: integral seconds, rounded up, >= 1."""
+    return str(max(1, math.ceil(seconds)))

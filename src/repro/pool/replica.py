@@ -1,0 +1,131 @@
+"""Zero-copy model replicas over the ``FlatSpec`` shared segment.
+
+The pool materialises a bundle's model **once**, in the parent: the
+model's full state dict is flattened (``nn.FlatSpec`` ordering, the same
+layout ``repro.dist`` mirrors parameters with) into one
+:class:`~repro.dist.shm.SharedFlatBuffer` float64 segment.  Each forked
+worker then *remaps* its inherited model onto that segment —
+``param.data`` becomes a read-only view of the shared vector — so N
+replicas share one copy of the embedding tables instead of paying N
+materialisations.  Non-float64 entries (integer buffers such as
+batch-norm step counts) cannot alias a float64 segment and are copied
+back at their original dtype; they are tiny by construction.
+
+The views are marked non-writeable: a worker that tried to mutate its
+replica mid-inference would fault loudly instead of silently corrupting
+every sibling's weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dist.shm import SharedFlatBuffer
+from ..nn.serialize import FlatSpec, flatten_state_dict
+
+__all__ = ["ReplicaSegment", "publish_replica", "attach_replica"]
+
+_FLOAT64 = np.dtype(np.float64)
+
+
+class ReplicaSegment:
+    """One shared flat copy of a model's state, ready for N consumers."""
+
+    def __init__(self, spec: FlatSpec, buffer: SharedFlatBuffer) -> None:
+        self.spec = spec
+        self.buffer = buffer
+
+    @property
+    def flat(self) -> np.ndarray:
+        return self.buffer.row(0)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.spec.total_size * _FLOAT64.itemsize)
+
+    def close(self) -> None:
+        self.buffer.close()
+
+    def __enter__(self) -> "ReplicaSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def publish_replica(model) -> ReplicaSegment:
+    """Flatten ``model``'s state dict into a fresh shared segment.
+
+    Called once by the pool parent before forking workers.  The segment
+    owner (the parent) must :meth:`~ReplicaSegment.close` it after the
+    workers have been joined.
+    """
+    state = model.state_dict()
+    spec = FlatSpec.from_state_dict(state)
+    buffer = SharedFlatBuffer(1, spec.total_size)
+    flatten_state_dict(state, spec=spec, out=buffer.row(0))
+    return ReplicaSegment(spec, buffer)
+
+
+def _named_buffer_sites(module, prefix: str = ""):
+    """Yield ``(owner, attr, dotted_name)`` for every registered buffer."""
+    for key in getattr(module, "_buffer_names", ()):
+        yield module, key, f"{prefix}{key}"
+    for key, value in vars(module).items():
+        if hasattr(value, "_named_buffers"):  # Module or ModuleList
+            if hasattr(value, "_items"):  # ModuleList
+                for i, item in enumerate(value._items):
+                    yield from _named_buffer_sites(item, f"{prefix}{key}.{i}.")
+            else:
+                yield from _named_buffer_sites(value, f"{prefix}{key}.")
+
+
+def attach_replica(model, segment: ReplicaSegment) -> int:
+    """Remap ``model``'s state onto the shared segment, zero-copy.
+
+    Every float64 parameter's ``data`` is replaced by a **read-only
+    view** of the segment (no bytes copied); other dtypes are copied
+    back at their recorded dtype.  Returns the number of bytes now
+    served from the shared mapping instead of private memory.
+
+    The model must have the same architecture (and therefore the same
+    :class:`FlatSpec`) as the one :func:`publish_replica` flattened —
+    with the fork start method it *is* the same object, inherited
+    copy-on-write.
+    """
+    spec, flat = segment.spec, segment.flat
+    state_names = set(spec.names)
+    shared_bytes = 0
+    for name, param in model.named_parameters():
+        if name not in state_names:
+            raise ValueError(f"parameter {name!r} missing from replica spec "
+                             f"{list(spec.names)}")
+        i = spec.names.index(name)
+        sl = spec.slot(name)
+        if param.data.shape != spec.shapes[i]:
+            raise ValueError(
+                f"shape mismatch for {name!r}: model {param.data.shape}, "
+                f"spec {spec.shapes[i]}")
+        if spec.dtypes[i] == _FLOAT64:
+            view = flat[sl].reshape(spec.shapes[i])
+            view.flags.writeable = False
+            param.data = view
+            shared_bytes += view.nbytes
+        else:
+            param.data[...] = flat[sl].reshape(spec.shapes[i]).astype(
+                spec.dtypes[i])
+    for owner, attr, dotted in _named_buffer_sites(model):
+        key = f"buffer::{dotted}"
+        if key not in state_names:
+            continue
+        i = spec.names.index(key)
+        sl = spec.slot(key)
+        if spec.dtypes[i] == _FLOAT64:
+            view = flat[sl].reshape(spec.shapes[i])
+            view.flags.writeable = False
+            setattr(owner, attr, view)
+            shared_bytes += view.nbytes
+        else:
+            target = getattr(owner, attr)
+            target[...] = flat[sl].reshape(spec.shapes[i]).astype(spec.dtypes[i])
+    return shared_bytes

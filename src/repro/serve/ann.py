@@ -32,7 +32,8 @@ import numpy as np
 from ..ann import IVFIndex
 from ..obs import trace
 
-__all__ = ["ANN_FORMAT_VERSION", "AnnError", "AnnServing", "supports_ann"]
+__all__ = ["ANN_FORMAT_VERSION", "AnnError", "AnnServing", "resolve_ann_policy",
+           "supports_ann"]
 
 logger = logging.getLogger("repro.serve.ann")
 
@@ -155,3 +156,33 @@ class AnnServing:
             "table_bytes": memory["table_bytes"],
             "table_ratio_vs_float64": round(memory["table_ratio_vs_float64"], 4),
         }
+
+
+def resolve_ann_policy(bundle, model, ann: str = "auto") -> "AnnServing | None":
+    """Resolve the ``auto|off|require|build`` ANN policy for a loaded bundle.
+
+    Shared by :meth:`repro.serve.PredictionEngine.from_bundle` and the
+    pool server so both front ends attach (or refuse) an index under
+    exactly the same rules:
+
+    * ``"auto"`` — the bundle's precomputed index when present, else none;
+    * ``"off"`` — never attach an index;
+    * ``"require"`` — raise :class:`AnnError` unless the bundle ships one;
+    * ``"build"`` — the bundled index, or train one now from the model's
+      entity table (raises for unsupported models).
+    """
+    if ann not in ("auto", "off", "require", "build"):
+        raise ValueError(f"ann must be auto|off|require|build, got {ann!r}")
+    if ann == "off":
+        return None
+    payload = bundle.ann_payload()
+    if payload is not None:
+        serving = AnnServing.from_payload(*payload)
+        logger.info("loaded bundled ANN index: nlist=%d, store=%s",
+                    serving.index.nlist, serving.index.store)
+        return serving
+    if ann == "require":
+        raise AnnError("bundle carries no ANN artifact")
+    if ann == "build":
+        return AnnServing.build(model)
+    return None

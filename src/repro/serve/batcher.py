@@ -9,8 +9,13 @@ worker thread that drains the request queue into batches bounded by
 a single :meth:`PredictionEngine.scores` call per batch, and resolves
 each request's future with its own top-k slice.
 
-Shutdown is graceful: :meth:`close` flushes every request already
-enqueued before the worker exits, so no future is left forever pending.
+Shutdown is graceful and race-free: :meth:`close` flushes every request
+already enqueued before the worker exits, and any request that loses the
+race with ``close()`` — or is still queued when the worker stops — has
+its future failed with :class:`BatcherClosedError` instead of hanging
+forever (the HTTP layer maps that to a clean ``503``).  Waiter-side
+future cancellation (a client that gave up) can never kill the worker
+thread: result delivery tolerates already-settled futures.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import logging
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,11 +32,32 @@ import numpy as np
 from ..obs import trace
 from .engine import PredictionEngine, topk_indices
 
-__all__ = ["MicroBatcher"]
+__all__ = ["BatcherClosedError", "MicroBatcher"]
 
 logger = logging.getLogger("repro.serve.batcher")
 
 _SHUTDOWN = object()
+
+
+class BatcherClosedError(RuntimeError):
+    """The batcher is (or went) closed; the query was not scored."""
+
+
+def _settle(future: Future, result=None, exc: BaseException | None = None) -> bool:
+    """Resolve ``future`` if still possible; never raises.
+
+    A waiter that timed out may have cancelled its future — delivering
+    into it then raises :class:`InvalidStateError`, which previously
+    killed the worker thread and hung every later request.
+    """
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        return True
+    except InvalidStateError:
+        return False
 
 #: Batch-size histogram bounds (requests per batch, powers of two).
 _BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
@@ -101,7 +127,7 @@ class MicroBatcher:
         request = _Request(int(head), int(rel), int(k), bool(filter_known))
         with self._lock:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise BatcherClosedError("MicroBatcher is closed")
             self._m_submitted.inc()
             self._queue.put(request)
         return request.future
@@ -113,16 +139,36 @@ class MicroBatcher:
         return self.submit(head, rel, k, filter_known).result(timeout=timeout)
 
     def close(self, timeout: float = 10.0) -> None:
-        """Stop the worker after flushing every enqueued request."""
+        """Stop the worker after flushing every enqueued request.
+
+        If the worker cannot flush in time (or already died), whatever is
+        still queued is failed with :class:`BatcherClosedError` so no
+        waiter blocks forever on a future nobody will resolve.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._queue.put(_SHUTDOWN)
         self._worker.join(timeout=timeout)
+        self._fail_pending("MicroBatcher closed before this query was scored")
+        if self._worker.is_alive():
+            # The sweep may have eaten the sentinel a wedged worker never
+            # saw; repost it so the worker still exits once unwedged.
+            self._queue.put(_SHUTDOWN)
         logger.info("batcher closed: %d requests in %d batches (max batch %d)",
                     self.requests_processed, self.batches_processed,
                     self.max_batch_seen)
+
+    def _fail_pending(self, message: str) -> None:
+        """Fail every request still sitting in the queue (post-worker)."""
+        failed = 0
+        for request in self._drain():
+            if _settle(request.future, exc=BatcherClosedError(message)):
+                failed += 1
+        if failed:
+            logger.warning("failed %d unflushed batcher requests: %s",
+                           failed, message)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -135,28 +181,33 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     def _run(self) -> None:
         shutting_down = False
-        while not shutting_down:
-            item = self._queue.get()
-            if item is _SHUTDOWN:
-                # Flush whatever raced in before close() flipped the flag.
-                shutting_down = True
-                batch = self._drain()
-            else:
-                batch = [item]
-                deadline = time.monotonic() + self.max_delay
-                while len(batch) < self.max_batch:
-                    remaining = deadline - time.monotonic()
-                    try:
-                        nxt = self._queue.get(timeout=max(0.0, remaining))
-                    except queue.Empty:
-                        break
-                    if nxt is _SHUTDOWN:
-                        shutting_down = True
-                        batch.extend(self._drain())
-                        break
-                    batch.append(nxt)
-            if batch:
-                self._process(batch)
+        try:
+            while not shutting_down:
+                item = self._queue.get()
+                if item is _SHUTDOWN:
+                    # Flush whatever raced in before close() flipped the flag.
+                    shutting_down = True
+                    batch = self._drain()
+                else:
+                    batch = [item]
+                    deadline = time.monotonic() + self.max_delay
+                    while len(batch) < self.max_batch:
+                        remaining = deadline - time.monotonic()
+                        try:
+                            nxt = self._queue.get(timeout=max(0.0, remaining))
+                        except queue.Empty:
+                            break
+                        if nxt is _SHUTDOWN:
+                            shutting_down = True
+                            batch.extend(self._drain())
+                            break
+                        batch.append(nxt)
+                if batch:
+                    self._process(batch)
+        finally:
+            # Whether the loop ended by shutdown or by an unexpected
+            # error, nothing left behind may hang a waiter.
+            self._fail_pending("MicroBatcher worker exited")
 
     def _drain(self) -> list[_Request]:
         drained: list[_Request] = []
@@ -182,12 +233,12 @@ class MicroBatcher:
                     scores[flagged] = masked
         except Exception as exc:  # engine failure fails every waiter, not the worker
             for request in batch:
-                request.future.set_exception(exc)
+                _settle(request.future, exc=exc)
             logger.exception("batch of %d requests failed", len(batch))
             return
         for i, request in enumerate(batch):
             ids = topk_indices(scores[i], request.k)
-            request.future.set_result((ids, scores[i][ids]))
+            _settle(request.future, (ids, scores[i][ids]))
         self._m_batches.inc()
         self._m_processed.inc(len(batch))
         self._m_batch_size.observe(len(batch))

@@ -13,6 +13,11 @@ Example session (tiny DRKG-MM split)::
     python -m repro.serve query --bundle /tmp/transe.bundle \
         --head Compound-0 --relation CtD --k 5 --filter-known
     python -m repro.serve serve --bundle /tmp/transe.bundle --port 8080
+
+``serve --pool N`` (N >= 1) runs the same bundle behind the
+:mod:`repro.pool` tier instead: an async front end with admission
+control dispatching to N forked replica workers.  ``--pool 0`` (the
+default) is the original threaded in-process server, byte-for-byte.
 """
 
 from __future__ import annotations
@@ -118,6 +123,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         enable_tracing(args.trace)
         print(f"tracing spans to {args.trace} "
               f"(summarize with: python -m repro.obs report {args.trace})")
+    if args.pool > 0:
+        from ..pool import PoolConfig, run_pool
+
+        config = PoolConfig(
+            workers=args.pool,
+            max_queue_depth=args.max_queue_depth,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            default_timeout=args.default_timeout_ms / 1e3,
+            drain_timeout=args.drain_timeout,
+            cache_size=args.cache_size,
+            approx_default=args.approx_default,
+        )
+        return run_pool(
+            args.bundle, config, host=args.host, port=args.port, ann=args.ann,
+            on_started=lambda server: print(
+                f"pool serving {server.model_name} on "
+                f"http://{server.host}:{server.port} with "
+                f"{config.workers} workers (SIGTERM drains gracefully)"))
     engine = PredictionEngine.from_bundle(args.bundle,
                                           cache_size=args.cache_size,
                                           ann=args.ann,
@@ -204,6 +228,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--approx-default", action="store_true",
                        help="serve /predict approximately unless a request "
                             "opts out")
+    serve.add_argument("--pool", type=int, default=0, metavar="N",
+                       help="serve from N forked replica workers behind an "
+                            "async front end with admission control (0 = "
+                            "the in-process threaded server, the default)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="pool: per-endpoint admitted-request watermark "
+                            "before shedding with 429 + Retry-After")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       help="pool: per-client requests/second token-bucket "
+                            "rate (0 disables rate limiting)")
+    serve.add_argument("--rate-burst", type=int, default=16,
+                       help="pool: token-bucket burst capacity per client")
+    serve.add_argument("--default-timeout-ms", type=float, default=30_000.0,
+                       help="pool: deadline for requests without their own "
+                            "deadline_ms field")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="pool: seconds a graceful shutdown waits for "
+                            "in-flight requests")
     serve.set_defaults(func=_cmd_serve)
 
     inspect = sub.add_parser("inspect", help="print a bundle's manifest")

@@ -86,9 +86,11 @@ class PredictionEngine:
                  filter_parts: tuple[str, ...] = ("train", "valid", "test"),
                  registry: MetricsRegistry | None = None,
                  ann: AnnServing | None = None,
-                 approx_default: bool = False) -> None:
+                 approx_default: bool = False,
+                 bundle_version: int | None = None) -> None:
         self.model = model
         self.model_name = model_name
+        self.bundle_version = bundle_version
         self.split = split
         self.num_entities = split.num_entities
         self.num_relations = split.num_relations
@@ -163,28 +165,19 @@ class PredictionEngine:
         * ``"build"`` — use the bundled index, or train one now from the
           loaded model's entity table (raises for unsupported models).
         """
+        from .ann import resolve_ann_policy
         from .bundle import load_bundle
 
-        if ann not in ("auto", "off", "require", "build"):
-            raise ValueError(f"ann must be auto|off|require|build, got {ann!r}")
         bundle = load_bundle(path, strict=strict)
         model = bundle.build_model(strict=strict)
-        serving = None
-        if ann != "off":
-            payload = bundle.ann_payload()
-            if payload is not None:
-                serving = AnnServing.from_payload(*payload)
-                logger.info("loaded bundled ANN index: nlist=%d, store=%s",
-                            serving.index.nlist, serving.index.store)
-            elif ann == "require":
-                raise AnnError(f"bundle {path!r} carries no ANN artifact")
-            elif ann == "build":
-                serving = AnnServing.build(model)
+        serving = resolve_ann_policy(bundle, model, ann)
         logger.info("loaded bundle %s (model=%s, entities=%d, relations=%d)",
                     path, bundle.model_name, bundle.split.num_entities,
                     bundle.split.num_relations)
         return cls(model, bundle.split, model_name=bundle.model_name,
-                   ann=serving, **kwargs)
+                   ann=serving,
+                   bundle_version=bundle.manifest.get("format_version"),
+                   **kwargs)
 
     @property
     def filter(self) -> CSRFilter:

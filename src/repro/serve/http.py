@@ -28,29 +28,64 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import time
+from concurrent.futures import TimeoutError as _FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from .. import __version__
 from ..obs import render_prometheus, trace
-from .batcher import MicroBatcher
+from .ann import supports_ann
+from .batcher import BatcherClosedError, MicroBatcher
 from .engine import PredictionEngine
 
-__all__ = ["ServiceApp", "ServeHandler", "make_server"]
+__all__ = ["ApiError", "MAX_BODY_BYTES", "MAX_TOP_K", "ServiceApp",
+           "ServeHandler", "deadline_from_body", "make_server"]
 
 logger = logging.getLogger("repro.serve.http")
 
 MAX_BODY_BYTES = 1 << 20  # 1 MiB is plenty for any sane query payload
 
+#: Upper bound on requested top-k: larger asks are a client bug (or an
+#: attempt to exfiltrate the full ranking) and get a 400, not an
+#: accidentally quadratic response payload.
+MAX_TOP_K = 1000
 
-class _ApiError(Exception):
+
+class ApiError(Exception):
+    """An error with a fixed HTTP status and JSON envelope code."""
+
     def __init__(self, status: int, code: str, message: str) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
+
+
+#: Backwards-compatible private alias (pre-pool name).
+_ApiError = ApiError
+
+
+def deadline_from_body(body) -> float | None:
+    """Absolute ``time.monotonic()`` deadline from a ``deadline_ms`` field.
+
+    Returns ``None`` when the body carries no ``deadline_ms``; raises
+    :class:`ApiError` (400) on a malformed one.  Shared by the threaded
+    server and the pool front end so both validate identically.
+    ``CLOCK_MONOTONIC`` is system-wide on Linux, so the absolute value
+    may cross process boundaries to pool workers.
+    """
+    if not isinstance(body, dict):
+        return None
+    raw = body.get("deadline_ms")
+    if raw is None:
+        return None
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+        raise ApiError(400, "bad_request",
+                       f"'deadline_ms' must be a positive number, got {raw!r}")
+    return time.monotonic() + float(raw) / 1e3
 
 
 class ServiceApp:
@@ -85,11 +120,26 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def handle(self, method: str, path: str,
-               body: dict | None) -> tuple[int, dict | str]:
+    def handle(self, method: str, path: str, body: dict | None,
+               deadline: float | None = None) -> tuple[int, dict | str]:
+        """Dispatch one request; ``deadline`` is absolute ``monotonic``.
+
+        A POST body may also carry its own ``deadline_ms``; the tighter
+        of the two applies.  Work whose deadline has already passed is
+        answered ``504 deadline_exceeded`` without touching the model,
+        and a result that finishes late is discarded in favour of the
+        504 (the client has already stopped waiting).
+        """
         tick = time.perf_counter()
         try:
             with trace("serve.request", method=method, route=path):
+                if method == "POST":
+                    own = deadline_from_body(body)
+                    if own is not None:
+                        deadline = own if deadline is None else min(deadline, own)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise ApiError(504, "deadline_exceeded",
+                                   "deadline passed before processing began")
                 if method == "GET" and path == "/healthz":
                     status, payload = 200, self._healthz()
                 elif method == "GET" and path == "/stats":
@@ -97,12 +147,15 @@ class ServiceApp:
                 elif method == "GET" and path == "/metrics":
                     status, payload = 200, render_prometheus(self.metrics)
                 elif method == "POST" and path == "/predict":
-                    status, payload = 200, self._predict(body)
+                    status, payload = 200, self._predict(body, deadline)
                 elif method == "POST" and path == "/score":
                     status, payload = 200, self._score(body)
                 else:
-                    raise _ApiError(404, "not_found",
-                                    f"no route for {method} {path}")
+                    raise ApiError(404, "not_found",
+                                   f"no route for {method} {path}")
+                if deadline is not None and time.monotonic() > deadline:
+                    raise ApiError(504, "deadline_exceeded",
+                                   "deadline passed during scoring")
         except _ApiError as exc:
             status = exc.status
             payload = {"error": {"code": exc.code, "message": exc.message}}
@@ -120,13 +173,29 @@ class ServiceApp:
     # Routes
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
+        engine = self.engine
+        ann_info = {"supports_ann": supports_ann(engine.model),
+                    "attached": engine.ann is not None}
+        if engine.ann is not None:
+            ann_info.update(engine.ann.stats())
         return {
             "status": "ok",
-            "model": self.engine.model_name,
-            "num_entities": self.engine.num_entities,
-            "num_relations": self.engine.num_relations,
+            "model": engine.model_name,
+            "num_entities": engine.num_entities,
+            "num_relations": engine.num_relations,
             "uptime_seconds": round(time.time() - self.started, 3),
             "version": __version__,
+            "bundle": {"version": engine.bundle_version},
+            "ann": ann_info,
+            "replicas": [{
+                "rank": 0,
+                "alive": True,
+                "pid": os.getpid(),
+                "mode": "thread",
+                "inflight": 0,
+                "requests": self.requests,
+                "generation": 0,
+            }],
         }
 
     def _stats(self) -> dict:
@@ -154,7 +223,8 @@ class ServiceApp:
         except (KeyError, IndexError) as exc:
             raise _ApiError(400, f"unknown_{what}", str(exc.args[0])) from None
 
-    def _predict(self, body: dict | None) -> dict:
+    def _predict(self, body: dict | None,
+                 deadline: float | None = None) -> dict:
         if not isinstance(body, dict):
             raise _ApiError(400, "bad_request", "JSON object body required")
         has_head = "head" in body
@@ -170,6 +240,9 @@ class ServiceApp:
         k = body.get("k", 10)
         if not isinstance(k, int) or isinstance(k, bool) or k < 1:
             raise _ApiError(400, "bad_request", f"'k' must be a positive int, got {k!r}")
+        if k > MAX_TOP_K:
+            raise _ApiError(400, "bad_request",
+                            f"'k' must be <= {MAX_TOP_K}, got {k}")
         filter_known = body.get("filter_known", False)
         if not isinstance(filter_known, bool):
             raise _ApiError(400, "bad_request", "'filter_known' must be a bool")
@@ -197,7 +270,18 @@ class ServiceApp:
                                                   approx=use_approx,
                                                   nprobe=nprobe)
         elif self.batcher is not None:
-            ids, scores = self.batcher.predict(anchor, query_rel, k, filter_known)
+            timeout = (30.0 if deadline is None
+                       else max(0.0, deadline - time.monotonic()))
+            try:
+                ids, scores = self.batcher.predict(anchor, query_rel, k,
+                                                   filter_known,
+                                                   timeout=timeout)
+            except BatcherClosedError as exc:
+                raise ApiError(503, "shutting_down", str(exc)) from None
+            except _FutureTimeout:
+                raise ApiError(504, "deadline_exceeded",
+                               "deadline passed while queued for the "
+                               "micro-batcher") from None
         else:
             ids, scores = self.engine.top_k_tails(anchor, query_rel, k,
                                                   filter_known=filter_known)
@@ -239,6 +323,10 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    # Headers and body leave as separate small sends (wfile is unbuffered);
+    # without TCP_NODELAY, Nagle + delayed ACK stalls every keep-alive
+    # response ~40ms.  Measured: 44ms/request -> sub-ms once disabled.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)

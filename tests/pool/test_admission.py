@@ -1,0 +1,116 @@
+"""Admission control: token buckets, per-client limiting, depth watermark."""
+
+import pytest
+
+from repro.pool import (AdmissionController, RateLimiter, TokenBucket,
+                        format_retry_after)
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_shed(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.acquire()[0] for _ in range(3)] == [True] * 3
+        admitted, retry = bucket.acquire()
+        assert not admitted
+        assert retry == pytest.approx(1.0)
+
+    def test_refill_is_exact(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.acquire()[0]
+        admitted, retry = bucket.acquire()
+        assert not admitted and retry == pytest.approx(0.5)
+        clock.advance(0.5)  # exactly one token accrued
+        assert bucket.acquire()[0]
+
+    def test_tokens_cap_at_burst(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60.0)  # a long idle period must not bank 6000 tokens
+        assert bucket.acquire()[0]
+        assert bucket.acquire()[0]
+        assert not bucket.acquire()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestRateLimiter:
+    def test_disabled_at_rate_zero(self):
+        limiter = RateLimiter(rate=0.0, burst=1)
+        assert not limiter.enabled
+        assert all(limiter.acquire("c")[0] for _ in range(100))
+        assert limiter.num_clients() == 0  # no bookkeeping when disabled
+
+    def test_clients_are_independent(self):
+        clock = _Clock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.acquire("a")[0]
+        assert not limiter.acquire("a")[0]
+        assert limiter.acquire("b")[0]  # b has its own untouched bucket
+
+    def test_lru_bounds_client_map(self):
+        clock = _Clock()
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=2, clock=clock)
+        for name in ("a", "b", "c"):
+            limiter.acquire(name)
+        assert limiter.num_clients() == 2
+        # "a" was evicted: a fresh bucket admits it again immediately.
+        assert limiter.acquire("a")[0]
+
+
+class TestAdmissionController:
+    def test_watermark_sheds(self):
+        controller = AdmissionController(max_depth=2, retry_after=3.0)
+        t1, _ = controller.try_admit("/predict")
+        t2, _ = controller.try_admit("/predict")
+        assert t1 is not None and t2 is not None
+        shed, retry = controller.try_admit("/predict")
+        assert shed is None and retry == 3.0
+        # Another endpoint has its own depth.
+        t3, _ = controller.try_admit("/score")
+        assert t3 is not None
+
+    def test_release_reopens_and_is_idempotent(self):
+        controller = AdmissionController(max_depth=1)
+        ticket, _ = controller.try_admit("/predict")
+        assert controller.try_admit("/predict")[0] is None
+        ticket.release()
+        ticket.release()  # double release must not go negative
+        assert controller.depth("/predict") == 0
+        assert controller.try_admit("/predict")[0] is not None
+
+    def test_context_manager_releases(self):
+        controller = AdmissionController(max_depth=1)
+        with controller.try_admit("/predict")[0]:
+            assert controller.depth("/predict") == 1
+        assert controller.depth("/predict") == 0
+
+    def test_depths_snapshot(self):
+        controller = AdmissionController(max_depth=4)
+        controller.try_admit("/predict")
+        controller.try_admit("/predict")
+        assert controller.depths() == {"/predict": 2}
+
+
+def test_format_retry_after_rounds_up_and_floors_at_one():
+    assert format_retry_after(0.0) == "1"
+    assert format_retry_after(0.2) == "1"
+    assert format_retry_after(1.0) == "1"
+    assert format_retry_after(1.01) == "2"
+    assert format_retry_after(59.5) == "60"

@@ -1,0 +1,82 @@
+"""Zero-copy replica segment: publish/attach round-trip and safety rails."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.pool import attach_replica, publish_replica
+
+
+@pytest.fixture()
+def fresh_model(prepared):
+    """A second model instance with the same architecture, different weights."""
+    mkg, feats = prepared
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(7), dim=16)
+    return model
+
+
+class TestRoundTrip:
+    def test_attach_reproduces_published_weights(self, transe, fresh_model,
+                                                 prepared):
+        mkg, _ = prepared
+        heads = mkg.split.test[:8, 0]
+        rels = mkg.split.test[:8, 1]
+        expected = transe.predict_tails(heads, rels)
+        before = fresh_model.predict_tails(heads, rels)
+        assert not np.allclose(expected, before)  # genuinely different weights
+
+        segment = publish_replica(transe)
+        try:
+            shared = attach_replica(fresh_model, segment)
+            assert shared > 0
+            after = fresh_model.predict_tails(heads, rels)
+            np.testing.assert_array_equal(after, expected)  # bit-identical
+        finally:
+            segment.close()
+
+    def test_float64_params_are_views_not_copies(self, transe, fresh_model):
+        segment = publish_replica(transe)
+        try:
+            attach_replica(fresh_model, segment)
+            flat = segment.flat
+            for _, param in fresh_model.named_parameters():
+                if param.data.dtype == np.float64:
+                    assert np.shares_memory(param.data, flat)
+        finally:
+            segment.close()
+
+    def test_attached_views_are_read_only(self, transe, fresh_model):
+        segment = publish_replica(transe)
+        try:
+            attach_replica(fresh_model, segment)
+            wrote = False
+            for _, param in fresh_model.named_parameters():
+                if param.data.dtype == np.float64:
+                    with pytest.raises(ValueError):
+                        param.data[...] = 0.0
+                    wrote = True
+            assert wrote
+        finally:
+            segment.close()
+
+    def test_segment_size_matches_state(self, transe):
+        segment = publish_replica(transe)
+        try:
+            total = sum(np.asarray(v).size for v in transe.state_dict().values())
+            assert segment.spec.total_size == total
+            assert segment.nbytes == total * 8
+        finally:
+            segment.close()
+
+
+class TestMismatch:
+    def test_shape_mismatch_raises(self, transe, prepared):
+        mkg, feats = prepared
+        other, _ = build_model("TransE", mkg, feats, np.random.default_rng(3),
+                               dim=8)  # different embedding dim
+        segment = publish_replica(transe)
+        try:
+            with pytest.raises(ValueError, match="shape mismatch"):
+                attach_replica(other, segment)
+        finally:
+            segment.close()

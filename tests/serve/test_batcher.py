@@ -126,3 +126,69 @@ class TestLifecycle:
     def test_invalid_max_batch(self, engine):
         with pytest.raises(ValueError):
             MicroBatcher(engine, max_batch=0)
+
+
+class TestShutdownRaces:
+    """Regression tests: shutdown/cancellation must never hang a future."""
+
+    def _gated(self, engine):
+        """Engine whose scores() blocks until the test releases it."""
+        class Gated:
+            entered = threading.Event()
+            release = threading.Event()
+
+            def __getattr__(self, name):
+                return getattr(engine, name)
+
+            def scores(self, heads, rels):
+                Gated.entered.set()
+                assert Gated.release.wait(timeout=30)
+                return engine.scores(heads, rels)
+
+        return Gated()
+
+    def test_close_fails_unflushed_requests_with_clean_error(self, engine):
+        """A request stuck behind a wedged worker gets a BatcherClosedError,
+        not a forever-pending future (the old hang)."""
+        from repro.serve.batcher import BatcherClosedError
+
+        gated = self._gated(engine)
+        batcher = MicroBatcher(gated, max_batch=1, max_delay=0.0)
+        first = batcher.submit(0, 0, k=3)
+        assert gated.entered.wait(timeout=10)  # worker is wedged in scores()
+        straggler = batcher.submit(1, 0, k=3)  # races close(), stays queued
+        batcher.close(timeout=0.2)             # worker cannot flush in time
+        assert straggler.done()
+        with pytest.raises(BatcherClosedError):
+            straggler.result(timeout=0)
+        gated.release.set()                    # un-wedge; first still resolves
+        ids, _ = first.result(timeout=30)
+        assert len(ids) == 3
+
+    def test_submit_after_close_raises_typed_error(self, engine):
+        from repro.serve.batcher import BatcherClosedError
+
+        batcher = MicroBatcher(engine)
+        batcher.close()
+        with pytest.raises(BatcherClosedError):
+            batcher.submit(0, 0)
+
+    def test_cancelled_future_does_not_kill_worker(self, engine):
+        """A waiter that gave up (cancelled future) must not crash the
+        worker thread — the old InvalidStateError hung everyone after it."""
+        gated = self._gated(engine)
+        batcher = MicroBatcher(gated, max_batch=1, max_delay=0.0)
+        blocked = batcher.submit(0, 0, k=3)
+        assert gated.entered.wait(timeout=10)
+        abandoned = batcher.submit(1, 0, k=3)
+        assert abandoned.cancel()              # queued, so cancellable
+        gated.release.set()
+        ids, _ = blocked.result(timeout=30)
+        assert len(ids) == 3
+        # The worker survived delivering into the cancelled future and
+        # keeps serving new requests.
+        follow_up = batcher.submit(2, 0, k=3)
+        ids, _ = follow_up.result(timeout=30)
+        assert len(ids) == 3
+        assert batcher._worker.is_alive()
+        batcher.close()

@@ -47,10 +47,30 @@ class TestRoutes:
         assert status == 200
         uptime = payload.pop("uptime_seconds")
         assert 0.0 <= uptime < 300.0
+        replicas = payload.pop("replicas")
         assert payload == {"status": "ok", "model": "TransE",
                            "num_entities": engine.num_entities,
                            "num_relations": engine.num_relations,
-                           "version": repro.__version__}
+                           "version": repro.__version__,
+                           "bundle": {"version": engine.bundle_version},
+                           "ann": {"supports_ann": True, "attached": False}}
+        # threaded mode is exactly one in-process replica
+        assert len(replicas) == 1
+        assert replicas[0]["alive"] is True
+        assert replicas[0]["mode"] == "thread"
+        assert replicas[0]["rank"] == 0
+
+    def test_healthz_reports_bundle_and_ann(self, transe_bundle):
+        """An engine loaded from a bundle reports its format version."""
+        from repro.serve.http import ServiceApp
+
+        engine = PredictionEngine.from_bundle(transe_bundle)
+        app = ServiceApp(engine)
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 200
+        assert payload["bundle"]["version"] == engine.bundle_version
+        assert payload["bundle"]["version"] is not None
+        assert payload["ann"]["supports_ann"] is True
 
     def test_predict_tails_bit_identical(self, service, transe):
         server, engine, mkg = service
@@ -194,3 +214,135 @@ class TestErrors:
         _request(server, "GET", "/nope")
         status, payload = _request(server, "GET", "/stats")
         assert payload["server"]["errors"] >= 1
+
+
+class TestDeadlines:
+    """deadline_ms handling on the threaded server (shared with the pool)."""
+
+    def _slow_app(self, engine, delay=0.2):
+        import time as _time
+
+        from repro.serve.http import ServiceApp
+
+        class Slow:
+            def __getattr__(self, name):
+                return getattr(engine, name)
+
+            def top_k_tails(self, *args, **kwargs):
+                _time.sleep(delay)
+                return engine.top_k_tails(*args, **kwargs)
+
+        return ServiceApp(Slow())
+
+    def test_bad_deadline_rejected(self, engine):
+        from repro.serve.http import ServiceApp
+
+        app = ServiceApp(engine)
+        for bad in (-1, 0, True, "soon"):
+            status, payload = app.handle(
+                "POST", "/predict",
+                {"head": 0, "relation": 0, "deadline_ms": bad})
+            assert status == 400, bad
+            assert payload["error"]["code"] == "bad_request"
+
+    def test_deadline_exceeded_during_scoring_504(self, engine):
+        app = self._slow_app(engine, delay=0.2)
+        status, payload = app.handle(
+            "POST", "/predict",
+            {"head": 0, "relation": 0, "k": 3, "deadline_ms": 50})
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+
+    def test_expired_deadline_rejected_before_scoring(self, engine):
+        import time as _time
+
+        from repro.serve.http import ServiceApp
+
+        app = ServiceApp(engine)
+        status, payload = app.handle("POST", "/predict",
+                                     {"head": 0, "relation": 0, "k": 3},
+                                     deadline=_time.monotonic() - 1.0)
+        assert status == 504
+        assert payload["error"]["code"] == "deadline_exceeded"
+        assert "before processing" in payload["error"]["message"]
+
+    def test_generous_deadline_succeeds(self, engine):
+        from repro.serve.http import ServiceApp
+
+        app = ServiceApp(engine)
+        status, payload = app.handle(
+            "POST", "/predict",
+            {"head": 0, "relation": 0, "k": 3, "deadline_ms": 30_000})
+        assert status == 200
+        assert len(payload["results"]) == 3
+
+    def test_batcher_closed_maps_to_503(self, engine):
+        from repro.serve import MicroBatcher
+        from repro.serve.http import ServiceApp
+
+        batcher = MicroBatcher(engine)
+        app = ServiceApp(engine, batcher)
+        batcher.close()
+        status, payload = app.handle("POST", "/predict",
+                                     {"head": 0, "relation": 0, "k": 3})
+        assert status == 503
+        assert payload["error"]["code"] == "shutting_down"
+
+
+class TestEnvelopeStorm:
+    def test_oversized_k_rejected(self, service):
+        from repro.serve.http import MAX_TOP_K
+
+        server, _, _ = service
+        status, payload = _request(server, "POST", "/predict",
+                                   {"head": 0, "relation": 0,
+                                    "k": MAX_TOP_K + 1})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert str(MAX_TOP_K) in payload["error"]["message"]
+
+    def test_concurrent_error_envelopes(self, service):
+        """Malformed requests racing valid ones always get clean envelopes."""
+        server, _, mkg = service
+        port = server.server_address[1]
+        good = {"head": 0, "relation": 0, "k": 3}
+        cases = [
+            (b"{not json", 400, "bad_json"),
+            (json.dumps({"head": "no-such", "relation": 0}).encode(), 400,
+             "unknown_entity"),
+            (json.dumps({"head": 0, "relation": 0, "k": 99_999}).encode(),
+             400, "bad_request"),
+            (json.dumps({"head": 0, "relation": 0,
+                         "deadline_ms": -4}).encode(), 400, "bad_request"),
+            (json.dumps(good).encode(), 200, None),
+        ]
+        results = []
+
+        def fire(raw, expected_status, expected_code):
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/predict", data=raw, method="POST",
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    got = response.status, json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                got = error.code, json.loads(error.read())
+            results.append((got, expected_status, expected_code))
+
+        threads = [threading.Thread(target=fire, args=case)
+                   for case in cases * 5]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == len(cases) * 5
+        for (status, payload), expected_status, expected_code in results:
+            assert status == expected_status
+            if expected_code is None:
+                assert len(payload["results"]) == 3
+            else:
+                assert set(payload["error"]) == {"code", "message"}
+                assert payload["error"]["code"] == expected_code
+        # The server is still healthy after the storm.
+        status, payload = _request(server, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
