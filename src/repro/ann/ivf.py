@@ -39,6 +39,7 @@ from typing import Any
 
 import numpy as np
 
+from ..graph import build_csr
 from ..nn.quant import QUANT_MODES, QuantizedTable
 from .kmeans import kmeans
 
@@ -107,9 +108,9 @@ class IVFIndex:
         nlist = min(n, int(nlist) if nlist else default_nlist(n))
         centroids, assign = kmeans(vectors, nlist, seed=seed, iters=iters)
         nlist = len(centroids)
-        order = np.argsort(assign, kind="stable").astype(np.int64)
-        counts = np.bincount(assign, minlength=nlist)
-        offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        # The inverted-list layout is a CSR build: rows = centroid
+        # assignments, payload = entity ids (the stable permutation).
+        offsets, order = build_csr(assign, nlist)
         table = QuantizedTable.quantize(vectors[order], store)
         nprobe = int(nprobe) if nprobe else default_nprobe(nlist)
         return cls(metric=metric, centroids=centroids, ids=order,

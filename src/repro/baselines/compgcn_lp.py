@@ -12,7 +12,8 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from ..gnn import CompGCNEncoder
+from ..gnn import CompGCNEncoder, as_relational_graph
+from ..graph import GraphData
 from .base import inference_mode
 
 __all__ = ["CompGCNLinkPredictor"]
@@ -49,10 +50,20 @@ class CompGCNLinkPredictor(nn.Module):
         self._max_edges = max_message_edges
         self._rng = gen
         self._cached: tuple[np.ndarray, np.ndarray] | None = None
+        # Fixed message graphs, converted to the shared CSR GraphData
+        # form exactly once.  When the training set fits under the cap
+        # the same GraphData serves every forward pass; the inference
+        # graph (deterministic first-N cap, so predictions are stable
+        # across calls) is likewise built once.
+        self._full_graph: GraphData | None = (
+            as_relational_graph(train_triples, num_entities)
+            if len(train_triples) <= max_message_edges else None
+        )
+        self._infer_graph: GraphData | None = None
 
-    def _message_edges(self) -> np.ndarray:
-        if len(self._train_triples) <= self._max_edges:
-            return self._train_triples
+    def _message_edges(self) -> "np.ndarray | GraphData":
+        if self._full_graph is not None:
+            return self._full_graph
         idx = self._rng.choice(len(self._train_triples), self._max_edges, replace=False)
         return self._train_triples[idx]
 
@@ -77,9 +88,12 @@ class CompGCNLinkPredictor(nn.Module):
     def predict_tails(self, heads: np.ndarray, rels: np.ndarray) -> np.ndarray:
         with inference_mode(self):
             if self._cached is None:
-                ent, rel = self.encoder(self._train_triples[: self._max_edges]
-                                        if len(self._train_triples) > self._max_edges
-                                        else self._train_triples)
+                if self._infer_graph is None:
+                    self._infer_graph = (self._full_graph if self._full_graph is not None
+                                         else as_relational_graph(
+                                             self._train_triples[: self._max_edges],
+                                             self.num_entities))
+                ent, rel = self.encoder(self._infer_graph)
                 self._cached = (ent.data.copy(), rel.data.copy())
             ent, rel = self._cached
             query = ent[heads] * rel[rels]

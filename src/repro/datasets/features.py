@@ -114,9 +114,9 @@ def build_features(
             mols, epochs=gin_epochs, batch_size=32
         )
         emb = encoder.encode(mols)
-        for row, entity_id in enumerate(ids):
-            molecular[entity_id] = emb[row]
-            has_molecule[entity_id] = True
+        id_arr = np.asarray(ids, dtype=np.int64)
+        molecular[id_arr] = emb
+        has_molecule[id_arr] = True
         molecular = _standardize(molecular, mask=has_molecule)
 
     # ---------------- textual ----------------

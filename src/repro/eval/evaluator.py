@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..graph import pack_csr_rows
 from ..kg import KGSplit
 from ..obs import trace
 from .metrics import RankingMetrics
@@ -135,29 +136,11 @@ def build_csr_filter(split: KGSplit,
     h, r, t = triples[:, 0], triples[:, 1], triples[:, 2]
     codes = np.concatenate([h * code_mult + r, t * code_mult + (r + num_relations)])
     values = np.concatenate([t, h])
-    num_entities = split.num_entities
-    if codes[-1] >= 0 and int(codes.max()) < (2**62) // max(num_entities, 1):
-        # Fuse (code, value) into one int64 key: a single np.sort is
-        # considerably faster than np.lexsort over two arrays, and the
-        # fused key fits comfortably for any realistic KG size.
-        fused = np.sort(codes * num_entities + values)
-        fresh = np.empty(len(fused), dtype=bool)
-        fresh[0] = True
-        np.not_equal(fused[1:], fused[:-1], out=fresh[1:])
-        fused = fused[fresh]
-        codes, values = fused // num_entities, fused % num_entities
-    else:
-        order = np.lexsort((values, codes))
-        codes, values = codes[order], values[order]
-        fresh = np.empty(len(codes), dtype=bool)
-        fresh[0] = True
-        np.logical_or(codes[1:] != codes[:-1], values[1:] != values[:-1],
-                      out=fresh[1:])
-        codes, values = codes[fresh], values[fresh]
-    row_starts = np.flatnonzero(np.concatenate([[True], codes[1:] != codes[:-1]]))
-    indptr = np.concatenate([row_starts, [len(codes)]]).astype(np.int64)
-    return CSRFilter(keys=codes[row_starts], indptr=indptr,
-                     indices=values, code_mult=code_mult)
+    # The sort/de-dup/group pass (including the fused-int64-key fast
+    # path) is the shared CSR packer from the graph substrate.
+    keys, indptr, indices = pack_csr_rows(codes, values, split.num_entities)
+    return CSRFilter(keys=keys, indptr=indptr, indices=indices,
+                     code_mult=code_mult)
 
 
 class RankingEvaluator:

@@ -1,10 +1,17 @@
 """``repro.gnn`` — structural-embedding substrate (CompGCN)."""
 
-from .compgcn import CompGCNEncoder, CompGCNLayer, compose, pretrain_structural_embeddings
+from .compgcn import (
+    CompGCNEncoder,
+    CompGCNLayer,
+    as_relational_graph,
+    compose,
+    pretrain_structural_embeddings,
+)
 
 __all__ = [
     "CompGCNEncoder",
     "CompGCNLayer",
+    "as_relational_graph",
     "compose",
     "pretrain_structural_embeddings",
 ]

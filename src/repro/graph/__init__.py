@@ -1,0 +1,26 @@
+"""``repro.graph`` — the unified CSR graph substrate.
+
+One :class:`GraphData` structure (typed edges, node/edge feature views,
+cached forward/reverse CSR adjacency, disjoint-union batching, sparse
+export) shared by the three graph stacks of the paper — the KG triple
+store (:meth:`repro.kg.KnowledgeGraph.to_graph`), molecular graphs
+(:meth:`repro.mol.Molecule.to_graph`), and CompGCN message passing —
+plus the CSR builders (:mod:`repro.graph.csr`) reused by the filtered-
+ranking evaluator and the IVF index, and the ``gather -> transform ->
+scatter`` kernels (:mod:`repro.graph.kernels`) under GIN and CompGCN.
+"""
+
+from .csr import build_csr, counts_to_indptr, pack_csr_rows
+from .data import CSRAdjacency, GraphData
+from .kernels import gather_scatter, propagate, readout
+
+__all__ = [
+    "GraphData",
+    "CSRAdjacency",
+    "build_csr",
+    "counts_to_indptr",
+    "pack_csr_rows",
+    "gather_scatter",
+    "propagate",
+    "readout",
+]

@@ -1,0 +1,84 @@
+"""Shared CSR construction utilities.
+
+Every graph-shaped structure in this codebase — the
+:class:`~repro.graph.data.GraphData` adjacency, the filtered-ranking
+:class:`~repro.eval.evaluator.CSRFilter`, and the
+:class:`~repro.ann.ivf.IVFIndex` inverted lists — is the same layout
+underneath: rows packed contiguously behind an ``indptr`` offset array.
+This module holds the one vectorized builder each of them uses, so the
+sort/bincount/cumsum dance is written (and tested) exactly once.
+
+All builders are deterministic and stable: rows keep the original
+relative order of their members, which is what makes the refactored
+call sites bit-identical to their previous per-item loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["counts_to_indptr", "build_csr", "pack_csr_rows"]
+
+
+def counts_to_indptr(counts: np.ndarray) -> np.ndarray:
+    """Row sizes -> ``(len(counts) + 1,)`` int64 offset array."""
+    counts = np.asarray(counts, dtype=np.int64)
+    indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr
+
+
+def build_csr(row_ids: np.ndarray, num_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    """Group ``len(row_ids)`` items into ``num_rows`` contiguous rows.
+
+    Returns ``(indptr, order)`` where ``order`` is a **stable**
+    permutation: ``order[indptr[i]:indptr[i + 1]]`` are the positions of
+    row ``i``'s items in their original relative order.  Gathering any
+    per-item payload through ``order`` lays it out row-contiguously.
+    """
+    row_ids = np.asarray(row_ids, dtype=np.int64)
+    if len(row_ids) and (row_ids.min() < 0 or row_ids.max() >= num_rows):
+        raise ValueError("row id out of range for CSR build")
+    order = np.argsort(row_ids, kind="stable").astype(np.int64)
+    indptr = counts_to_indptr(np.bincount(row_ids, minlength=num_rows))
+    return indptr, order
+
+
+def pack_csr_rows(codes: np.ndarray, values: np.ndarray,
+                  value_range: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort + de-duplicate ``(code, value)`` pairs into sparse CSR rows.
+
+    Unlike :func:`build_csr` the row key space may be huge and sparse
+    (e.g. fused ``(head, relation)`` query codes), so rows are keyed by
+    the sorted **unique** codes rather than dense row ids.  Returns
+    ``(keys, indptr, values)``: row ``i`` holds the ascending unique
+    values ``values[indptr[i]:indptr[i + 1]]`` of code ``keys[i]``.
+
+    ``value_range`` is an exclusive upper bound on ``values``; when the
+    fused key ``code * value_range + value`` fits in int64 a single
+    ``np.sort`` replaces the two-array ``np.lexsort`` (considerably
+    faster at KG scale).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if len(codes) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.zeros(1, dtype=np.int64), empty.copy()
+    if codes.min() >= 0 and int(codes.max()) < (2**62) // max(value_range, 1):
+        fused = np.sort(codes * value_range + values)
+        fresh = np.empty(len(fused), dtype=bool)
+        fresh[0] = True
+        np.not_equal(fused[1:], fused[:-1], out=fresh[1:])
+        fused = fused[fresh]
+        codes, values = fused // value_range, fused % value_range
+    else:
+        order = np.lexsort((values, codes))
+        codes, values = codes[order], values[order]
+        fresh = np.empty(len(codes), dtype=bool)
+        fresh[0] = True
+        np.logical_or(codes[1:] != codes[:-1], values[1:] != values[:-1],
+                      out=fresh[1:])
+        codes, values = codes[fresh], values[fresh]
+    row_starts = np.flatnonzero(np.concatenate([[True], codes[1:] != codes[:-1]]))
+    indptr = np.concatenate([row_starts, [len(codes)]]).astype(np.int64)
+    return codes[row_starts], indptr, values

@@ -1,0 +1,247 @@
+"""The unified graph container shared by the KG, molecule, and GNN stacks.
+
+A :class:`GraphData` is a directed multigraph held as flat numpy arrays:
+``src``/``dst`` endpoint columns, an optional integer ``edge_type``
+column (bond orders for molecules, relation ids for KGs), and named
+node/edge feature matrices.  Adjacency is derived on demand as cached
+CSR views in either direction (:class:`CSRAdjacency`), and a batch of
+graphs is just one :class:`GraphData` whose ``graph_ids`` column says
+which member graph each node belongs to — the PyG disjoint-union
+convention, which is what lets one ``gather -> transform -> scatter``
+kernel pass serve every encoder.
+
+Design notes
+------------
+* **Edge order is authoritative.**  Message-passing kernels reduce in
+  stored edge order (see :mod:`repro.graph.kernels`), so constructing a
+  ``GraphData`` from an existing edge list keeps encoder outputs
+  bit-identical to the pre-refactor per-stack code.  The CSR views are
+  *query* structures (stable within-row order), not a re-ordering of
+  the edge list itself.
+* **Instances are frozen in practice.**  The arrays are set once at
+  construction; the CSR caches assume nobody mutates ``src``/``dst``
+  afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .csr import build_csr
+
+__all__ = ["CSRAdjacency", "GraphData"]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """One direction of adjacency in CSR layout.
+
+    Row ``i`` spans ``indptr[i]:indptr[i + 1]`` of both payload arrays:
+    ``neighbors`` holds the opposite endpoints and ``edge_ids`` the
+    position of each entry in the owning graph's edge list (so per-edge
+    payloads — types, features — can be gathered per row).  Within a
+    row, entries keep the original edge-list order.
+    """
+
+    indptr: np.ndarray     # (num_nodes + 1,) int64 row offsets
+    neighbors: np.ndarray  # (num_edges,) int64 opposite endpoints
+    edge_ids: np.ndarray   # (num_edges,) int64 edge-list positions
+
+    def row(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbors, edge_ids)`` of one node."""
+        start, end = int(self.indptr[node]), int(self.indptr[node + 1])
+        return self.neighbors[start:end], self.edge_ids[start:end]
+
+    def degrees(self) -> np.ndarray:
+        """Per-node row size."""
+        return np.diff(self.indptr)
+
+
+@dataclass
+class GraphData:
+    """CSR-backed attributed multigraph (possibly a batch of graphs).
+
+    Attributes
+    ----------
+    num_nodes:
+        Node count; node ids are ``0..num_nodes - 1``.
+    src / dst:
+        ``(num_edges,)`` int64 endpoint columns.  Undirected graphs
+        store both directions explicitly (molecule convention).
+    edge_type:
+        Optional ``(num_edges,)`` int64 type column (relation ids,
+        bond orders); ``None`` for untyped graphs.
+    node_feat / edge_feat:
+        Named feature matrices, first axis ``num_nodes`` / ``num_edges``.
+    graph_ids:
+        ``(num_nodes,)`` int64 member-graph index of every node
+        (all zeros for a single graph).
+    num_graphs:
+        Number of member graphs in this (possibly batched) instance.
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    edge_type: np.ndarray | None = None
+    node_feat: dict[str, np.ndarray] = field(default_factory=dict)
+    edge_feat: dict[str, np.ndarray] = field(default_factory=dict)
+    graph_ids: np.ndarray | None = None
+    num_graphs: int = 1
+    _csr: dict[bool, CSRAdjacency] = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=np.int64).reshape(-1)
+        self.dst = np.asarray(self.dst, dtype=np.int64).reshape(-1)
+        if len(self.src) != len(self.dst):
+            raise ValueError(f"src/dst length mismatch: {len(self.src)} vs {len(self.dst)}")
+        if len(self.src):
+            lo = min(int(self.src.min()), int(self.dst.min()))
+            hi = max(int(self.src.max()), int(self.dst.max()))
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError("edge endpoint out of node range")
+        if self.edge_type is not None:
+            self.edge_type = np.asarray(self.edge_type, dtype=np.int64).reshape(-1)
+            if len(self.edge_type) != len(self.src):
+                raise ValueError("edge_type length does not match edge count")
+        if self.graph_ids is None:
+            self.graph_ids = np.zeros(self.num_nodes, dtype=np.int64)
+        else:
+            self.graph_ids = np.asarray(self.graph_ids, dtype=np.int64).reshape(-1)
+            if len(self.graph_ids) != self.num_nodes:
+                raise ValueError("graph_ids length does not match num_nodes")
+        for name, feat in self.node_feat.items():
+            if len(feat) != self.num_nodes:
+                raise ValueError(f"node feature {name!r} has {len(feat)} rows, "
+                                 f"expected {self.num_nodes}")
+        for name, feat in self.edge_feat.items():
+            if len(feat) != len(self.src):
+                raise ValueError(f"edge feature {name!r} has {len(feat)} rows, "
+                                 f"expected {len(self.src)}")
+
+    # ------------------------------------------------------------------
+    # Sizes and views
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(len(self.src))
+
+    @property
+    def edge_index(self) -> np.ndarray:
+        """``(2, num_edges)`` stacked ``[src; dst]`` (PyG convention)."""
+        return np.stack([self.src, self.dst])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GraphData(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"graphs={self.num_graphs}, "
+                f"node_feat={sorted(self.node_feat)}, edge_feat={sorted(self.edge_feat)})")
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def csr(self, reverse: bool = False) -> CSRAdjacency:
+        """Cached CSR adjacency; forward rows key on ``src`` (reverse: ``dst``)."""
+        cached = self._csr.get(reverse)
+        if cached is None:
+            keys, other = (self.dst, self.src) if reverse else (self.src, self.dst)
+            indptr, order = build_csr(keys, self.num_nodes)
+            cached = CSRAdjacency(indptr=indptr, neighbors=other[order], edge_ids=order)
+            self._csr[reverse] = cached
+        return cached
+
+    def out_degrees(self) -> np.ndarray:
+        return self.csr().degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        return self.csr(reverse=True).degrees()
+
+    def to_sparse_adjacency(self, weights: np.ndarray | None = None,
+                            reverse: bool = False) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, indices, data)`` CSR matrix export.
+
+        ``data`` is per-edge ``weights`` gathered into row order (ones
+        when omitted) — directly consumable as
+        ``scipy.sparse.csr_matrix((data, indices, indptr))`` without
+        taking the dependency here.
+        """
+        adj = self.csr(reverse=reverse)
+        if weights is None:
+            data = np.ones(self.num_edges, dtype=np.float64)
+        else:
+            weights = np.asarray(weights)
+            if len(weights) != self.num_edges:
+                raise ValueError("weights length does not match edge count")
+            data = weights[adj.edge_ids]
+        return adj.indptr, adj.neighbors, data
+
+    def to_dense_adjacency(self, weights: np.ndarray | None = None) -> np.ndarray:
+        """``(num_nodes, num_nodes)`` dense matrix (small graphs only)."""
+        out = np.zeros((self.num_nodes, self.num_nodes))
+        vals = np.ones(self.num_edges) if weights is None else np.asarray(weights, dtype=np.float64)
+        np.add.at(out, (self.src, self.dst), vals)
+        return out
+
+    # ------------------------------------------------------------------
+    # Batching (disjoint union)
+    # ------------------------------------------------------------------
+    def graph_sizes(self) -> np.ndarray:
+        """Node count per member graph."""
+        return np.bincount(self.graph_ids, minlength=self.num_graphs)
+
+    @classmethod
+    def batch(cls, graphs: list["GraphData"]) -> "GraphData":
+        """Disjoint union of ``graphs`` with renumbered nodes.
+
+        Node/edge features are concatenated per name (every member must
+        carry the same feature names); ``graph_ids`` indexes the member
+        graph of every node.  Member graphs that are themselves batches
+        are not supported — batch leaves, not batches.
+        """
+        if any(g.num_graphs != 1 for g in graphs):
+            raise ValueError("cannot batch an already-batched GraphData")
+        num_graphs = len(graphs)
+        sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+        offsets = np.zeros(num_graphs, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        total_nodes = int(sizes.sum())
+
+        if num_graphs:
+            src = np.concatenate([g.src + off for g, off in zip(graphs, offsets)])
+            dst = np.concatenate([g.dst + off for g, off in zip(graphs, offsets)])
+            graph_ids = np.repeat(np.arange(num_graphs, dtype=np.int64), sizes)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+            graph_ids = np.empty(0, dtype=np.int64)
+
+        typed = [g.edge_type is not None for g in graphs]
+        if any(typed) and not all(typed):
+            raise ValueError("cannot batch typed and untyped graphs together")
+        edge_type = (np.concatenate([g.edge_type for g in graphs])
+                     if graphs and all(typed) else None)
+
+        def merge(name_sets: list[dict[str, np.ndarray]], what: str, width_hint: int) -> dict:
+            names = set().union(*(set(f) for f in name_sets)) if name_sets else set()
+            merged: dict[str, np.ndarray] = {}
+            for name in sorted(names):
+                parts = []
+                for feats in name_sets:
+                    if name not in feats:
+                        raise ValueError(f"{what} feature {name!r} missing from a batch member")
+                    parts.append(feats[name])
+                merged[name] = (np.concatenate(parts) if parts
+                                else np.zeros((0, width_hint)))
+            return merged
+
+        return cls(
+            num_nodes=total_nodes,
+            src=src,
+            dst=dst,
+            edge_type=edge_type,
+            node_feat=merge([g.node_feat for g in graphs], "node", 0),
+            edge_feat=merge([g.edge_feat for g in graphs], "edge", 0),
+            graph_ids=graph_ids,
+            num_graphs=num_graphs,
+        )

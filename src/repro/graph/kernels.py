@@ -1,0 +1,81 @@
+"""Shared message-passing kernels over :class:`~repro.graph.data.GraphData`.
+
+Every encoder in this codebase reduces to the same three-step pass:
+
+    gather source states -> transform per edge -> scatter to targets
+
+This module is that pass written once on top of the autograd ops in
+:mod:`repro.nn.functional`.  GIN uses it with no edge transform and a
+sum reduction; CompGCN runs it once per direction with a
+composition-plus-projection transform and a mean reduction.
+
+**Reduction order:** messages are reduced in *stored edge order* (via
+``scatter_sum``/``scatter_mean``'s ``np.add.at``), not CSR row order.
+Floating-point addition is order-sensitive, so this is what keeps the
+refactored encoders bit-identical to their pre-``GraphData``
+formulations — the CSR views on ``GraphData`` serve queries, the edge
+list serves kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .data import GraphData
+
+__all__ = ["gather_scatter", "propagate", "readout"]
+
+_REDUCERS = ("sum", "mean")
+
+#: Per-edge transform: ``(gathered_source_states, edge_positions) -> messages``.
+EdgeTransform = Callable[[nn.Tensor, np.ndarray], nn.Tensor]
+
+
+def gather_scatter(h: nn.Tensor, src: np.ndarray, dst: np.ndarray,
+                   num_nodes: int, reduce: str = "sum",
+                   edge_transform: EdgeTransform | None = None) -> nn.Tensor:
+    """One message-passing round over a raw edge list.
+
+    Gathers ``h[src]``, optionally maps it through ``edge_transform``
+    (which also receives the edge positions ``0..len(src) - 1`` so
+    callers can look up per-edge payloads), and scatter-reduces the
+    messages onto ``dst``.  Nodes with no incoming edge get zeros.
+    """
+    if reduce not in _REDUCERS:
+        raise ValueError(f"unknown reduce {reduce!r}; choose from {_REDUCERS}")
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if len(src) == 0 and edge_transform is None:
+        # No messages and no transform to infer an output width from:
+        # the aggregation is all-zero at the input width.
+        return nn.Tensor(np.zeros((num_nodes,) + h.data.shape[1:], dtype=h.data.dtype))
+    messages = F.index(h, src)
+    if edge_transform is not None:
+        messages = edge_transform(messages, np.arange(len(src), dtype=np.int64))
+    scatter = F.scatter_sum if reduce == "sum" else F.scatter_mean
+    return scatter(messages, dst, num_nodes)
+
+
+def propagate(h: nn.Tensor, graph: GraphData, reduce: str = "sum",
+              edge_transform: EdgeTransform | None = None,
+              reverse: bool = False) -> nn.Tensor:
+    """:func:`gather_scatter` along a graph's edges.
+
+    Forward sends messages ``src -> dst``; ``reverse=True`` sends them
+    ``dst -> src`` (the "in" direction of relational encoders).
+    """
+    src, dst = (graph.dst, graph.src) if reverse else (graph.src, graph.dst)
+    return gather_scatter(h, src, dst, graph.num_nodes, reduce=reduce,
+                          edge_transform=edge_transform)
+
+
+def readout(h: nn.Tensor, graph: GraphData, reduce: str = "sum") -> nn.Tensor:
+    """Graph-level pooling of node states for a batched ``GraphData``."""
+    if reduce not in _REDUCERS:
+        raise ValueError(f"unknown reduce {reduce!r}; choose from {_REDUCERS}")
+    scatter = F.scatter_sum if reduce == "sum" else F.scatter_mean
+    return scatter(h, graph.graph_ids, graph.num_graphs)

@@ -10,7 +10,7 @@ measures the Fig. 1 experiment uses (:mod:`repro.mol.similarity`).
 """
 
 from .generator import MoleculeGenerator
-from .gin import GINEncoder, GINLayer, batch_molecules
+from .gin import GINEncoder, GINLayer, batch_graph, batch_molecules
 from .molecule import BOND_ORDERS, ELEMENTS, Atom, Bond, Molecule
 from .pretrain import MaskedAttributePretrainer, PretrainResult
 from .scaffolds import SCAFFOLDS, Scaffold, scaffold_by_name
@@ -29,6 +29,7 @@ __all__ = [
     "GINEncoder",
     "GINLayer",
     "batch_molecules",
+    "batch_graph",
     "MaskedAttributePretrainer",
     "PretrainResult",
     "tanimoto",

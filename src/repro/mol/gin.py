@@ -16,13 +16,23 @@ from __future__ import annotations
 import numpy as np
 
 from .. import nn
+from ..graph import GraphData
+from ..graph.kernels import gather_scatter, readout
 from ..nn import functional as F
 from .molecule import ELEMENTS, Molecule
 
-__all__ = ["GINLayer", "GINEncoder", "batch_molecules"]
+__all__ = ["GINLayer", "GINEncoder", "batch_molecules", "batch_graph"]
 
 #: Node feature width: one-hot element + one-hot clipped degree (0..6).
 NODE_FEATURE_DIM = len(ELEMENTS) + 7
+
+
+def batch_graph(molecules: list[Molecule]) -> GraphData:
+    """Disjoint union of the molecules' cached :class:`GraphData` views."""
+    batched = GraphData.batch([mol.to_graph() for mol in molecules])
+    if not molecules:
+        batched.node_feat["x"] = np.zeros((0, NODE_FEATURE_DIM))
+    return batched
 
 
 def batch_molecules(molecules: list[Molecule]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -30,19 +40,11 @@ def batch_molecules(molecules: list[Molecule]) -> tuple[np.ndarray, np.ndarray, 
 
     Returns ``(node_features, edge_index, graph_index)`` where
     ``graph_index[v]`` says which molecule node ``v`` belongs to.
+    Thin array view over :func:`batch_graph`, kept for callers that
+    want raw arrays rather than a :class:`GraphData`.
     """
-    feats, edges, graph_ids = [], [], []
-    offset = 0
-    for g, mol in enumerate(molecules):
-        feats.append(mol.node_features())
-        edge = mol.edge_index() + offset
-        edges.append(edge)
-        graph_ids.append(np.full(mol.num_atoms, g, dtype=np.int64))
-        offset += mol.num_atoms
-    x = np.concatenate(feats) if feats else np.zeros((0, NODE_FEATURE_DIM))
-    edge_index = np.concatenate(edges, axis=1) if edges else np.zeros((2, 0), dtype=np.int64)
-    batch = np.concatenate(graph_ids) if graph_ids else np.zeros(0, dtype=np.int64)
-    return x, edge_index, batch
+    batched = batch_graph(molecules)
+    return batched.node_feat["x"], batched.edge_index, batched.graph_ids
 
 
 class GINLayer(nn.Module):
@@ -58,12 +60,7 @@ class GINLayer(nn.Module):
         )
 
     def forward(self, h: nn.Tensor, edge_index: np.ndarray) -> nn.Tensor:
-        num_nodes = h.shape[0]
-        if edge_index.shape[1]:
-            messages = F.index(h, edge_index[0])
-            aggregated = F.scatter_sum(messages, edge_index[1], num_nodes)
-        else:
-            aggregated = nn.Tensor(np.zeros_like(h.data))
+        aggregated = gather_scatter(h, edge_index[0], edge_index[1], h.shape[0])
         combined = F.add(F.mul(F.add(self.eps, 1.0), h), aggregated)
         return self.mlp(combined)
 
@@ -101,23 +98,26 @@ class GINEncoder(nn.Module):
             h = F.relu(layer(h, edge_index))
         return h
 
-    def forward(self, molecules: list[Molecule]) -> nn.Tensor:
+    def forward(self, molecules: "list[Molecule] | GraphData") -> nn.Tensor:
         """Graph embeddings ``(B, hidden_dim)``.
 
+        Accepts either a molecule list (batched internally) or an
+        already-batched :class:`GraphData` carrying node feature ``"x"``.
         Sum-pooling (the provably most expressive GIN readout) is applied
         to every layer's node states; the concatenated per-layer readouts
         are projected back to ``hidden_dim`` (jumping knowledge), so both
         local motif counts and global context survive into the embedding.
         """
-        x, edge_index, batch = batch_molecules(molecules)
-        h = self.input_proj(nn.Tensor(x))
+        graph = molecules if isinstance(molecules, GraphData) else batch_graph(molecules)
+        edge_index = graph.edge_index
+        h = self.input_proj(nn.Tensor(graph.node_feat["x"]))
         readouts = []
         for layer in self.layers:
             h = F.relu(layer(h, edge_index))
-            readouts.append(F.scatter_sum(h, batch, len(molecules)))
+            readouts.append(readout(h, graph))
         return self.jk_proj(F.concat(readouts, axis=1))
 
-    def encode(self, molecules: list[Molecule]) -> np.ndarray:
+    def encode(self, molecules: "list[Molecule] | GraphData") -> np.ndarray:
         """Inference-mode embeddings as a plain array."""
         with nn.no_grad():
             return self.forward(molecules).data

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
+from ..graph import GraphData
+
 __all__ = ["Atom", "Bond", "Molecule", "ELEMENTS", "BOND_ORDERS"]
 
 #: Elements the synthetic chemistry uses; index = feature id.
@@ -86,6 +88,25 @@ class Molecule:
     _adjacency: dict[int, list[tuple[int, int]]] | None = field(
         default=None, repr=False, compare=False
     )
+    # Derived-array caches.  A Molecule is immutable in practice (the
+    # generator builds it once); every accessor below computes its
+    # vectorized form on first call and reuses it afterwards, which is
+    # what makes repeated GIN batching / similarity sweeps cheap.
+    _bond_cols: tuple[np.ndarray, np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _element_ids: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+    _degrees: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+    _edge_index: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+    _node_features: dict[int, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _fingerprints: dict[tuple[int, int], np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _graphs: dict[int, GraphData] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         n = len(self.atoms)
@@ -111,6 +132,25 @@ class Molecule:
     def num_bonds(self) -> int:
         return len(self.bonds)
 
+    def bond_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(i, j, order_id)`` int64 columns of the bond list."""
+        if self._bond_cols is None:
+            if self.bonds:
+                cols = np.array([(b.i, b.j, b.order_id) for b in self.bonds],
+                                dtype=np.int64)
+            else:
+                cols = np.zeros((0, 3), dtype=np.int64)
+            self._bond_cols = (cols[:, 0], cols[:, 1], cols[:, 2])
+        return self._bond_cols
+
+    def element_ids(self) -> np.ndarray:
+        """Cached per-atom element feature ids."""
+        if self._element_ids is None:
+            self._element_ids = np.fromiter(
+                (a.element_id for a in self.atoms), dtype=np.int64, count=self.num_atoms
+            )
+        return self._element_ids
+
     def adjacency(self) -> dict[int, list[tuple[int, int]]]:
         """Atom id -> list of ``(neighbor_id, bond_order_id)``."""
         if self._adjacency is None:
@@ -122,12 +162,12 @@ class Molecule:
         return self._adjacency
 
     def degrees(self) -> np.ndarray:
-        """Heavy-atom degree per atom."""
-        deg = np.zeros(self.num_atoms, dtype=np.int64)
-        for bond in self.bonds:
-            deg[bond.i] += 1
-            deg[bond.j] += 1
-        return deg
+        """Heavy-atom degree per atom (cached; treat as read-only)."""
+        if self._degrees is None:
+            bi, bj, _ = self.bond_arrays()
+            self._degrees = (np.bincount(bi, minlength=self.num_atoms)
+                             + np.bincount(bj, minlength=self.num_atoms))
+        return self._degrees
 
     def element_counts(self) -> dict[str, int]:
         """Histogram of element symbols (a molecular formula, roughly)."""
@@ -161,6 +201,10 @@ class Molecule:
         share many substructure labels and therefore similar
         fingerprints — the property the Fig. 1 experiment relies on.
         """
+        key = (int(n_bits), int(radius))
+        cached = self._fingerprints.get(key)
+        if cached is not None:
+            return cached.copy()
         import zlib
 
         def stable_hash(obj) -> int:
@@ -171,34 +215,63 @@ class Molecule:
         labels = [stable_hash((atom.element, len(adj[i])))
                   for i, atom in enumerate(self.atoms)]
         fp = np.zeros(n_bits)
-        for label in labels:
-            fp[label % n_bits] += 1.0
+        np.add.at(fp, np.asarray(labels, dtype=np.int64) % n_bits, 1.0)
         for _ in range(radius):
             new_labels = []
             for i in range(self.num_atoms):
                 neighbourhood = tuple(sorted((labels[j], order) for j, order in adj[i]))
                 new_labels.append(stable_hash((labels[i], neighbourhood)))
             labels = new_labels
-            for label in labels:
-                fp[label % n_bits] += 1.0
-        return fp
+            np.add.at(fp, np.asarray(labels, dtype=np.int64) % n_bits, 1.0)
+        self._fingerprints[key] = fp
+        return fp.copy()
 
     # ------------------------------------------------------------------
     # GIN featurisation
     # ------------------------------------------------------------------
     def node_features(self, max_degree: int = 6) -> np.ndarray:
-        """Per-atom feature matrix: one-hot element ++ one-hot clipped degree."""
-        deg = np.minimum(self.degrees(), max_degree)
-        feats = np.zeros((self.num_atoms, len(ELEMENTS) + max_degree + 1))
-        for i, atom in enumerate(self.atoms):
-            feats[i, atom.element_id] = 1.0
-            feats[i, len(ELEMENTS) + deg[i]] = 1.0
-        return feats
+        """Per-atom feature matrix: one-hot element ++ one-hot clipped degree.
+
+        Fully vectorized (two fancy-index scatters) and cached per
+        ``max_degree``; the returned array is shared — treat it as
+        read-only (batching concatenates, so downstream copies anyway).
+        """
+        cached = self._node_features.get(max_degree)
+        if cached is None:
+            rows = np.arange(self.num_atoms)
+            deg = np.minimum(self.degrees(), max_degree)
+            cached = np.zeros((self.num_atoms, len(ELEMENTS) + max_degree + 1))
+            cached[rows, self.element_ids()] = 1.0
+            cached[rows, len(ELEMENTS) + deg] = 1.0
+            self._node_features[max_degree] = cached
+        return cached
 
     def edge_index(self) -> np.ndarray:
-        """Directed edge list ``(2, 2*num_bonds)`` (both directions)."""
-        if not self.bonds:
-            return np.zeros((2, 0), dtype=np.int64)
-        src = [b.i for b in self.bonds] + [b.j for b in self.bonds]
-        dst = [b.j for b in self.bonds] + [b.i for b in self.bonds]
-        return np.asarray([src, dst], dtype=np.int64)
+        """Directed edge list ``(2, 2*num_bonds)``, both directions (cached)."""
+        if self._edge_index is None:
+            bi, bj, _ = self.bond_arrays()
+            self._edge_index = np.stack([np.concatenate([bi, bj]),
+                                         np.concatenate([bj, bi])])
+        return self._edge_index
+
+    def to_graph(self, max_degree: int = 6) -> "GraphData":
+        """The molecule as a shared :class:`repro.graph.GraphData` view.
+
+        Both bond directions become typed edges (``edge_type`` = bond
+        order id) and ``node_features`` is attached as node feature
+        ``"x"``.  Cached — :func:`repro.mol.gin.batch_molecules` builds
+        its disjoint union from these views without re-featurizing.
+        """
+        cached = self._graphs.get(max_degree)
+        if cached is None:
+            _, _, orders = self.bond_arrays()
+            edge_index = self.edge_index()
+            cached = GraphData(
+                num_nodes=self.num_atoms,
+                src=edge_index[0],
+                dst=edge_index[1],
+                edge_type=np.concatenate([orders, orders]),
+                node_feat={"x": self.node_features(max_degree)},
+            )
+            self._graphs[max_degree] = cached
+        return cached

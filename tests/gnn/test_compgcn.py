@@ -93,6 +93,40 @@ class TestPretraining:
         assert emb.shape == (12, 6)
         assert np.isfinite(emb).all()
 
+    def test_export_pass_samples_like_training_epochs(self):
+        # Regression: the final no-grad export used to encode the *first*
+        # max_message_edges triples instead of drawing the same capped
+        # random subset the training epochs use.  With epochs=0 the rng
+        # consumption is exactly: encoder init, then one subset draw.
+        edges = toy_edges(num_entities=12, n=50, seed=3)
+        cap = 20
+        emb = pretrain_structural_embeddings(
+            edges, 12, 3, dim=6, rng=np.random.default_rng(7), epochs=0,
+            max_message_edges=cap)
+
+        replay = np.random.default_rng(7)
+        encoder = CompGCNEncoder(12, 3, dim=6, rng=replay)
+        subset = edges[replay.choice(len(edges), cap, replace=False)]
+        with nn.no_grad():
+            expected, _ = encoder(subset)
+        np.testing.assert_array_equal(emb, expected.data)
+
+        # The old first-N behaviour produces a different export.
+        with nn.no_grad():
+            first_n, _ = encoder(edges[:cap])
+        assert not np.array_equal(emb, first_n.data)
+
+    def test_export_uncapped_uses_all_edges(self):
+        edges = toy_edges(num_entities=12, n=30, seed=4)
+        emb = pretrain_structural_embeddings(
+            edges, 12, 3, dim=6, rng=np.random.default_rng(5), epochs=0,
+            max_message_edges=100)
+        replay = np.random.default_rng(5)
+        encoder = CompGCNEncoder(12, 3, dim=6, rng=replay)
+        with nn.no_grad():
+            expected, _ = encoder(edges)
+        np.testing.assert_array_equal(emb, expected.data)
+
     def test_training_reduces_loss(self):
         from repro.nn import functional as F
         edges = toy_edges(num_entities=12, n=60, seed=1)

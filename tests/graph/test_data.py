@@ -1,0 +1,207 @@
+"""CSR builders and the GraphData container."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphData, build_csr, counts_to_indptr, pack_csr_rows
+
+
+class TestCountsToIndptr:
+    def test_basic(self):
+        np.testing.assert_array_equal(counts_to_indptr([2, 0, 3]), [0, 2, 2, 5])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(counts_to_indptr([]), [0])
+
+
+class TestBuildCSR:
+    def test_groups_rows_stably(self):
+        row_ids = np.array([2, 0, 2, 1, 0])
+        indptr, order = build_csr(row_ids, 3)
+        np.testing.assert_array_equal(indptr, [0, 2, 3, 5])
+        # Within each row, original positions appear in ascending order.
+        np.testing.assert_array_equal(order, [1, 4, 3, 0, 2])
+
+    def test_empty_rows_allowed(self):
+        indptr, order = build_csr(np.array([3]), 5)
+        np.testing.assert_array_equal(indptr, [0, 0, 0, 0, 1, 1])
+        np.testing.assert_array_equal(order, [0])
+
+    def test_zero_items(self):
+        indptr, order = build_csr(np.empty(0, dtype=np.int64), 4)
+        np.testing.assert_array_equal(indptr, [0, 0, 0, 0, 0])
+        assert len(order) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_csr(np.array([0, 5]), 3)
+        with pytest.raises(ValueError):
+            build_csr(np.array([-1]), 3)
+
+    def test_matches_loop_reference(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            n_rows = int(rng.integers(1, 8))
+            row_ids = rng.integers(0, n_rows, size=int(rng.integers(0, 30)))
+            indptr, order = build_csr(row_ids, n_rows)
+            for row in range(n_rows):
+                expected = np.flatnonzero(row_ids == row)
+                got = order[indptr[row]:indptr[row + 1]]
+                np.testing.assert_array_equal(got, expected)
+
+
+class TestPackCSRRows:
+    def _reference(self, codes, values):
+        rows = {}
+        for c, v in zip(codes, values):
+            rows.setdefault(int(c), set()).add(int(v))
+        keys = sorted(rows)
+        packed = [sorted(rows[k]) for k in keys]
+        indptr = np.cumsum([0] + [len(p) for p in packed])
+        flat = [v for p in packed for v in p]
+        return (np.array(keys, dtype=np.int64), indptr.astype(np.int64),
+                np.array(flat, dtype=np.int64))
+
+    def test_sorts_and_dedups(self):
+        codes = np.array([5, 1, 5, 5, 1])
+        values = np.array([3, 0, 3, 1, 2])
+        keys, indptr, values_out = pack_csr_rows(codes, values, 4)
+        np.testing.assert_array_equal(keys, [1, 5])
+        np.testing.assert_array_equal(indptr, [0, 2, 4])
+        np.testing.assert_array_equal(values_out, [0, 2, 1, 3])
+
+    def test_empty(self):
+        keys, indptr, values = pack_csr_rows(np.empty(0), np.empty(0), 10)
+        assert len(keys) == 0 and len(values) == 0
+        np.testing.assert_array_equal(indptr, [0])
+
+    def test_fused_and_lexsort_paths_agree(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 50, size=200)
+        values = rng.integers(0, 7, size=200)
+        ref = self._reference(codes, values)
+        # Small value_range -> fused fast path.
+        fused = pack_csr_rows(codes, values, 7)
+        # Huge codes force the lexsort path.
+        big = pack_csr_rows(codes + (2**62 // 7), values, 7)
+        for got in (fused,):
+            for a, b in zip(got, ref):
+                np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(big[1], ref[1])
+        np.testing.assert_array_equal(big[2], ref[2])
+
+
+def chain_graph():
+    # 0 -> 1 -> 2, plus 0 -> 2
+    return GraphData(num_nodes=3, src=[0, 1, 0], dst=[1, 2, 2],
+                     edge_type=[0, 1, 0])
+
+
+class TestGraphData:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphData(num_nodes=2, src=[0], dst=[1, 0])
+        with pytest.raises(ValueError):
+            GraphData(num_nodes=2, src=[0], dst=[5])
+        with pytest.raises(ValueError):
+            GraphData(num_nodes=2, src=[0], dst=[1], edge_type=[0, 1])
+        with pytest.raises(ValueError):
+            GraphData(num_nodes=2, src=[0], dst=[1],
+                      node_feat={"x": np.zeros((3, 2))})
+        with pytest.raises(ValueError):
+            GraphData(num_nodes=2, src=[0], dst=[1],
+                      edge_feat={"w": np.zeros((2, 1))})
+
+    def test_sizes_and_edge_index(self):
+        g = chain_graph()
+        assert g.num_edges == 3
+        np.testing.assert_array_equal(g.edge_index, [[0, 1, 0], [1, 2, 2]])
+
+    def test_csr_forward_and_reverse(self):
+        g = chain_graph()
+        fwd = g.csr()
+        np.testing.assert_array_equal(fwd.indptr, [0, 2, 3, 3])
+        np.testing.assert_array_equal(fwd.neighbors, [1, 2, 2])
+        np.testing.assert_array_equal(fwd.edge_ids, [0, 2, 1])
+        rev = g.csr(reverse=True)
+        np.testing.assert_array_equal(rev.indptr, [0, 0, 1, 3])
+        np.testing.assert_array_equal(rev.neighbors, [0, 1, 0])
+        neighbors, edge_ids = fwd.row(0)
+        np.testing.assert_array_equal(neighbors, [1, 2])
+        np.testing.assert_array_equal(edge_ids, [0, 2])
+
+    def test_csr_cached(self):
+        g = chain_graph()
+        assert g.csr() is g.csr()
+        assert g.csr(reverse=True) is g.csr(reverse=True)
+        assert g.csr() is not g.csr(reverse=True)
+
+    def test_degrees(self):
+        g = chain_graph()
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 0])
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 2])
+
+    def test_sparse_adjacency_export(self):
+        g = chain_graph()
+        weights = np.array([10.0, 20.0, 30.0])
+        indptr, indices, data = g.to_sparse_adjacency(weights)
+        np.testing.assert_array_equal(indptr, [0, 2, 3, 3])
+        np.testing.assert_array_equal(indices, [1, 2, 2])
+        # Row data follows CSR order: edges 0, 2 then edge 1.
+        np.testing.assert_array_equal(data, [10.0, 30.0, 20.0])
+        _, _, ones = g.to_sparse_adjacency()
+        np.testing.assert_array_equal(ones, [1.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            g.to_sparse_adjacency(np.ones(2))
+
+    def test_dense_adjacency_counts_multi_edges(self):
+        g = GraphData(num_nodes=2, src=[0, 0], dst=[1, 1])
+        np.testing.assert_array_equal(g.to_dense_adjacency(),
+                                      [[0.0, 2.0], [0.0, 0.0]])
+
+
+class TestBatching:
+    def test_disjoint_union(self):
+        g1 = GraphData(num_nodes=2, src=[0], dst=[1], edge_type=[3],
+                       node_feat={"x": np.ones((2, 4))})
+        g2 = GraphData(num_nodes=3, src=[0, 2], dst=[1, 1], edge_type=[5, 7],
+                       node_feat={"x": np.zeros((3, 4))})
+        b = GraphData.batch([g1, g2])
+        assert b.num_nodes == 5 and b.num_edges == 3 and b.num_graphs == 2
+        np.testing.assert_array_equal(b.src, [0, 2, 4])
+        np.testing.assert_array_equal(b.dst, [1, 3, 3])
+        np.testing.assert_array_equal(b.edge_type, [3, 5, 7])
+        np.testing.assert_array_equal(b.graph_ids, [0, 0, 1, 1, 1])
+        np.testing.assert_array_equal(b.graph_sizes(), [2, 3])
+        assert b.node_feat["x"].shape == (5, 4)
+
+    def test_empty_member_graph(self):
+        g1 = GraphData(num_nodes=0, src=[], dst=[])
+        g2 = GraphData(num_nodes=2, src=[0], dst=[1])
+        b = GraphData.batch([g1, g2])
+        assert b.num_nodes == 2 and b.num_graphs == 2
+        np.testing.assert_array_equal(b.graph_ids, [1, 1])
+        np.testing.assert_array_equal(b.graph_sizes(), [0, 2])
+
+    def test_empty_batch(self):
+        b = GraphData.batch([])
+        assert b.num_nodes == 0 and b.num_edges == 0 and b.num_graphs == 0
+
+    def test_rejects_nested_batch(self):
+        b = GraphData.batch([GraphData(num_nodes=1, src=[], dst=[]),
+                             GraphData(num_nodes=1, src=[], dst=[])])
+        with pytest.raises(ValueError):
+            GraphData.batch([b])
+
+    def test_rejects_mixed_typing(self):
+        g1 = GraphData(num_nodes=1, src=[0], dst=[0], edge_type=[0])
+        g2 = GraphData(num_nodes=1, src=[0], dst=[0])
+        with pytest.raises(ValueError):
+            GraphData.batch([g1, g2])
+
+    def test_rejects_missing_feature(self):
+        g1 = GraphData(num_nodes=1, src=[], dst=[],
+                       node_feat={"x": np.zeros((1, 2))})
+        g2 = GraphData(num_nodes=1, src=[], dst=[])
+        with pytest.raises(ValueError):
+            GraphData.batch([g1, g2])

@@ -1,0 +1,163 @@
+"""Message-passing kernels: values, gradients, empty-graph edge cases."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.graph import GraphData, gather_scatter, propagate, readout
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+
+
+def toy_graph():
+    # 0 -> 1, 0 -> 2, 1 -> 2
+    return GraphData(num_nodes=3, src=[0, 0, 1], dst=[1, 2, 2])
+
+
+class TestGatherScatter:
+    def test_sum_matches_manual(self):
+        g = toy_graph()
+        h = np.arange(6, dtype=np.float64).reshape(3, 2)
+        out = gather_scatter(nn.Tensor(h), g.src, g.dst, g.num_nodes)
+        expected = np.zeros((3, 2))
+        for s, d in zip(g.src, g.dst):
+            expected[d] += h[s]
+        np.testing.assert_array_equal(out.data, expected)
+
+    def test_mean_matches_manual(self):
+        g = toy_graph()
+        h = np.arange(6, dtype=np.float64).reshape(3, 2)
+        out = gather_scatter(nn.Tensor(h), g.src, g.dst, g.num_nodes, reduce="mean")
+        # Node 2 receives from 0 and 1; node 1 from 0; node 0 nothing.
+        np.testing.assert_allclose(out.data[2], (h[0] + h[1]) / 2.0)
+        np.testing.assert_allclose(out.data[1], h[0])
+        np.testing.assert_array_equal(out.data[0], [0.0, 0.0])
+
+    def test_edge_transform_receives_positions(self):
+        g = toy_graph()
+        h = np.ones((3, 2))
+        seen = {}
+
+        def transform(messages, positions):
+            seen["positions"] = positions
+            return F.mul(messages, 2.0)
+
+        out = gather_scatter(nn.Tensor(h), g.src, g.dst, g.num_nodes,
+                             edge_transform=transform)
+        np.testing.assert_array_equal(seen["positions"], [0, 1, 2])
+        np.testing.assert_array_equal(out.data[2], [4.0, 4.0])
+
+    def test_unknown_reduce_rejected(self):
+        with pytest.raises(ValueError):
+            gather_scatter(nn.Tensor(np.ones((2, 2))), np.array([0]),
+                           np.array([1]), 2, reduce="max")
+
+    def test_empty_edges_zero_output(self):
+        h = np.ones((4, 3))
+        for reduce in ("sum", "mean"):
+            out = gather_scatter(nn.Tensor(h), np.empty(0, dtype=np.int64),
+                                 np.empty(0, dtype=np.int64), 4, reduce=reduce)
+            np.testing.assert_array_equal(out.data, np.zeros((4, 3)))
+
+    def test_empty_edges_with_transform_uses_transform_width(self):
+        h = np.ones((4, 3))
+        lin = nn.Linear(3, 5, rng=np.random.default_rng(0))
+        out = gather_scatter(nn.Tensor(h), np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.int64), 4,
+                             edge_transform=lambda m, _: lin(m))
+        assert out.shape == (4, 5)
+        np.testing.assert_array_equal(out.data, np.zeros((4, 5)))
+
+    def test_gradients(self):
+        g = toy_graph()
+        check_gradients(
+            lambda h: gather_scatter(h, g.src, g.dst, g.num_nodes), [np.random.default_rng(0).normal(size=(3, 2))])
+        check_gradients(
+            lambda h: gather_scatter(h, g.src, g.dst, g.num_nodes, reduce="mean"),
+            [np.random.default_rng(1).normal(size=(3, 2))])
+
+
+class TestPropagate:
+    def test_forward_and_reverse(self):
+        g = toy_graph()
+        h = np.arange(6, dtype=np.float64).reshape(3, 2)
+        fwd = propagate(nn.Tensor(h), g)
+        rev = propagate(nn.Tensor(h), g, reverse=True)
+        manual_fwd = gather_scatter(nn.Tensor(h), g.src, g.dst, 3)
+        manual_rev = gather_scatter(nn.Tensor(h), g.dst, g.src, 3)
+        np.testing.assert_array_equal(fwd.data, manual_fwd.data)
+        np.testing.assert_array_equal(rev.data, manual_rev.data)
+
+
+class TestReadout:
+    def test_batched_pooling(self):
+        g = GraphData.batch([
+            GraphData(num_nodes=2, src=[0], dst=[1]),
+            GraphData(num_nodes=1, src=[], dst=[]),
+        ])
+        h = np.array([[1.0], [2.0], [5.0]])
+        np.testing.assert_array_equal(readout(nn.Tensor(h), g).data,
+                                      [[3.0], [5.0]])
+        np.testing.assert_array_equal(
+            readout(nn.Tensor(h), g, reduce="mean").data, [[1.5], [5.0]])
+
+    def test_empty_member_graph_pools_to_zero(self):
+        g = GraphData.batch([
+            GraphData(num_nodes=0, src=[], dst=[]),
+            GraphData(num_nodes=2, src=[], dst=[]),
+        ])
+        h = np.ones((2, 3))
+        out = readout(nn.Tensor(h), g)
+        np.testing.assert_array_equal(out.data[0], np.zeros(3))
+        np.testing.assert_array_equal(out.data[1], [2.0, 2.0, 2.0])
+
+    def test_unknown_reduce_rejected(self):
+        g = toy_graph()
+        with pytest.raises(ValueError):
+            readout(nn.Tensor(np.ones((3, 1))), g, reduce="max")
+
+
+class TestEmptyScatters:
+    """Scatter/segment primitives with zero-length index arrays."""
+
+    def test_scatter_sum_empty(self):
+        out = F.scatter_sum(nn.Tensor(np.zeros((0, 4))),
+                            np.empty(0, dtype=np.int64), 3)
+        np.testing.assert_array_equal(out.data, np.zeros((3, 4)))
+
+    def test_scatter_mean_empty(self):
+        out = F.scatter_mean(nn.Tensor(np.zeros((0, 4))),
+                             np.empty(0, dtype=np.int64), 3)
+        np.testing.assert_array_equal(out.data, np.zeros((3, 4)))
+
+    def test_segment_sum_empty_and_backward(self):
+        src = nn.Tensor(np.zeros((0, 2)), requires_grad=True)
+        out = F.segment_sum(src, np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out.data, np.zeros((2, 2)))
+        out.sum().backward()
+        np.testing.assert_array_equal(src.grad, np.zeros((0, 2)))
+
+    def test_segment_sum_values(self):
+        src = np.arange(8, dtype=np.float64).reshape(4, 2)
+        out = F.segment_sum(nn.Tensor(src), np.array([0, 1, 1, 4]))
+        np.testing.assert_array_equal(out.data,
+                                      [[0.0, 1.0], [0.0, 0.0], [12.0, 15.0]])
+
+    def test_segment_mean_values(self):
+        src = np.arange(8, dtype=np.float64).reshape(4, 2)
+        out = F.segment_mean(nn.Tensor(src), np.array([0, 1, 1, 4]))
+        np.testing.assert_array_equal(out.data,
+                                      [[0.0, 1.0], [0.0, 0.0], [4.0, 5.0]])
+
+    def test_segment_sum_indptr_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            F.segment_sum(nn.Tensor(np.zeros((3, 2))), np.array([0, 2]))
+
+    def test_segment_matches_scatter(self):
+        rng = np.random.default_rng(2)
+        src = rng.normal(size=(10, 3))
+        indptr = np.array([0, 4, 4, 7, 10])
+        ids = np.repeat(np.arange(4), np.diff(indptr))
+        seg = F.segment_sum(nn.Tensor(src), indptr)
+        sca = F.scatter_sum(nn.Tensor(src), ids, 4)
+        np.testing.assert_allclose(seg.data, sca.data)

@@ -1,0 +1,272 @@
+"""Bit-parity of the refactored stacks against pre-GraphData references.
+
+Every encoder and query that moved onto :mod:`repro.graph` is checked
+here against an inline reimplementation of its former per-stack code:
+GIN featurization/batching and embeddings (exact), CompGCN layer and
+encoder outputs (exact for sub/mult; FFT correlation vs the former
+roll-and-sum loop to 1e-12), and the KnowledgeGraph neighbourhood /
+relation-family queries (exact, including ``Counter.most_common``
+tie-break order).
+"""
+
+from collections import Counter, defaultdict
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.gnn import CompGCNEncoder, CompGCNLayer, as_relational_graph
+from repro.graph import GraphData
+from repro.kg import KnowledgeGraph, Vocabulary
+from repro.mol import ELEMENTS, Atom, Bond, MoleculeGenerator, Molecule
+from repro.mol.gin import NODE_FEATURE_DIM, GINEncoder, batch_graph, batch_molecules
+from repro.nn import functional as F
+
+
+def random_molecules(count: int = 6, seed: int = 0) -> list[Molecule]:
+    gen = MoleculeGenerator(np.random.default_rng(seed))
+    return [gen.generate_random() for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# GIN: featurization + batching + embeddings
+# ----------------------------------------------------------------------
+def reference_batch_molecules(molecules):
+    """The former per-molecule Python-loop batching."""
+    xs, edges, graph_ids = [], [], []
+    offset = 0
+    for idx, mol in enumerate(molecules):
+        x = np.zeros((mol.num_atoms, NODE_FEATURE_DIM))
+        degrees = np.zeros(mol.num_atoms, dtype=np.int64)
+        for bond in mol.bonds:
+            degrees[bond.i] += 1
+            degrees[bond.j] += 1
+        for a, atom in enumerate(mol.atoms):
+            x[a, atom.element_id] = 1.0
+            x[a, len(ELEMENTS) + min(int(degrees[a]), 6)] = 1.0
+        src = [b.i for b in mol.bonds] + [b.j for b in mol.bonds]
+        dst = [b.j for b in mol.bonds] + [b.i for b in mol.bonds]
+        xs.append(x)
+        edges.append(np.array([src, dst], dtype=np.int64) + offset)
+        graph_ids.extend([idx] * mol.num_atoms)
+        offset += mol.num_atoms
+    if not molecules:
+        return (np.zeros((0, NODE_FEATURE_DIM)), np.zeros((2, 0), dtype=np.int64),
+                np.zeros(0, dtype=np.int64))
+    return (np.concatenate(xs), np.concatenate(edges, axis=1),
+            np.asarray(graph_ids, dtype=np.int64))
+
+
+class TestGINParity:
+    def test_batching_matches_reference_exactly(self):
+        mols = random_molecules()
+        x, edge_index, graph_ids = batch_molecules(mols)
+        ref_x, ref_edges, ref_ids = reference_batch_molecules(mols)
+        np.testing.assert_array_equal(x, ref_x)
+        np.testing.assert_array_equal(edge_index, ref_edges)
+        np.testing.assert_array_equal(graph_ids, ref_ids)
+
+    def test_empty_batch_matches_reference(self):
+        x, edge_index, graph_ids = batch_molecules([])
+        ref_x, ref_edges, ref_ids = reference_batch_molecules([])
+        np.testing.assert_array_equal(x, ref_x)
+        np.testing.assert_array_equal(edge_index, ref_edges)
+        np.testing.assert_array_equal(graph_ids, ref_ids)
+
+    def test_list_and_graphdata_paths_identical(self):
+        mols = random_molecules(seed=1)
+        enc = GINEncoder(hidden_dim=16, num_layers=2, rng=np.random.default_rng(0))
+        via_list = enc.encode(mols)
+        via_graph = enc.encode(batch_graph(mols))
+        np.testing.assert_array_equal(via_list, via_graph)
+
+    def test_batched_rows_match_individual_encodes(self):
+        mols = random_molecules(count=4, seed=2)
+        enc = GINEncoder(hidden_dim=16, num_layers=2, rng=np.random.default_rng(0))
+        batched = enc.encode(mols)
+        for row, mol in enumerate(mols):
+            single = enc.encode([mol])
+            np.testing.assert_allclose(batched[row], single[0],
+                                       rtol=0.0, atol=1e-12)
+
+    def test_zero_atom_molecule_in_batch(self):
+        empty = Molecule(atoms=[], bonds=[])
+        mols = [empty] + random_molecules(count=2, seed=3)
+        enc = GINEncoder(hidden_dim=8, num_layers=2, rng=np.random.default_rng(0))
+        emb = enc.encode(mols)
+        assert emb.shape == (3, 8)
+        assert np.isfinite(emb).all()
+        np.testing.assert_array_equal(emb[0], enc.encode([empty])[0])
+
+
+# ----------------------------------------------------------------------
+# CompGCN: layer and encoder vs the former triple-slicing formulation
+# ----------------------------------------------------------------------
+def corr_loop(a: nn.Tensor, b: nn.Tensor) -> nn.Tensor:
+    """The former O(d^2) roll-and-sum circular correlation (forward only)."""
+    ad = a.data
+    bd = b.data if b.data.ndim > 1 else b.data[None, :]
+    bd = np.broadcast_to(bd, ad.shape)
+    d = ad.shape[-1]
+    out = np.stack([(ad * np.roll(bd, -k, axis=-1)).sum(axis=-1)
+                    for k in range(d)], axis=-1)
+    return nn.Tensor(out)
+
+
+def reference_layer_forward(layer: CompGCNLayer, entity_emb, relation_emb,
+                            edges, num_entities, compose_fn):
+    """Pre-GraphData layer: slice the triple array, per-direction passes."""
+    heads, rels, tails = edges[:, 0], edges[:, 1], edges[:, 2]
+    z = F.index(relation_emb, rels)
+    agg_out = F.scatter_mean(
+        layer.w_out(compose_fn(F.index(entity_emb, heads), z)), tails, num_entities)
+    agg_in = F.scatter_mean(
+        layer.w_in(compose_fn(F.index(entity_emb, tails), z)), heads, num_entities)
+    loop = layer.w_loop(compose_fn(entity_emb, layer.loop_rel))
+    out = F.add(F.add(F.add(agg_out, agg_in), loop), layer.bias)
+    return F.tanh(out), layer.w_rel(relation_emb)
+
+
+def toy_edges(num_entities=10, num_relations=3, n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.stack([
+        rng.integers(0, num_entities, n),
+        rng.integers(0, num_relations, n),
+        rng.integers(0, num_entities, n),
+    ], axis=1)
+
+
+class TestCompGCNParity:
+    @pytest.mark.parametrize("composition,compose_fn",
+                             [("sub", F.sub), ("mult", F.mul)])
+    def test_layer_exact_for_elementwise_compositions(self, composition, compose_fn):
+        edges = toy_edges()
+        rng = np.random.default_rng(0)
+        layer = CompGCNLayer(8, 8, rng=rng, composition=composition)
+        ent = nn.Tensor(rng.normal(size=(10, 8)))
+        rel = nn.Tensor(rng.normal(size=(3, 8)))
+        with nn.no_grad():
+            got, got_rel = layer(ent, rel, edges, 10)
+            ref, ref_rel = reference_layer_forward(layer, ent, rel, edges, 10,
+                                                   compose_fn)
+        np.testing.assert_array_equal(got.data, ref.data)
+        np.testing.assert_array_equal(got_rel.data, ref_rel.data)
+
+    def test_layer_corr_fft_matches_loop_reference(self):
+        edges = toy_edges(seed=1)
+        rng = np.random.default_rng(0)
+        layer = CompGCNLayer(8, 8, rng=rng, composition="corr")
+        ent = nn.Tensor(rng.normal(size=(10, 8)))
+        rel = nn.Tensor(rng.normal(size=(3, 8)))
+        with nn.no_grad():
+            got, _ = layer(ent, rel, edges, 10)
+            ref, _ = reference_layer_forward(layer, ent, rel, edges, 10, corr_loop)
+        np.testing.assert_allclose(got.data, ref.data, rtol=0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("composition", ["sub", "mult", "corr"])
+    def test_raw_edges_and_graphdata_identical(self, composition):
+        edges = toy_edges(seed=2)
+        enc = CompGCNEncoder(10, 3, dim=8, num_layers=2, composition=composition,
+                             rng=np.random.default_rng(0))
+        ent_raw, rel_raw = enc(edges)
+        ent_g, rel_g = enc(as_relational_graph(edges, 10))
+        np.testing.assert_array_equal(ent_raw.data, ent_g.data)
+        np.testing.assert_array_equal(rel_raw.data, rel_g.data)
+
+
+# ----------------------------------------------------------------------
+# KnowledgeGraph: CSR-backed queries vs the former per-triple loops
+# ----------------------------------------------------------------------
+def toy_kg(seed=0, num_entities=15, num_relations=5, num_triples=80):
+    rng = np.random.default_rng(seed)
+    triples = np.stack([
+        rng.integers(0, num_entities, num_triples),
+        rng.integers(0, num_relations, num_triples),
+        rng.integers(0, num_entities, num_triples),
+    ], axis=1)
+    types = [str(rng.choice(["Gene", "Compound", "Disease"]))
+             for _ in range(num_entities)]
+    return KnowledgeGraph(
+        entities=Vocabulary(f"e{i}" for i in range(num_entities)),
+        relations=Vocabulary(f"r{i}" for i in range(num_relations)),
+        triples=triples,
+        entity_types=types,
+    )
+
+
+def reference_adjacency(kg):
+    adj = defaultdict(list)
+    for h, r, t in kg.triples:
+        adj[int(h)].append((int(r), int(t)))
+    return dict(adj)
+
+
+def reference_undirected(kg):
+    nb = defaultdict(set)
+    for h, _, t in kg.triples:
+        nb[int(h)].add(int(t))
+        nb[int(t)].add(int(h))
+    return dict(nb)
+
+
+def reference_families(kg):
+    families = {}
+    for rel_id in range(kg.num_relations):
+        mask = kg.triples[:, 1] == rel_id
+        if not mask.any():
+            families[rel_id] = "Unknown"
+            continue
+        heads = Counter(kg.entity_types[h] for h in kg.triples[mask, 0])
+        tails = Counter(kg.entity_types[t] for t in kg.triples[mask, 2])
+        families[rel_id] = (f"{heads.most_common(1)[0][0]}-"
+                            f"{tails.most_common(1)[0][0]}")
+    return families
+
+
+class TestKGQueryParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_adjacency_exact(self, seed):
+        kg = toy_kg(seed)
+        assert kg.adjacency() == reference_adjacency(kg)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_undirected_neighbors_exact(self, seed):
+        kg = toy_kg(seed)
+        assert kg.undirected_neighbors() == reference_undirected(kg)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_relation_families_exact(self, seed):
+        # Few entities + few types forces heavy majority ties, so the
+        # Counter.most_common first-occurrence tie-break is exercised.
+        kg = toy_kg(seed, num_entities=6, num_relations=4, num_triples=120)
+        assert kg.relation_families() == reference_families(kg)
+        for rel_id in range(kg.num_relations):
+            assert kg.relation_family(rel_id) == reference_families(kg)[rel_id]
+
+    def test_unknown_relation_id(self):
+        kg = toy_kg()
+        assert kg.relation_family(999) == "Unknown"
+
+    def test_zero_triple_kg(self):
+        kg = KnowledgeGraph(
+            entities=Vocabulary(["a", "b"]),
+            relations=Vocabulary(["r"]),
+            triples=np.zeros((0, 3), dtype=np.int64),
+            entity_types=["Gene", "Compound"],
+        )
+        assert kg.adjacency() == {}
+        assert kg.undirected_neighbors() == {}
+        assert kg.relation_families() == {0: "Unknown"}
+        graph = kg.to_graph()
+        assert graph.num_edges == 0
+        np.testing.assert_array_equal(graph.out_degrees(), [0, 0])
+        np.testing.assert_array_equal(graph.in_degrees(), [0, 0])
+
+    def test_to_graph_cached_and_consistent(self):
+        kg = toy_kg(1)
+        graph = kg.to_graph()
+        assert graph is kg.to_graph()
+        assert graph.num_nodes == kg.num_entities
+        np.testing.assert_array_equal(graph.src, kg.triples[:, 0])
+        np.testing.assert_array_equal(graph.edge_type, kg.triples[:, 1])
+        np.testing.assert_array_equal(graph.dst, kg.triples[:, 2])

@@ -110,3 +110,41 @@ class TestFeaturisation:
     def test_edge_index_empty(self):
         m = Molecule(atoms=[Atom("C")], bonds=[])
         assert m.edge_index().shape == (2, 0)
+
+
+class TestCaching:
+    def test_degrees_cached(self):
+        m = ethanol()
+        assert m.degrees() is m.degrees()
+
+    def test_edge_index_cached(self):
+        m = ethanol()
+        assert m.edge_index() is m.edge_index()
+
+    def test_bond_arrays_cached(self):
+        m = ethanol()
+        assert m.bond_arrays()[0] is m.bond_arrays()[0]
+
+    def test_node_features_cached_per_max_degree(self):
+        m = ethanol()
+        assert m.node_features() is m.node_features()
+        wider = m.node_features(max_degree=3)
+        assert wider is not m.node_features()
+        assert wider.shape == (3, len(ELEMENTS) + 4)
+        # The default-width cache entry is untouched by the second width.
+        assert m.node_features().shape == (3, len(ELEMENTS) + 7)
+
+    def test_fingerprint_cached_copy_is_safe(self):
+        m = ethanol()
+        fp = m.fingerprint()
+        fp[0] += 100.0  # mutating the returned copy must not poison the cache
+        np.testing.assert_array_equal(m.fingerprint(), ethanol().fingerprint())
+
+    def test_to_graph_cached_per_max_degree(self):
+        m = ethanol()
+        g = m.to_graph()
+        assert g is m.to_graph()
+        assert m.to_graph(max_degree=3) is not g
+        assert g.num_nodes == 3 and g.num_edges == 4
+        np.testing.assert_array_equal(g.node_feat["x"], m.node_features())
+        np.testing.assert_array_equal(g.edge_index, m.edge_index())

@@ -121,6 +121,11 @@ NN_CASES = [
     ("cross_entropy", lambda z: F.cross_entropy(z, np.array([0, 2, 1])), [arr(3, 4)]),
     ("scatter_sum", lambda s: F.scatter_sum(s, np.array([0, 1, 0, 2]), 3), [arr(4, 3)]),
     ("scatter_mean", lambda s: F.scatter_mean(s, np.array([0, 1, 0, 2]), 4), [arr(4, 3)]),
+    ("segment_sum", lambda s: F.segment_sum(s, np.array([0, 2, 2, 4])), [arr(4, 3)]),
+    ("segment_mean", lambda s: F.segment_mean(s, np.array([0, 2, 2, 4])), [arr(4, 3)]),
+    ("circ_corr", lambda a, b: F.circular_correlation(a, b), [arr(3, 8), arr(3, 8)]),
+    ("circ_corr_odd", lambda a, b: F.circular_correlation(a, b), [arr(2, 7), arr(2, 7)]),
+    ("circ_corr_broadcast", lambda a, b: F.circular_correlation(a, b), [arr(3, 6), arr(1, 6)]),
 ]
 
 
