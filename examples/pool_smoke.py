@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Serve-tier smoke test: pool up, mixed load, kill a worker, drain.
+"""Serve-tier smoke test: pool up, traced request, mixed load, kill, drain.
 
 Exercises the whole ``repro.pool`` stack end to end on a tiny DRKG-MM
 split::
@@ -10,25 +10,34 @@ Steps:
 
 1. build a TransE model plus an IVF ANN index and serve them with
    ``workers`` forked replica processes behind the asyncio front end
-   (one shared ``FlatSpec`` segment, zero-copy replicas);
-2. drive a mix of exact and approximate ``/predict`` queries plus
+   (one shared ``FlatSpec`` segment, zero-copy replicas), with span
+   export enabled (front-end JSONL + one ``.w<rank>`` file per worker);
+2. send one ``/predict`` and remember its ``X-Trace-Id``;
+3. drive a mix of exact and approximate ``/predict`` queries plus
    ``/score`` calls and check every response (envelope shape, scores
    identical to the in-process engine for the exact path);
-3. SIGKILL one worker mid-run and assert the tier recovers: the health
+4. SIGKILL one worker mid-run and assert the tier recovers: the health
    loop respawns a replacement, ``/healthz`` returns to full strength,
    and requests keep succeeding (worker-loss 503s are allowed only for
    requests the dead worker had already been handed twice);
-4. drain gracefully and assert no ``repro-pool`` processes survive.
+5. drain gracefully and assert no ``repro-pool`` processes survive;
+6. stitch the exported span files and assert the remembered request is
+   **one** trace: the front-end's ``pool.request`` span parenting the
+   worker's ``serve.request`` (different pids, correct parent ids) —
+   then print its tree, exactly what ``python -m repro.obs report
+   --trace <id>`` renders.
 
 Exits non-zero on any failure, so CI can run it as the pool gate.
 """
 
 import argparse
+import glob
 import json
 import multiprocessing as mp
 import os
 import signal
 import sys
+import tempfile
 import time
 import urllib.error
 import urllib.request
@@ -37,21 +46,31 @@ import numpy as np
 
 from repro.baselines import build_model
 from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.obs import (
+    build_trace_trees,
+    disable_tracing,
+    enable_tracing,
+    load_events,
+)
+from repro.obs.report import render_trace_tree
 from repro.pool import PoolConfig, PoolServer
 from repro.serve import PredictionEngine
 from repro.serve.ann import AnnServing
 
 
-def http(port, method, path, body=None, timeout=30.0):
+def http(port, method, path, body=None, timeout=30.0, want_headers=False):
     data = json.dumps(body).encode() if body is not None else None
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}{path}", data=data, method=method,
         headers={"Content-Type": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, json.loads(response.read())
+            result = response.status, json.loads(response.read())
+            headers = dict(response.headers)
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        result = error.code, json.loads(error.read())
+        headers = dict(error.headers)
+    return (*result, headers) if want_headers else result
 
 
 def wait_until(predicate, timeout=20.0, interval=0.05):
@@ -82,10 +101,15 @@ def main() -> int:
     ann = AnnServing.build(model)
     reference = PredictionEngine(model, mkg.split, model_name="TransE")
 
+    trace_path = os.path.join(tempfile.mkdtemp(prefix="repro-pool-smoke-"),
+                              "trace.jsonl")
+    enable_tracing(trace_path, flush_every=1)
+
     config = PoolConfig(workers=args.workers, health_interval=0.1)
     server = PoolServer(model, mkg.split, config, model_name="TransE", ann=ann)
     port = server.start_background()
-    print(f"pool serving on port {port} with {args.workers} workers")
+    print(f"pool serving on port {port} with {args.workers} workers; "
+          f"spans -> {trace_path}(.w*)")
 
     status, health = http(port, "GET", "/healthz")
     assert status == 200 and health["status"] == "ok", health
@@ -142,6 +166,16 @@ def main() -> int:
           f"requeues={stats['pool']['requeues']}, "
           f"lost={stats['pool']['lost_requests']}")
 
+    # Traced probe after recovery: every live worker survives to the
+    # drain below, which is what flushes the per-rank span files.
+    probe = {"head": int(test[0, 0]), "relation": int(test[0, 1]), "k": 5}
+    status, _, headers = http(port, "POST", "/predict", probe,
+                              want_headers=True)
+    assert status == 200, status
+    probe_trace_id = headers["X-Trace-Id"]
+    assert len(probe_trace_id) == 32, headers
+    print(f"traced probe request: X-Trace-Id={probe_trace_id}")
+
     print("draining ...")
     server.request_shutdown(drain=True)
     server.join(timeout=20)
@@ -149,8 +183,31 @@ def main() -> int:
     stragglers = [p.name for p in mp.active_children()
                   if p.name.startswith("repro-pool")]
     assert not stragglers, f"worker processes survived drain: {stragglers}"
-    print(f"OK: {args.workers}-worker pool + mixed exact/approx load + "
-          "mid-run worker kill + clean drain")
+
+    # -- cross-process trace reconstruction ----------------------------
+    disable_tracing()  # flush the front-end's buffered spans
+    span_files = [trace_path] + sorted(glob.glob(trace_path + ".w*"))
+    assert len(span_files) >= 2, f"no worker span files next to {trace_path}"
+    trees = build_trace_trees(load_events(span_files))
+    probes = [t for t in trees if t["trace_id"] == probe_trace_id]
+    assert len(probes) == 1, f"probe trace not stitched: {probe_trace_id}"
+    tree = probes[0]
+    assert len(tree["pids"]) == 2, tree["pids"]  # front-end + one worker
+    assert len(tree["roots"]) == 1, [r["record"]["name"]
+                                     for r in tree["roots"]]
+    root = tree["roots"][0]
+    assert root["record"]["name"] == "pool.request", root["record"]
+    serve_spans = [c for c in root["children"]
+                   if c["record"]["name"] == "serve.request"]
+    assert serve_spans, [c["record"]["name"] for c in root["children"]]
+    assert serve_spans[0]["record"]["pid"] != root["record"]["pid"]
+    assert serve_spans[0]["record"]["parent_id"] == root["record"]["span_id"]
+    print(f"stitched probe trace across pids {tree['pids']}:")
+    print(render_trace_tree(tree))
+
+    print(f"OK: {args.workers}-worker pool + traced probe + mixed "
+          "exact/approx load + mid-run worker kill + clean drain + "
+          "cross-process trace reconstruction")
     return 0
 
 

@@ -35,6 +35,14 @@ swallowed, like ``on_fit_error``), tells survivors to abandon the epoch,
 and retries it on the surviving world — up to ``max_epoch_retries``
 times, after which the failure propagates through the normal
 ``on_fit_error`` path.
+
+**Tracing.** When the parent's global tracer is enabled, each epoch
+command carries the ``dist.epoch`` span's ``traceparent``.  Workers
+record their ``dist.worker.epoch`` / ``dist.worker.batch`` spans into a
+local in-memory ring (no file I/O in the hot loop) and ship the ring
+home on the ``epoch_done`` message, where the parent feeds it into its
+own tracer — so one epoch is a single stitched trace across all worker
+processes, exactly like pool requests.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ import logging
 import multiprocessing as mp
 import os
 import time
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 from queue import Empty
 
@@ -50,7 +59,15 @@ import numpy as np
 
 from .. import nn
 from ..kg import KGSplit
-from ..obs import MetricsRegistry, disable_tracing, trace
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    activate,
+    current_traceparent,
+    get_tracer,
+    parse_traceparent,
+    trace,
+)
 from ..train import NegativeSamplingObjective, OneToNObjective
 from ..train.callbacks import Callback
 from ..train.engine import TrainingEngine
@@ -140,8 +157,13 @@ def _shard_batches(objective: Objective, shard_index: int, shard_count: int,
 
 
 def _train_worker(ctx: _WorkerContext) -> None:
-    """Forked worker main loop: epochs of (read params, backward, submit)."""
-    disable_tracing()  # don't interleave spans onto the parent's sink
+    """Forked worker main loop: epochs of (read params, backward, submit).
+
+    The tracer's at-fork hook already reset the inherited global tracer
+    (disabled, parent's file handle dropped).  When an epoch command
+    carries a ``traceparent``, worker spans go into a *local* ring
+    tracer and ride back to the parent on ``epoch_done``.
+    """
     model, objective, averager = ctx.model, ctx.objective, ctx.averager
     shard_sampler = None
     if isinstance(objective, NegativeSamplingObjective):
@@ -150,7 +172,9 @@ def _train_worker(ctx: _WorkerContext) -> None:
         cmd = ctx.cmd.get()
         if cmd[0] == "stop":
             return
-        _, epoch, attempt, ranks_now = cmd
+        _, epoch, attempt, ranks_now, traceparent = cmd
+        rctx = parse_traceparent(traceparent) if traceparent else None
+        ring = Tracer(keep=1024) if rctx is not None else None
         shard_index = ranks_now.index(ctx.rank)
         registry = MetricsRegistry()
         batches = registry.counter(
@@ -164,29 +188,42 @@ def _train_worker(ctx: _WorkerContext) -> None:
         aborted = False
         stream = _shard_batches(objective, shard_index, len(ranks_now),
                                 shard_sampler)
-        for b, (batch, shard_size) in enumerate(stream):
-            if ctx.fault is not None and ctx.fault == (epoch, b):
-                os._exit(3)  # simulate a SIGKILL'd worker (tests)
-            tick = time.perf_counter()
-            averager.read_params_into(model)
-            if shard_size:
-                model.zero_grad()
-                loss = objective.loss(model, batch)
-                loss.backward()
-                loss_value = float(loss.data)
-            else:  # more workers than rows in this batch
-                loss_value = 0.0
-            averager.write_gradients(model, ctx.rank, shard_size)
-            seconds.observe(time.perf_counter() - tick)
-            batches.inc()
-            ctx.results.put(("grad", ctx.rank, epoch, attempt, b,
-                             loss_value, shard_size))
-            if ctx.ack.get()[0] == "abort":
-                aborted = True
-                break
+        with ExitStack() as stack:
+            if ring is not None:
+                # Adopt the parent's dist.epoch span so every ring record
+                # shares its trace_id; the epoch span must close before
+                # epoch_done ships the ring, hence the ExitStack scope.
+                stack.enter_context(activate(rctx))
+                stack.enter_context(ring.span(
+                    "dist.worker.epoch", rank=ctx.rank, epoch=epoch,
+                    attempt=attempt))
+            for b, (batch, shard_size) in enumerate(stream):
+                if ctx.fault is not None and ctx.fault == (epoch, b):
+                    os._exit(3)  # simulate a SIGKILL'd worker (tests)
+                tick = time.perf_counter()
+                batch_span = (ring.span("dist.worker.batch", batch=b)
+                              if ring is not None else nullcontext())
+                with batch_span:
+                    averager.read_params_into(model)
+                    if shard_size:
+                        model.zero_grad()
+                        loss = objective.loss(model, batch)
+                        loss.backward()
+                        loss_value = float(loss.data)
+                    else:  # more workers than rows in this batch
+                        loss_value = 0.0
+                    averager.write_gradients(model, ctx.rank, shard_size)
+                seconds.observe(time.perf_counter() - tick)
+                batches.inc()
+                ctx.results.put(("grad", ctx.rank, epoch, attempt, b,
+                                 loss_value, shard_size))
+                if ctx.ack.get()[0] == "abort":
+                    aborted = True
+                    break
         if not aborted:
             ctx.results.put(("epoch_done", ctx.rank, epoch, attempt,
-                             registry.snapshot()))
+                             registry.snapshot(),
+                             list(ring.spans) if ring is not None else []))
 
 
 # ----------------------------------------------------------------------
@@ -452,8 +489,12 @@ class DistributedEngine(TrainingEngine):
         pool = self._pool
         epoch = self._epoch_index
         pool.stash = []
+        # Stamp the dist.epoch span's context into every epoch command so
+        # worker spans (fanned back on epoch_done) join this trace.
+        traceparent = current_traceparent() if get_tracer().enabled else None
         for rank in alive:
-            pool.cmd[rank].put(("epoch", epoch, attempt, list(alive)))
+            pool.cmd[rank].put(("epoch", epoch, attempt, list(alive),
+                                traceparent))
         metas = self._collect("meta", set(alive), epoch, attempt,
                               self.step_timeout)
         counts = {meta[4] for meta in metas.values()}
@@ -485,8 +526,12 @@ class DistributedEngine(TrainingEngine):
         # during the next epoch.
         dones = self._collect("epoch_done", set(alive), epoch, attempt,
                               self.step_timeout, needs_abort=False)
+        tracer = get_tracer()
         for msg in dones.values():
             self.registry.merge(msg[4])
+            if tracer.enabled:
+                for record in msg[5]:
+                    tracer.record(record)
         return float(np.mean(losses)) if losses else float("nan")
 
     def _handle_failure(self, failure: WorkerFailure, alive: list[int]) -> None:

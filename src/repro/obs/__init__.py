@@ -20,6 +20,17 @@ three instruments:
 JSONL the instruments produce into per-span / per-op tables.
 """
 
+from .context import (
+    SpanContext,
+    activate,
+    current_context,
+    current_traceparent,
+    detach_context,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -30,9 +41,11 @@ from .metrics import (
     render_prometheus,
 )
 from .profiler import AutogradProfiler
-from .report import load_events, render_report
+from .report import build_trace_trees, load_events, render_report
+from .slo import SLOTracker
 from .trace import (
     Tracer,
+    current_span,
     disable_tracing,
     enable_tracing,
     get_tracer,
@@ -49,12 +62,24 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOTracker",
+    "SpanContext",
     "Tracer",
+    "activate",
+    "build_trace_trees",
+    "current_context",
+    "current_span",
+    "current_traceparent",
+    "detach_context",
     "disable_tracing",
     "enable_tracing",
     "exponential_buckets",
+    "format_traceparent",
     "get_tracer",
     "load_events",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
     "read_trace",
     "render_prometheus",
     "render_report",

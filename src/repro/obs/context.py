@@ -1,0 +1,166 @@
+"""Trace context: span identity and cross-process propagation.
+
+Every span carries a 128-bit ``trace_id`` (one per request/operation,
+shared by all of its spans in every process) and a 64-bit ``span_id``
+(unique per span), rendered as lowercase hex.  The *current* span is
+tracked in a :mod:`contextvars` variable rather than a thread-local
+stack, so nesting is correct both across threads (a new thread starts
+with an empty context and therefore a fresh trace) and across asyncio
+tasks (each task snapshots the context at creation, so interleaved
+requests on one event loop keep their own parent chains).
+
+Process boundaries use the W3C ``traceparent`` wire form::
+
+    00-<32 hex trace_id>-<16 hex span_id>-01
+
+:func:`parse_traceparent` turns the header back into a
+:class:`SpanContext` — an immutable stand-in parent whose span lives in
+another process — and :class:`activate` installs it so the next span
+opened locally becomes its child.  The pool front-end injects the
+header into cmd-queue envelopes, the dist engine stamps it onto epoch
+commands, and forked children keep the propagated ``trace_id`` (the
+tracer's at-fork hook swaps any live span for a detached
+:class:`SpanContext` via :func:`detach_context`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import re
+
+__all__ = [
+    "SpanContext",
+    "activate",
+    "current_context",
+    "current_traceparent",
+    "detach_context",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+]
+
+#: The innermost active span: a live ``_SpanContext`` from
+#: :mod:`repro.obs.trace`, a propagated :class:`SpanContext`, or None.
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace_context", default=None)
+
+_TRACEPARENT_RE = re.compile(
+    r"^[0-9a-f]{2}-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 hex chars (fork-safe: os.urandom)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 hex chars."""
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """An immutable propagated span context.
+
+    Represents a parent span that lives in another process (adopted from
+    a ``traceparent`` header or an inherited-across-fork live span).  It
+    can parent local spans but records nothing itself; ``set_attr`` is a
+    no-op because there is no local record to attach to.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    #: A propagated parent starts a fresh local stack: children get depth 0.
+    depth = -1
+    #: No local span name to inherit for the legacy name-based parent field.
+    name = None
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        object.__setattr__(self, "trace_id", trace_id)
+        object.__setattr__(self, "span_id", span_id)
+
+    def __setattr__(self, key, value):  # pragma: no cover - guard
+        raise AttributeError("SpanContext is immutable")
+
+    def set_attr(self, key, value) -> None:
+        """No-op: the span behind this context lives in another process."""
+
+    def __repr__(self) -> str:
+        return f"SpanContext(trace_id={self.trace_id!r}, span_id={self.span_id!r})"
+
+
+def current_context():
+    """The innermost active span (live or propagated), or None."""
+    return _CURRENT.get()
+
+
+def format_traceparent(ctx) -> str:
+    """Render a span or :class:`SpanContext` as a W3C traceparent string."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def current_traceparent() -> str | None:
+    """The active context as a traceparent header value, or None."""
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return None
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def parse_traceparent(header) -> SpanContext | None:
+    """Parse a traceparent header; None on absent/malformed/all-zero ids."""
+    if not header or not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id, span_id = match.group(1), match.group(2)
+    if trace_id == "0" * 32 or span_id == "0" * 16:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class activate:
+    """Install a propagated context as the current parent for a block::
+
+        with activate(parse_traceparent(header)):
+            with trace("serve.request"):   # child of the remote span
+                ...
+
+    ``activate(None)`` is a no-op, so callers can pass the result of
+    :func:`parse_traceparent` straight through.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self):
+        if self._ctx is not None:
+            self._token = _CURRENT.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc_info) -> None:
+        if self._token is not None:
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:  # pragma: no cover - exited in a foreign context
+                _CURRENT.set(None)
+            self._token = None
+
+
+def detach_context() -> None:
+    """Replace any live current span with an immutable :class:`SpanContext`.
+
+    Called in forked children (the parent's span objects came through the
+    fork, but their tracer/file plumbing did not): the child keeps the
+    propagated ``trace_id``/``span_id`` for parenting its own spans but
+    starts a fresh span stack — exiting the inherited spans stays the
+    parent's job.
+    """
+    ctx = _CURRENT.get()
+    if ctx is not None and not isinstance(ctx, SpanContext):
+        _CURRENT.set(SpanContext(ctx.trace_id, ctx.span_id))

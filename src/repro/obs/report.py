@@ -5,7 +5,12 @@ human-readable tables:
 
 * **span** lines (``{"type": "span", ...}`` from :mod:`repro.obs.trace`)
   become a per-span-name table: count, total seconds, mean / p50 / p95 /
-  max milliseconds;
+  max milliseconds.  Spans that carry distributed-tracing ids are also
+  **stitched into per-trace trees** — records from any number of files
+  (front-end, pool replicas, dist workers) are joined on ``trace_id``
+  and parented by ``span_id``/``parent_id``, so one slow ``/predict``
+  renders as a single indented tree with per-span self/total time.
+  ``--trace <id>`` drills into one trace (id prefixes accepted);
 * **op** / **layer** lines (from
   :meth:`repro.obs.AutogradProfiler.export`) become the sorted per-op
   forward/backward cost table and the per-layer table;
@@ -20,6 +25,10 @@ single run directory holding a trace, a profile and training telemetry —
 can be summarized in one invocation::
 
     python -m repro.obs report runs/trace.jsonl runs/profile.jsonl
+
+``--format json`` emits the same information machine-readably
+(per-trace totals, per-span self-time aggregates) for benchmark
+assertions.
 """
 
 from __future__ import annotations
@@ -30,8 +39,10 @@ from typing import Any, Iterable
 
 import numpy as np
 
-__all__ = ["load_events", "main", "render_metrics_table", "render_op_table",
-           "render_report", "render_span_table", "render_telemetry_summary"]
+__all__ = ["build_trace_trees", "load_events", "main", "render_metrics_table",
+           "render_op_table", "render_report", "render_span_table",
+           "render_slowest_traces", "render_telemetry_summary",
+           "render_trace_tree", "report_json"]
 
 
 def load_events(paths: Iterable[str]) -> list[dict[str, Any]]:
@@ -101,6 +112,196 @@ def render_span_table(events: list[dict[str, Any]],
     header = ["span", "count", "total s", "mean ms", "p50 ms", "p95 ms",
               "max ms"]
     return "spans\n" + _fmt_table(header, rows)
+
+
+# ---------------------------------------------------------------------------
+# Trace trees (cross-process stitching)
+# ---------------------------------------------------------------------------
+
+#: Record keys that are structural rather than user attributes.
+_CORE_SPAN_KEYS = frozenset({
+    "type", "name", "ts", "dur", "depth", "parent", "thread", "pid",
+    "trace_id", "span_id", "parent_id",
+})
+
+
+def build_trace_trees(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Stitch id-carrying span records (any number of files/processes)
+    into per-trace trees.
+
+    Returns one dict per trace, slowest first::
+
+        {"trace_id": str, "total": seconds (wall extent over all spans),
+         "start": earliest ts, "span_count": int, "pids": [int, ...],
+         "roots": [node, ...]}
+
+    where each ``node`` is ``{"record": <span record>, "self": seconds,
+    "children": [node, ...]}``.  A span whose ``parent_id`` is absent
+    from the trace (parent recorded in a file not supplied, or dropped
+    from a ring) becomes an additional root rather than being lost.
+    """
+    by_trace: dict[str, list[dict[str, Any]]] = {}
+    for event in events:
+        if (event.get("type") == "span" and "dur" in event
+                and event.get("trace_id") and event.get("span_id")):
+            by_trace.setdefault(str(event["trace_id"]), []).append(event)
+    trees = []
+    for trace_id, spans in by_trace.items():
+        nodes = {str(s["span_id"]): {"record": s, "self": float(s["dur"]),
+                                     "children": []}
+                 for s in spans}
+        roots = []
+        for node in nodes.values():
+            parent_id = node["record"].get("parent_id")
+            parent = nodes.get(str(parent_id)) if parent_id else None
+            if parent is not None and parent is not node:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        for node in nodes.values():
+            node["children"].sort(key=lambda n: n["record"].get("ts", 0.0))
+            child_time = sum(float(c["record"]["dur"]) for c in node["children"])
+            node["self"] = max(0.0, float(node["record"]["dur"]) - child_time)
+        roots.sort(key=lambda n: n["record"].get("ts", 0.0))
+        starts = [float(s.get("ts", 0.0)) for s in spans]
+        ends = [float(s.get("ts", 0.0)) + float(s["dur"]) for s in spans]
+        trees.append({
+            "trace_id": trace_id,
+            "total": max(ends) - min(starts),
+            "start": min(starts),
+            "span_count": len(spans),
+            "pids": sorted({int(s.get("pid", 0)) for s in spans}),
+            "roots": roots,
+        })
+    trees.sort(key=lambda t: -t["total"])
+    return trees
+
+
+def _span_attrs(record: dict[str, Any], limit: int = 4) -> str:
+    parts = [f"{k}={record[k]}" for k in record
+             if k not in _CORE_SPAN_KEYS][:limit]
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def _render_node(node: dict[str, Any], indent: int, lines: list[str]) -> None:
+    record = node["record"]
+    label = "  " * indent + str(record.get("name")) + _span_attrs(record)
+    lines.append(f"{label:<56} {_ms(float(record['dur'])):>10} total"
+                 f" {_ms(node['self']):>10} self"
+                 f"  [pid {record.get('pid', '?')}]")
+    for child in node["children"]:
+        _render_node(child, indent + 1, lines)
+
+
+def render_trace_tree(tree: dict[str, Any]) -> str:
+    """One stitched trace as an indented tree with self/total ms."""
+    lines = [f"trace {tree['trace_id']}  ·  {_ms(tree['total'])} ms wall  ·  "
+             f"{tree['span_count']} span(s)  ·  "
+             f"{len(tree['pids'])} process(es)"]
+    for root in tree["roots"]:
+        _render_node(root, 1, lines)
+    return "\n".join(lines)
+
+
+def render_slowest_traces(events: list[dict[str, Any]],
+                          top: int = 3) -> str:
+    """The ``top`` slowest stitched traces as indented trees."""
+    trees = build_trace_trees(events)
+    if not trees:
+        return ""
+    shown = trees[:top]
+    blocks = [render_trace_tree(tree) for tree in shown]
+    header = (f"slowest traces ({len(shown)} of {len(trees)}; "
+              f"columns: total ms / self ms)")
+    return header + "\n" + "\n\n".join(blocks)
+
+
+def _find_trace(trees: list[dict[str, Any]],
+                trace_id: str) -> dict[str, Any] | None:
+    wanted = trace_id.strip().lower()
+    exact = [t for t in trees if t["trace_id"] == wanted]
+    if exact:
+        return exact[0]
+    prefixed = [t for t in trees if t["trace_id"].startswith(wanted)]
+    return prefixed[0] if len(prefixed) == 1 else None
+
+
+def _tree_to_json(tree: dict[str, Any]) -> dict[str, Any]:
+    def node_json(node):
+        record = node["record"]
+        return {
+            "name": record.get("name"),
+            "span_id": record.get("span_id"),
+            "parent_id": record.get("parent_id"),
+            "dur_s": float(record["dur"]),
+            "self_s": node["self"],
+            "ts": record.get("ts"),
+            "pid": record.get("pid"),
+            "attrs": {k: v for k, v in record.items()
+                      if k not in _CORE_SPAN_KEYS},
+            "children": [node_json(c) for c in node["children"]],
+        }
+
+    return {
+        "trace_id": tree["trace_id"],
+        "total_s": tree["total"],
+        "start_ts": tree["start"],
+        "span_count": tree["span_count"],
+        "pids": tree["pids"],
+        "roots": [node_json(r) for r in tree["roots"]],
+    }
+
+
+def report_json(paths: Iterable[str], top: int | None = None,
+                trace_id: str | None = None) -> dict[str, Any]:
+    """Machine-readable report: per-trace totals + per-span self-time.
+
+    ``span_stats`` aggregates every span record by name (count, total,
+    mean/p50/p95/max ms); ``self_total_s`` covers the id-carrying spans
+    whose children are known, so regressions in *self* time (a span
+    getting slower for its own work, not its callees') can be asserted
+    directly in benchmarks.
+    """
+    events = load_events(paths)
+    trees = build_trace_trees(events)
+    if trace_id is not None:
+        found = _find_trace(trees, trace_id)
+        trees = [found] if found is not None else []
+    elif top is not None:
+        trees = trees[:top]
+    self_by_name: dict[str, float] = {}
+
+    def collect_self(node):
+        name = str(node["record"].get("name"))
+        self_by_name[name] = self_by_name.get(name, 0.0) + node["self"]
+        for child in node["children"]:
+            collect_self(child)
+
+    for tree in trees:
+        for root in tree["roots"]:
+            collect_self(root)
+    groups: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") == "span" and "dur" in event:
+            groups.setdefault(str(event.get("name")), []).append(
+                float(event["dur"]))
+    span_stats = {}
+    for name, durations in sorted(groups.items()):
+        arr = np.asarray(durations)
+        span_stats[name] = {
+            "count": int(arr.size),
+            "total_s": float(arr.sum()),
+            "self_total_s": self_by_name.get(name),
+            "mean_ms": float(1e3 * arr.mean()),
+            "p50_ms": float(1e3 * np.quantile(arr, 0.5)),
+            "p95_ms": float(1e3 * np.quantile(arr, 0.95)),
+            "max_ms": float(1e3 * arr.max()),
+        }
+    return {
+        "traces": [_tree_to_json(tree) for tree in trees],
+        "trace_count": len(build_trace_trees(events)),
+        "span_stats": span_stats,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +439,7 @@ def render_report(paths: Iterable[str], top: int | None = None) -> str:
                 if e.get("type") not in known and "event" not in e)
     blocks = [
         render_span_table(events, top=top),
+        render_slowest_traces(events, top=top if top is not None else 3),
         render_op_table(events, top=top),
         render_metrics_table(events),
         render_telemetry_summary(events),
@@ -258,9 +460,40 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="summarize trace/profile/metrics JSONL files")
     report.add_argument("paths", nargs="+", metavar="FILE",
                         help="JSONL files (spans, profiler ops, metrics "
-                             "snapshots, training telemetry)")
+                             "snapshots, training telemetry); pass every "
+                             "process's export (front-end + worker files) to "
+                             "stitch cross-process traces")
     report.add_argument("--top", type=int, default=None,
-                        help="show only the N costliest spans/ops per table")
+                        help="show only the N costliest spans/ops/traces "
+                             "per table")
+    report.add_argument("--trace", metavar="ID", default=None,
+                        help="drill into one trace id (unique prefix ok): "
+                             "print its full stitched tree and exit")
+    report.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (json: per-trace totals and "
+                             "per-span self-time)")
     args = parser.parse_args(argv)
+    if args.format == "json":
+        payload = report_json(args.paths, top=args.top, trace_id=args.trace)
+        if args.trace is not None and not payload["traces"]:
+            print(f"trace {args.trace!r} not found", flush=True)
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.trace is not None:
+        trees = build_trace_trees(load_events(args.paths))
+        found = _find_trace(trees, args.trace)
+        if found is None:
+            matches = [t["trace_id"] for t in trees
+                       if t["trace_id"].startswith(args.trace.lower())]
+            if matches:
+                print(f"trace id prefix {args.trace!r} is ambiguous: "
+                      + ", ".join(matches[:8]))
+            else:
+                print(f"trace {args.trace!r} not found "
+                      f"({len(trees)} trace(s) in the supplied files)")
+            return 1
+        print(render_trace_tree(found))
+        return 0
     print(render_report(args.paths, top=args.top))
     return 0

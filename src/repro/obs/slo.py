@@ -1,0 +1,219 @@
+"""Sliding-window SLO tracking: latency objectives and burn rates.
+
+An :class:`SLOTracker` sits next to a :class:`~repro.obs.metrics.
+MetricsRegistry` and turns the raw per-request latencies the serve /
+pool tiers already measure into the two numbers an operator pages on:
+
+* **latency attainment** — the fraction of requests in the window that
+  met the route's latency objective, against a target like "99 % of
+  requests under 100 ms";
+* **error-budget burn rate** — how fast the availability budget is
+  being spent: ``bad_fraction / (1 - target)``.  Burn rate 1.0 means
+  "exactly on budget"; 10 means the monthly budget burns in ~3 days.
+
+State is a per-route ring of per-interval buckets (defaults: 30 slots
+covering a 300 s window), so ``observe`` is O(1) and aggregation is
+O(slots) — cheap enough to run inline on the request path.  Gauges are
+registered on the supplied registry, so they ride the existing
+``/metrics`` exposition and pool/dist snapshot fan-in for free; a
+``scope`` label keeps front-end ("pool") and replica ("serve") series
+distinct after :meth:`MetricsRegistry.merge`.
+
+Requests with status >= 500 count against the availability budget
+(504 deadline misses included); 4xx are client/policy outcomes (429
+shedding is admission control doing its job) and only count toward
+latency attainment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["SLOTracker", "DEFAULT_OBJECTIVES"]
+
+#: Per-route latency objectives (seconds).  Routes not listed fall back
+#: to ``default_objective``.
+DEFAULT_OBJECTIVES = {
+    "/predict": 0.100,
+    "/score": 0.100,
+    "/healthz": 0.010,
+}
+
+
+class _RouteWindow:
+    """Ring of per-interval (total, slow, error) buckets for one route."""
+
+    __slots__ = ("lock", "epochs", "totals", "slow", "errors")
+
+    def __init__(self, slots: int) -> None:
+        self.lock = threading.Lock()
+        self.epochs = [-1] * slots
+        self.totals = [0] * slots
+        self.slow = [0] * slots
+        self.errors = [0] * slots
+
+
+class SLOTracker:
+    """Derive per-route SLO gauges from inline latency observations.
+
+    Parameters
+    ----------
+    registry:
+        Gauge families are registered here (``slo_*`` with ``route`` +
+        ``scope`` labels) so they appear on ``/metrics`` and in
+        snapshots automatically.
+    scope:
+        Label distinguishing tiers ("serve" replicas vs the "pool"
+        front-end) when registries are merged.
+    objectives / default_objective:
+        Per-route latency objectives in seconds.
+    latency_target / availability_target:
+        SLO targets, e.g. 0.99 -> "99 % of requests meet the latency
+        objective", 0.999 -> "99.9 % of requests succeed".
+    window / slots:
+        Sliding-window extent in seconds and its bucket count.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(self, registry, *, scope: str = "serve",
+                 objectives: dict[str, float] | None = None,
+                 default_objective: float = 0.250,
+                 latency_target: float = 0.99,
+                 availability_target: float = 0.999,
+                 window: float = 300.0, slots: int = 30,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if not 0.0 < latency_target < 1.0:
+            raise ValueError("latency_target must be in (0, 1)")
+        if not 0.0 < availability_target < 1.0:
+            raise ValueError("availability_target must be in (0, 1)")
+        if slots < 2 or window <= 0:
+            raise ValueError("need window > 0 and at least 2 slots")
+        self.scope = scope
+        self.objectives = dict(DEFAULT_OBJECTIVES if objectives is None
+                               else objectives)
+        self.default_objective = float(default_objective)
+        self.latency_target = float(latency_target)
+        self.availability_target = float(availability_target)
+        self.window = float(window)
+        self.slots = int(slots)
+        self._width = self.window / self.slots
+        self._clock = clock
+        self._routes: dict[str, _RouteWindow] = {}
+        self._routes_lock = threading.Lock()
+        labels = ("route", "scope")
+        self._g_attain = registry.gauge(
+            "slo_latency_attainment",
+            "Fraction of windowed requests meeting the latency objective",
+            labels=labels)
+        self._g_lat_burn = registry.gauge(
+            "slo_latency_burn_rate",
+            "Latency-budget burn rate (1.0 = exactly on target)",
+            labels=labels)
+        self._g_avail = registry.gauge(
+            "slo_availability",
+            "Fraction of windowed requests without a 5xx outcome",
+            labels=labels)
+        self._g_err_burn = registry.gauge(
+            "slo_error_burn_rate",
+            "Error-budget burn rate (1.0 = exactly on target)",
+            labels=labels)
+        self._g_requests = registry.gauge(
+            "slo_window_requests",
+            "Requests observed inside the sliding window",
+            labels=labels)
+
+    # ------------------------------------------------------------------
+    def objective(self, route: str) -> float:
+        """The latency objective (seconds) for ``route``."""
+        return self.objectives.get(route, self.default_objective)
+
+    def _window_for(self, route: str) -> _RouteWindow:
+        win = self._routes.get(route)
+        if win is None:
+            with self._routes_lock:
+                win = self._routes.setdefault(route, _RouteWindow(self.slots))
+        return win
+
+    def observe(self, route: str, seconds: float, status: int) -> None:
+        """Record one request outcome and refresh the route's gauges."""
+        win = self._window_for(route)
+        now_epoch = int(self._clock() // self._width)
+        slot = now_epoch % self.slots
+        slow = seconds > self.objective(route)
+        error = status >= 500
+        with win.lock:
+            if win.epochs[slot] != now_epoch:
+                win.epochs[slot] = now_epoch
+                win.totals[slot] = 0
+                win.slow[slot] = 0
+                win.errors[slot] = 0
+            win.totals[slot] += 1
+            if slow:
+                win.slow[slot] += 1
+            if error:
+                win.errors[slot] += 1
+            total, n_slow, n_err = self._aggregate_locked(win, now_epoch)
+        self._publish(route, total, n_slow, n_err)
+
+    def _aggregate_locked(self, win: _RouteWindow, now_epoch: int):
+        oldest = now_epoch - self.slots + 1
+        total = n_slow = n_err = 0
+        for i in range(self.slots):
+            if win.epochs[i] >= oldest:
+                total += win.totals[i]
+                n_slow += win.slow[i]
+                n_err += win.errors[i]
+        return total, n_slow, n_err
+
+    def _publish(self, route: str, total: int, n_slow: int, n_err: int) -> None:
+        labels = {"route": route, "scope": self.scope}
+        if total == 0:  # pragma: no cover - observe always adds one
+            attain = avail = 1.0
+            lat_burn = err_burn = 0.0
+        else:
+            attain = 1.0 - n_slow / total
+            avail = 1.0 - n_err / total
+            lat_burn = (n_slow / total) / (1.0 - self.latency_target)
+            err_burn = (n_err / total) / (1.0 - self.availability_target)
+        self._g_attain.labels(**labels).set(round(attain, 6))
+        self._g_lat_burn.labels(**labels).set(round(lat_burn, 4))
+        self._g_avail.labels(**labels).set(round(avail, 6))
+        self._g_err_burn.labels(**labels).set(round(err_burn, 4))
+        self._g_requests.labels(**labels).set(total)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Windowed SLO numbers per route, for ``/stats`` payloads."""
+        now_epoch = int(self._clock() // self._width)
+        routes = {}
+        with self._routes_lock:
+            items = list(self._routes.items())
+        for route, win in items:
+            with win.lock:
+                total, n_slow, n_err = self._aggregate_locked(win, now_epoch)
+            if total == 0:
+                attain = avail = 1.0
+                lat_burn = err_burn = 0.0
+            else:
+                attain = 1.0 - n_slow / total
+                avail = 1.0 - n_err / total
+                lat_burn = (n_slow / total) / (1.0 - self.latency_target)
+                err_burn = (n_err / total) / (1.0 - self.availability_target)
+            routes[route] = {
+                "objective_ms": round(self.objective(route) * 1e3, 3),
+                "requests": total,
+                "latency_attainment": round(attain, 6),
+                "latency_burn_rate": round(lat_burn, 4),
+                "availability": round(avail, 6),
+                "error_burn_rate": round(err_burn, 4),
+            }
+        return {
+            "scope": self.scope,
+            "window_seconds": self.window,
+            "latency_target": self.latency_target,
+            "availability_target": self.availability_target,
+            "routes": routes,
+        }

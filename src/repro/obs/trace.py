@@ -1,4 +1,4 @@
-"""Span-based tracing: nested wall-time spans with optional JSONL export.
+"""Span-based tracing: nested wall-time spans with distributed ids.
 
 A *span* is one timed region of code, opened with the :func:`trace`
 context manager (or the :func:`traced` decorator)::
@@ -9,39 +9,61 @@ context manager (or the :func:`traced` decorator)::
         with trace("train.forward"):
             ...
 
-Spans nest through a per-thread stack, so every record carries its
-``depth`` and ``parent`` span name — enough for ``python -m repro.obs
-report`` to reconstruct where an epoch or a ``/predict`` call spends
-its time.  The hot subsystems (training engine, evaluator, serve
-engine/batcher/HTTP, bundle loading) call :func:`trace` unconditionally;
-the **disabled fast path** makes that free in practice: when the global
-tracer is off, :func:`trace` returns a shared no-op context manager
-without allocating anything, so instrumented code pays one function
-call and one attribute check per span site (pinned under 5 % of epoch
-and request time by ``benchmarks/test_perf_obs.py``).
+Spans nest through the :mod:`contextvars`-based current context in
+:mod:`repro.obs.context`, so every record carries a 128-bit ``trace_id``
+shared by all spans of one request/operation (across threads, asyncio
+tasks, and — via ``traceparent`` propagation — processes), a unique
+64-bit ``span_id``, and its ``parent_id``.  The legacy name-based
+``depth``/``parent`` fields are kept for human-readable reports.  The
+hot subsystems (training engine, evaluator, serve engine/batcher/HTTP,
+pool front-end) call :func:`trace` unconditionally; the **disabled fast
+path** makes that free in practice: when the global tracer is off,
+:func:`trace` returns a shared no-op context manager without allocating
+anything (pinned under 5 % of epoch and request time by
+``benchmarks/test_perf_obs.py``).
 
 Each completed span is recorded as a JSON-safe dict::
 
     {"type": "span", "name": "train.forward", "ts": <wall-clock start>,
-     "dur": <seconds>, "depth": 1, "parent": "train.epoch",
-     "thread": <thread ident>, ...attrs}
+     "dur": <seconds>, "trace_id": <32 hex>, "span_id": <16 hex>,
+     "parent_id": <16 hex or None>, "depth": 1, "parent": "train.epoch",
+     "thread": <thread ident>, "pid": <os.getpid()>, ...attrs}
 
 and lands in the tracer's bounded in-memory ring, an optional callable
-sink, and an optional JSONL file (line-flushed, so crashed runs leave a
-readable trail).
+sink, and an optional JSONL file.  File export is batched: whole lines
+are buffered in-process and written+flushed every ``flush_every`` spans
+(and on :meth:`Tracer.flush`/:meth:`Tracer.disable`), so the serve hot
+path does not pay a syscall per span while crashed runs still leave a
+readable, whole-line JSONL trail.
+
+Forked children (pool replicas, dist workers) get a clean slate via an
+``os.register_at_fork`` hook: fresh lock, empty ring/buffer, tracing
+disabled, the parent's file handle dropped without flushing — and any
+live span in the current context swapped for a detached
+:class:`~repro.obs.context.SpanContext` so the child keeps the
+propagated ``trace_id`` but starts a fresh span stack.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import os
 import threading
 import time
 from collections import deque
 from typing import Any, Callable
 
+from .context import (
+    _CURRENT,
+    detach_context,
+    new_span_id,
+    new_trace_id,
+)
+
 __all__ = [
     "Tracer",
+    "current_span",
     "disable_tracing",
     "enable_tracing",
     "get_tracer",
@@ -50,6 +72,10 @@ __all__ = [
     "traced",
     "tracing",
 ]
+
+#: Spans buffered per export-file write+flush (see satellite: no syscall
+#: per span on the serve path).  Override per enable() call.
+DEFAULT_FLUSH_EVERY = 32
 
 
 def _json_safe(value: Any) -> Any:
@@ -80,113 +106,177 @@ class Tracer:
         self._sink: Callable[[dict[str, Any]], None] | None = None
         self._fh = None
         self._path: str | None = None
+        self._buffer: list[str] = []
+        self._flush_every = DEFAULT_FLUSH_EVERY
         self._lock = threading.Lock()
-        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def path(self) -> str | None:
+        """The JSONL export path, if file export is active."""
+        return self._path
+
     def enable(self, path: str | None = None,
-               sink: Callable[[dict[str, Any]], None] | None = None) -> "Tracer":
-        """Start recording spans; optionally stream them to a JSONL file."""
+               sink: Callable[[dict[str, Any]], None] | None = None,
+               flush_every: int | None = None) -> "Tracer":
+        """Start recording spans; optionally stream them to a JSONL file.
+
+        ``flush_every`` bounds how many spans may sit in the in-process
+        line buffer before a write+flush (1 restores the old
+        line-per-span behaviour for tests that read the file live).
+        """
         with self._lock:
             if self._fh is not None and path != self._path:
-                self._fh.close()
-                self._fh = None
+                self._close_locked()
             if path is not None and self._fh is None:
                 self._fh = open(path, "a", encoding="utf-8")
             self._path = path
             self._sink = sink
+            if flush_every is not None:
+                if flush_every < 1:
+                    raise ValueError("flush_every must be >= 1")
+                self._flush_every = int(flush_every)
             self.enabled = True
         return self
 
     def disable(self) -> None:
-        """Stop recording and close any export file."""
+        """Stop recording, flush buffered lines, close any export file."""
         with self._lock:
             self.enabled = False
             self._sink = None
-            if self._fh is not None:
-                self._fh.close()
-                self._fh = None
+            self._close_locked()
             self._path = None
+
+    def flush(self) -> None:
+        """Write and fsync-flush any buffered span lines to the file."""
+        with self._lock:
+            self._flush_locked()
 
     def reset(self) -> None:
         """Drop the in-memory span ring (export files are untouched)."""
         with self._lock:
             self.spans.clear()
 
+    def _flush_locked(self) -> None:
+        if self._fh is not None and self._buffer:
+            self._fh.write("".join(self._buffer))
+            self._buffer.clear()
+            self._fh.flush()
+
+    def _close_locked(self) -> None:
+        if self._fh is not None:
+            self._flush_locked()
+            self._fh.close()
+            self._fh = None
+        self._buffer.clear()
+
     # ------------------------------------------------------------------
     # Span plumbing
     # ------------------------------------------------------------------
-    def _stack(self) -> list:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = self._local.stack = []
-        return stack
-
     def span(self, name: str, **attrs: Any) -> "_SpanContext":
         """Open a span on this tracer regardless of the global one."""
         return _SpanContext(self, name, attrs)
 
+    def record(self, record: dict[str, Any]) -> None:
+        """Adopt an externally produced span record (dist worker fan-in)."""
+        self._record(dict(record))
+
     def _record(self, record: dict[str, Any]) -> None:
         with self._lock:
             self.spans.append(record)
-            sink, fh = self._sink, self._fh
-            if fh is not None:
-                fh.write(json.dumps(record) + "\n")
-                fh.flush()
+            sink = self._sink
+            if self._fh is not None:
+                # Whole lines only: the file-object buffer stays empty
+                # between flushes, so a crash never truncates mid-record.
+                self._buffer.append(json.dumps(record) + "\n")
+                if len(self._buffer) >= self._flush_every:
+                    self._flush_locked()
         if sink is not None:
             sink(record)
 
 
 class _SpanContext:
-    """A single open span; records itself on exit."""
+    """A single open span; records itself on exit.
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_wall", "_depth",
-                 "_parent", "_entered")
+    On enter it adopts the current context (a live span in this process
+    or a propagated :class:`~repro.obs.context.SpanContext`) as its
+    parent — inheriting its ``trace_id`` or minting a fresh one at a
+    root — and installs itself as the current context for the block.
+    """
+
+    __slots__ = ("_tracer", "name", "_attrs", "_start", "_wall", "depth",
+                 "trace_id", "span_id", "_parent_id", "_parent_name",
+                 "_token", "_entered")
 
     def __init__(self, tracer: Tracer, name: str, attrs: dict[str, Any]) -> None:
         self._tracer = tracer
-        self._name = str(name)
+        self.name = str(name)
         self._attrs = attrs
         self._entered = False
 
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach a request-scoped attribute to this span's record."""
+        self._attrs[key] = value
+
     def __enter__(self) -> "_SpanContext":
-        stack = self._tracer._stack()
-        self._depth = len(stack)
-        self._parent = stack[-1] if stack else None
-        stack.append(self._name)
+        parent = _CURRENT.get()
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self._parent_id = parent.span_id
+            self.depth = parent.depth + 1  # SpanContext.depth == -1
+            self._parent_name = parent.name
+        else:
+            self.trace_id = new_trace_id()
+            self._parent_id = None
+            self.depth = 0
+            self._parent_name = None
+        self.span_id = new_span_id()
+        self._token = _CURRENT.set(self)
         self._entered = True
         self._wall = time.time()
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
         duration = time.perf_counter() - self._start
         if self._entered:
-            stack = self._tracer._stack()
-            # Pop back to this span even if an inner span leaked open.
-            while stack and stack.pop() != self._name:
-                pass
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:  # pragma: no cover - exited in foreign context
+                _CURRENT.set(None)
             self._entered = False
         record: dict[str, Any] = {
             "type": "span",
-            "name": self._name,
+            "name": self.name,
             "ts": round(self._wall, 6),
             "dur": duration,
-            "depth": self._depth,
-            "parent": self._parent,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self._parent_id,
+            "depth": self.depth,
+            "parent": self._parent_name,
             "thread": threading.get_ident(),
+            "pid": os.getpid(),
         }
+        if exc_type is not None:
+            record["error"] = True
         for key, value in self._attrs.items():
             record.setdefault(key, _json_safe(value))
         self._tracer._record(record)
 
 
 class _NoopSpan:
-    """Shared do-nothing context manager: the disabled fast path."""
+    """Shared do-nothing span: the disabled fast path (zero allocation)."""
 
     __slots__ = ()
+
+    trace_id = None
+    span_id = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
 
     def __enter__(self) -> "_NoopSpan":
         return self
@@ -205,13 +295,14 @@ def get_tracer() -> Tracer:
 
 
 def enable_tracing(path: str | None = None,
-                   sink: Callable[[dict[str, Any]], None] | None = None) -> Tracer:
+                   sink: Callable[[dict[str, Any]], None] | None = None,
+                   flush_every: int | None = None) -> Tracer:
     """Turn on the global tracer (optionally exporting spans to ``path``)."""
-    return _TRACER.enable(path=path, sink=sink)
+    return _TRACER.enable(path=path, sink=sink, flush_every=flush_every)
 
 
 def disable_tracing() -> None:
-    """Turn the global tracer off and close its export file."""
+    """Turn the global tracer off, flush, and close its export file."""
     _TRACER.disable()
 
 
@@ -224,6 +315,20 @@ def trace(name: str, **attrs: Any):
     if not _TRACER.enabled:
         return _NOOP
     return _SpanContext(_TRACER, name, attrs)
+
+
+def current_span():
+    """The innermost active span, for request-scoped attributes::
+
+        current_span().set_attr("cache_hits", hits)
+
+    Always safe to call: returns the shared no-op span when tracing is
+    disabled or no span is open, so call sites allocate nothing.  A
+    propagated parent (remote process) also accepts ``set_attr`` as a
+    no-op.
+    """
+    ctx = _CURRENT.get()
+    return ctx if ctx is not None else _NOOP
 
 
 def traced(name: str | None = None, **attrs: Any):
@@ -258,13 +363,16 @@ class tracing:
     """
 
     def __init__(self, path: str | None = None,
-                 sink: Callable[[dict[str, Any]], None] | None = None) -> None:
+                 sink: Callable[[dict[str, Any]], None] | None = None,
+                 flush_every: int | None = None) -> None:
         self._path = path
         self._sink = sink
+        self._flush_every = flush_every
 
     def __enter__(self) -> Tracer:
         _TRACER.reset()  # a fresh block sees only its own spans
-        return enable_tracing(path=self._path, sink=self._sink)
+        return enable_tracing(path=self._path, sink=self._sink,
+                              flush_every=self._flush_every)
 
     def __exit__(self, *exc_info) -> None:
         disable_tracing()
@@ -279,3 +387,29 @@ def read_trace(path: str) -> list[dict[str, Any]]:
             if line:
                 records.append(json.loads(line))
     return records
+
+
+def _reset_after_fork() -> None:
+    """Give forked children a clean tracer (see module docstring)."""
+    tracer = _TRACER
+    inherited_fh = tracer._fh
+    tracer._lock = threading.Lock()
+    tracer._buffer = []
+    tracer._fh = None
+    tracer._path = None
+    tracer._sink = None
+    tracer.enabled = False
+    tracer.spans.clear()
+    if inherited_fh is not None:
+        # Drop the text/binary buffer layers without flushing: anything
+        # buffered belongs to the parent, and a GC-time flush from the
+        # child would interleave bytes onto the shared file description.
+        try:
+            inherited_fh.detach().detach()
+        except Exception:
+            pass
+    detach_context()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; fork is how pool/dist spawn
+    os.register_at_fork(after_in_child=_reset_after_fork)

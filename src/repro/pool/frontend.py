@@ -29,7 +29,16 @@ Failure behaviour (the matrix DESIGN.md §12 documents):
 ``/healthz`` reports per-replica liveness; ``/stats`` and ``/metrics``
 merge every worker's :class:`~repro.obs.MetricsRegistry` snapshot with
 the front-end's own counters (``MetricsRegistry.merge``), so pool-wide
-p50/p99, queue depth and shed/respawn counters are one scrape away.
+p50/p99, queue depth and shed/respawn counters are one scrape away;
+:class:`~repro.obs.SLOTracker` gauges (latency attainment, error-budget
+burn rate) ride the same exposition.
+
+Every request runs under a ``pool.request`` span whose context crosses
+the cmd-queue envelope as a ``traceparent`` string (clients may supply
+their own, which is honored); responses — including 429/503/504 error
+envelopes and ``Retry-After`` sheds — echo ``X-Trace-Id``, and with the
+per-rank worker JSONL exports ``python -m repro.obs report`` stitches
+one request into a single cross-process tree (DESIGN.md §14).
 """
 
 from __future__ import annotations
@@ -45,7 +54,8 @@ from queue import Empty
 
 from .. import __version__
 from ..eval.evaluator import build_csr_filter
-from ..obs import MetricsRegistry, render_prometheus
+from ..obs import (MetricsRegistry, SLOTracker, activate, current_traceparent,
+                   get_tracer, parse_traceparent, render_prometheus, trace)
 from ..serve.ann import supports_ann
 from ..serve.http import MAX_BODY_BYTES
 from .admission import AdmissionController, RateLimiter, format_retry_after
@@ -75,7 +85,8 @@ class _Pending:
     """One message awaiting a worker response."""
 
     __slots__ = ("req_id", "kind", "future", "method", "path", "body",
-                 "deadline", "route", "requeued", "rank", "enqueued_at")
+                 "deadline", "route", "requeued", "rank", "enqueued_at",
+                 "traceparent")
 
     def __init__(self, req_id: int, kind: str, future, method: str = "",
                  path: str = "", body=None, deadline: float | None = None,
@@ -91,6 +102,7 @@ class _Pending:
         self.requeued = False
         self.rank = -1
         self.enqueued_at = time.monotonic()
+        self.traceparent: str | None = None
 
 
 class WorkerHandle:
@@ -191,6 +203,12 @@ class ReplicaPool:
     def _spawn(self, rank: int) -> WorkerHandle:
         cmd = self._ctx.Queue()
         self._generation += 1
+        # Workers inherit a reset tracer (at-fork hook); if the parent is
+        # exporting spans, each worker gets its own per-rank JSONL next
+        # to the parent's so `repro.obs report` can stitch all of them.
+        tracer = get_tracer()
+        trace_path = (f"{tracer.path}.w{rank}"
+                      if tracer.enabled and tracer.path else None)
         wctx = PoolWorkerContext(
             rank=rank, model=self.model, split=self.split,
             segment=self.segment, cmd=cmd, results=self._results,
@@ -198,7 +216,8 @@ class ReplicaPool:
             ann=self.ann, approx_default=self.config.approx_default,
             bundle_version=self.bundle_version,
             cache_size=self.config.cache_size,
-            request_delay=self.config.request_delay)
+            request_delay=self.config.request_delay,
+            trace_path=trace_path)
         proc = self._ctx.Process(target=pool_worker_main, args=(wctx,),
                                  daemon=True, name=f"repro-pool-{rank}")
         proc.start()
@@ -267,13 +286,20 @@ class ReplicaPool:
         pending.rank = handle.rank
         handle.inflight[pending.req_id] = pending
         handle.cmd.put(("req", pending.req_id, pending.method, pending.path,
-                        pending.body, pending.deadline))
+                        pending.body, pending.deadline, pending.traceparent))
 
     def dispatch(self, method: str, path: str, body,
                  deadline: float | None, route: str) -> _Pending:
-        """Forward one request to the least-loaded live worker."""
+        """Forward one request to the least-loaded live worker.
+
+        The active trace context (the front-end's ``pool.request`` span,
+        or a client-supplied parent) rides the envelope as a
+        ``traceparent`` string so the worker's spans join the same
+        trace; requeued requests re-send the original context.
+        """
         pending = self._register("req", method=method, path=path, body=body,
                                  deadline=deadline, route=route)
+        pending.traceparent = current_traceparent()
         try:
             self._send(self._pick_worker(), pending)
         except NoLiveWorkers:
@@ -479,6 +505,9 @@ class PoolServer:
             "requests answered 504 after their deadline passed")
         self._g_draining = self.metrics.gauge(
             "pool_draining", "1 while a graceful drain is in progress")
+        #: Front-end SLO gauges (scope="pool": end-to-end latency incl.
+        #: queueing, vs the workers' scope="serve" engine-side series).
+        self.slo = SLOTracker(self.metrics, scope="pool")
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -690,7 +719,47 @@ class PoolServer:
     async def _handle_request(self, method: str, path: str,
                               headers: dict[str, str], raw: bytes,
                               client_ip: str) -> tuple[int, object, dict]:
+        """Route one parsed request, under a ``pool.request`` span.
+
+        The span is this request's root (or the child of a
+        client-supplied ``traceparent``); it stays open across the
+        worker round-trip, so its duration is end-to-end including
+        admission and queueing.  Every response — success, shed 429s,
+        503/504/500 envelopes — carries ``X-Trace-Id``, and error
+        envelopes embed the id too.  With tracing disabled and no
+        client context, none of this allocates.
+        """
         tick = time.perf_counter()
+        client_tp = headers.get("traceparent")
+        rctx = parse_traceparent(client_tp) if client_tp else None
+        trace_id = None
+        if rctx is not None or get_tracer().enabled:
+            with activate(rctx):
+                with trace("pool.request", method=method, route=path) as span:
+                    trace_id = span.trace_id or (
+                        rctx.trace_id if rctx is not None else None)
+                    status, payload, extra = await self._route(
+                        method, path, headers, raw, client_ip)
+                    span.set_attr("status", status)
+        else:
+            status, payload, extra = await self._route(
+                method, path, headers, raw, client_ip)
+        if trace_id is not None:
+            extra = dict(extra)
+            extra.setdefault("X-Trace-Id", trace_id)
+            if isinstance(payload, dict) and isinstance(
+                    payload.get("error"), dict):
+                payload["error"].setdefault("trace_id", trace_id)
+        elapsed = time.perf_counter() - tick
+        self._m_requests.labels(route=path, code=status).inc()
+        self._m_latency.observe(elapsed)
+        self.slo.observe(path, elapsed, status)
+        logger.info("%s %s -> %d in %.1f ms", method, path, status,
+                    1e3 * elapsed)
+        return status, payload, extra
+
+    async def _route(self, method: str, path: str, headers: dict[str, str],
+                     raw: bytes, client_ip: str) -> tuple[int, object, dict]:
         extra: dict = {}
         try:
             if method == "GET" and path == "/healthz":
@@ -709,11 +778,6 @@ class PoolServer:
         except Exception as exc:  # noqa: BLE001 - surface as a 500 envelope
             logger.exception("unhandled error for %s %s", method, path)
             status, payload = 500, _envelope("internal", str(exc))
-        elapsed = time.perf_counter() - tick
-        self._m_requests.labels(route=path, code=status).inc()
-        self._m_latency.observe(elapsed)
-        logger.info("%s %s -> %d in %.1f ms", method, path, status,
-                    1e3 * elapsed)
         return status, payload, extra
 
     async def _dispatch_post(self, path: str, headers: dict[str, str],
@@ -846,6 +910,7 @@ class PoolServer:
                 "p50_ms": round(1e3 * self._m_latency.quantile(0.5), 3),
                 "p99_ms": round(1e3 * self._m_latency.quantile(0.99), 3),
             },
+            "slo": self.slo.stats(),
             "workers": rows,
         }
 

@@ -25,11 +25,19 @@ Messages (tuples, first element is the kind):
 parent -> worker       worker -> parent (on the shared results queue)
 =====================  =================================================
 ``("req", id, method,  ``("res", rank, id, status, payload)``
-path, body, deadline)``
+path, body, deadline,
+traceparent)``
 ``("ping", id)``       ``("pong", rank, id, health_dict)``
 ``("stats", id)``      ``("stats", rank, id, snapshot, engine_stats)``
 ``("stop",)``          —
 =====================  =================================================
+
+The envelope's ``traceparent`` (the front-end's ``pool.request`` span)
+is adopted as the parent of this worker's ``serve.request`` span, so
+one request is a single trace across both processes.  When the parent
+was exporting spans to a file, the worker exports its own to
+``<path>.w<rank>`` (the tracer's at-fork hook already gave this process
+a clean, disabled tracer) — ``repro.obs report`` stitches the files.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ import time
 from dataclasses import dataclass
 from queue import Empty
 
-from ..obs import disable_tracing
+from ..obs import activate, disable_tracing, enable_tracing, parse_traceparent
 from ..serve.engine import PredictionEngine
 from ..serve.http import ServiceApp
 from .replica import ReplicaSegment, attach_replica
@@ -71,6 +79,7 @@ class PoolWorkerContext:
     bundle_version: int | None = None
     cache_size: int = 512
     request_delay: float = 0.0     # test-only fault injection
+    trace_path: str | None = None  # per-rank JSONL export (parent tracing on)
 
 
 def _build_app(ctx: PoolWorkerContext) -> ServiceApp:
@@ -97,47 +106,61 @@ def pool_worker_main(ctx: PoolWorkerContext) -> None:
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     parent = os.getppid()
-    disable_tracing()  # don't interleave spans onto the parent's sink
+    # The at-fork hook already reset the inherited tracer (disabled,
+    # empty ring, parent's file handle dropped); re-enable onto a
+    # per-rank file when the front-end wants worker spans exported.
+    if ctx.trace_path:
+        enable_tracing(ctx.trace_path, flush_every=16)
     app = _build_app(ctx)
     served = 0
     started = time.time()
-    while True:
-        try:
-            msg = ctx.cmd.get(timeout=_POLL)
-        except Empty:
-            if os.getppid() != parent:  # front-end died without a drain
-                logger.warning("pool worker %d orphaned; exiting", ctx.rank)
+    try:
+        while True:
+            try:
+                msg = ctx.cmd.get(timeout=_POLL)
+            except Empty:
+                if os.getppid() != parent:  # front-end died without a drain
+                    logger.warning("pool worker %d orphaned; exiting", ctx.rank)
+                    return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - parent went away
                 return
-            continue
-        except (EOFError, OSError):  # pragma: no cover - parent went away
-            return
-        kind = msg[0]
-        if kind == "stop":
-            logger.info("pool worker %d stopping after %d requests",
-                        ctx.rank, served)
-            return
-        if kind == "ping":
-            ctx.results.put(("pong", ctx.rank, msg[1], {
-                "requests": served,
-                "uptime_seconds": round(time.time() - started, 3),
-                "cache_entries": len(app.engine._cache),
-            }))
-            continue
-        if kind == "stats":
-            ctx.results.put(("stats", ctx.rank, msg[1],
-                             app.metrics.snapshot(), app.engine.stats()))
-            continue
-        if kind != "req":  # pragma: no cover - protocol guard
-            logger.warning("pool worker %d: unknown message %r", ctx.rank, kind)
-            continue
-        _, req_id, method, path, body, deadline = msg
-        if ctx.request_delay:
-            time.sleep(ctx.request_delay)
-        if deadline is not None and time.monotonic() > deadline:
-            status, payload = 504, {"error": {
-                "code": "deadline_exceeded",
-                "message": "request expired while queued for a pool worker"}}
-        else:
-            status, payload = app.handle(method, path, body, deadline=deadline)
-        served += 1
-        ctx.results.put(("res", ctx.rank, req_id, status, payload))
+            kind = msg[0]
+            if kind == "stop":
+                logger.info("pool worker %d stopping after %d requests",
+                            ctx.rank, served)
+                return
+            if kind == "ping":
+                ctx.results.put(("pong", ctx.rank, msg[1], {
+                    "requests": served,
+                    "uptime_seconds": round(time.time() - started, 3),
+                    "cache_entries": len(app.engine._cache),
+                }))
+                continue
+            if kind == "stats":
+                ctx.results.put(("stats", ctx.rank, msg[1],
+                                 app.metrics.snapshot(), app.engine.stats()))
+                continue
+            if kind != "req":  # pragma: no cover - protocol guard
+                logger.warning("pool worker %d: unknown message %r",
+                               ctx.rank, kind)
+                continue
+            _, req_id, method, path, body, deadline, traceparent = msg
+            rctx = parse_traceparent(traceparent) if traceparent else None
+            if ctx.request_delay:
+                time.sleep(ctx.request_delay)
+            if deadline is not None and time.monotonic() > deadline:
+                error = {"code": "deadline_exceeded",
+                         "message": ("request expired while queued for a "
+                                     "pool worker")}
+                if rctx is not None:
+                    error["trace_id"] = rctx.trace_id
+                status, payload = 504, {"error": error}
+            else:
+                with activate(rctx):
+                    status, payload = app.handle(method, path, body,
+                                                 deadline=deadline)
+            served += 1
+            ctx.results.put(("res", ctx.rank, req_id, status, payload))
+    finally:
+        disable_tracing()  # flush + close the per-rank export file

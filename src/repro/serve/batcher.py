@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..obs import trace
+from ..obs import current_traceparent, get_tracer, trace
 from .engine import PredictionEngine, topk_indices
 
 __all__ = ["BatcherClosedError", "MicroBatcher"]
@@ -70,6 +70,10 @@ class _Request:
     k: int
     filter_known: bool
     future: Future = field(default_factory=Future)
+    # Submitting request's trace context: the batch span runs on the
+    # worker thread (its own trace), so coalesced requests are joined to
+    # it by recording their trace ids as a span attribute instead.
+    traceparent: str | None = None
 
 
 class MicroBatcher:
@@ -125,6 +129,8 @@ class MicroBatcher:
                filter_known: bool = False) -> Future:
         """Enqueue one query; the future resolves to ``(ids, scores)``."""
         request = _Request(int(head), int(rel), int(k), bool(filter_known))
+        if get_tracer().enabled:
+            request.traceparent = current_traceparent()
         with self._lock:
             if self._closed:
                 raise BatcherClosedError("MicroBatcher is closed")
@@ -222,8 +228,14 @@ class MicroBatcher:
     def _process(self, batch: list[_Request]) -> None:
         heads = np.array([r.head for r in batch], dtype=np.int64)
         rels = np.array([r.rel for r in batch], dtype=np.int64)
+        attrs = {"size": len(batch)}
+        if get_tracer().enabled:
+            links = [r.traceparent.split("-")[1] for r in batch
+                     if r.traceparent]
+            if links:
+                attrs["trace_links"] = ",".join(links[:16])
         try:
-            with trace("serve.batch", size=len(batch)):
+            with trace("serve.batch", **attrs):
                 scores = self.engine.scores(heads, rels)
                 flagged = [i for i, r in enumerate(batch) if r.filter_known]
                 if flagged:

@@ -121,8 +121,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from ..obs import enable_tracing
 
         enable_tracing(args.trace)
-        print(f"tracing spans to {args.trace} "
-              f"(summarize with: python -m repro.obs report {args.trace})")
+        worker_files = f" (+ {args.trace}.w<rank> per pool worker)" if args.pool > 0 else ""
+        print(f"tracing spans to {args.trace}{worker_files}\n"
+              f"  summarize: python -m repro.obs report {args.trace}"
+              f"{' ' + args.trace + '.w*' if args.pool > 0 else ''}\n"
+              f"  drill into one request: python -m repro.obs report "
+              f"--trace <X-Trace-Id> <files>")
     if args.pool > 0:
         from ..pool import PoolConfig, run_pool
 
@@ -220,7 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-delay-ms", type=float, default=2.0)
     serve.add_argument("--cache-size", type=int, default=512)
     serve.add_argument("--trace", metavar="FILE", default=None,
-                       help="write request/predict spans to this JSONL file")
+                       help="write request/predict spans to this JSONL file "
+                            "(with --pool N, each worker also writes "
+                            "FILE.w<rank>; stitch them with "
+                            "`python -m repro.obs report FILE FILE.w*`)")
     serve.add_argument("--ann", default="auto",
                        choices=["auto", "off", "require", "build"],
                        help="ANN index policy: auto uses a bundled index when "

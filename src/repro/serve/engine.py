@@ -50,7 +50,7 @@ import numpy as np
 from ..eval.evaluator import CSRFilter, build_csr_filter
 from ..kg import KGSplit, Vocabulary
 from ..nn import inference_mode
-from ..obs import MetricsRegistry, exponential_buckets, trace
+from ..obs import MetricsRegistry, current_span, exponential_buckets, trace
 from .ann import AnnError, AnnServing, supports_ann
 
 __all__ = ["PredictionEngine", "topk_indices"]
@@ -246,6 +246,11 @@ class PredictionEngine:
                     hits += 1
             self._record_lookups(hits, len(keys) - hits)
             self._m_queries.inc(len(keys))
+            # Request-scoped: hangs cache behaviour off whichever span is
+            # active (serve.request directly, serve.batch when batched).
+            span = current_span()
+            span.set_attr("cache_hits", hits)
+            span.set_attr("cache_misses", len(keys) - hits)
         return out
 
     def _insert_row(self, key: tuple[int, int], row: np.ndarray) -> None:
@@ -306,6 +311,8 @@ class PredictionEngine:
         """IVF candidate generation + exact rerank for one query."""
         index = self.ann.index
         probed = index.default_nprobe if nprobe is None else max(1, min(int(nprobe), index.nlist))
+        request_span = current_span()  # serve.request (ANN skips the batcher)
+        request_span.set_attr("ann_nprobe", probed)
         with trace("serve.ann_search", nprobe=probed, k=k):
             cands = self.ann.candidates(self.model, [head], [rel], probed)[0]
             if filter_known and len(cands):
@@ -314,6 +321,7 @@ class PredictionEngine:
                     cands = cands[~np.isin(cands, known)]
             self._m_ann_probed.observe(probed)
             self._m_ann_rerank.observe(len(cands))
+            request_span.set_attr("ann_rerank", int(len(cands)))
             self._m_ann_queries.inc()
             self._m_queries.inc()
             if len(cands) == 0:
@@ -388,6 +396,9 @@ class PredictionEngine:
                 self._m_cell_calls.inc()
                 self._m_cells_scored.inc(len(missing))
             self._record_lookups(hits, len(missing))
+            span = current_span()
+            span.set_attr("cache_hits", hits)
+            span.set_attr("cache_misses", len(missing))
         return out
 
     # ------------------------------------------------------------------

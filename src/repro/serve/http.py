@@ -20,8 +20,13 @@ unknown names come back with close-match suggestions.
 Request counts, error counts and latency live on the engine's
 :class:`repro.obs.MetricsRegistry` as ``http_requests_total{route,code}``
 and ``http_request_seconds``, so ``/stats`` and ``/metrics`` can never
-disagree; each ``handle`` call also runs under a ``serve.request`` span
-when tracing is enabled.
+disagree; a :class:`repro.obs.SLOTracker` derives sliding-window
+latency-attainment and error-budget burn-rate gauges from the same
+observations.  Each ``handle`` call runs under a ``serve.request`` span
+when tracing is enabled: a client-supplied ``traceparent`` header is
+honored as the span's parent, the response carries ``X-Trace-Id``, and
+error envelopes echo the ``trace_id`` so a client-reported failure can
+be joined against server-side spans.
 """
 
 from __future__ import annotations
@@ -36,7 +41,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from .. import __version__
-from ..obs import render_prometheus, trace
+from ..obs import (SLOTracker, activate, current_context, parse_traceparent,
+                   render_prometheus, trace)
 from .ann import supports_ann
 from .batcher import BatcherClosedError, MicroBatcher
 from .engine import PredictionEngine
@@ -102,6 +108,10 @@ class ServiceApp:
             labels=("route", "code"))
         self._m_latency = self.metrics.histogram(
             "http_request_seconds", "HTTP request handling latency")
+        #: Sliding-window latency/error SLO gauges, exposed on /metrics
+        #: and /stats; scope="serve" keeps replica series distinct from
+        #: the pool front-end's after registry merge.
+        self.slo = SLOTracker(self.metrics, scope="serve")
 
     # Legacy scalar views over the labeled request counter.
     @property
@@ -121,7 +131,8 @@ class ServiceApp:
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, method: str, path: str, body: dict | None,
-               deadline: float | None = None) -> tuple[int, dict | str]:
+               deadline: float | None = None,
+               traceparent: str | None = None) -> tuple[int, dict | str]:
         """Dispatch one request; ``deadline`` is absolute ``monotonic``.
 
         A POST body may also carry its own ``deadline_ms``; the tighter
@@ -130,9 +141,35 @@ class ServiceApp:
         and a result that finishes late is discarded in favour of the
         504 (the client has already stopped waiting).
         """
+        status, payload, _ = self.handle_traced(method, path, body,
+                                                deadline=deadline,
+                                                traceparent=traceparent)
+        return status, payload
+
+    def handle_traced(self, method: str, path: str, body: dict | None,
+                      deadline: float | None = None,
+                      traceparent: str | None = None,
+                      ) -> tuple[int, dict | str, str | None]:
+        """:meth:`handle` plus the request's ``trace_id`` (or None).
+
+        An explicit ``traceparent`` (from an HTTP header) is adopted as
+        the span's parent; an ambient context (the pool worker activates
+        the envelope's context around this call) is honored implicitly
+        by :func:`trace`.  When tracing is disabled and no context is
+        supplied, this adds nothing to the request path.
+        """
+        if traceparent is None:
+            return self._handle(method, path, body, deadline)
+        with activate(parse_traceparent(traceparent)):
+            return self._handle(method, path, body, deadline)
+
+    def _handle(self, method: str, path: str, body: dict | None,
+                deadline: float | None) -> tuple[int, dict | str, str | None]:
         tick = time.perf_counter()
+        trace_id = None
         try:
-            with trace("serve.request", method=method, route=path):
+            with trace("serve.request", method=method, route=path) as span:
+                trace_id = span.trace_id
                 if method == "POST":
                     own = deadline_from_body(body)
                     if own is not None:
@@ -153,9 +190,12 @@ class ServiceApp:
                 else:
                     raise ApiError(404, "not_found",
                                    f"no route for {method} {path}")
-                if deadline is not None and time.monotonic() > deadline:
-                    raise ApiError(504, "deadline_exceeded",
-                                   "deadline passed during scoring")
+                if deadline is not None:
+                    span.set_attr("deadline_margin_ms", round(
+                        1e3 * (deadline - time.monotonic()), 3))
+                    if time.monotonic() > deadline:
+                        raise ApiError(504, "deadline_exceeded",
+                                       "deadline passed during scoring")
         except _ApiError as exc:
             status = exc.status
             payload = {"error": {"code": exc.code, "message": exc.message}}
@@ -163,11 +203,21 @@ class ServiceApp:
             logger.exception("unhandled error for %s %s", method, path)
             status = 500
             payload = {"error": {"code": "internal", "message": str(exc)}}
+        if trace_id is None:
+            # Tracing disabled but a propagated context may be active
+            # (pool worker adopting the front-end's envelope).
+            ctx = current_context()
+            if ctx is not None:
+                trace_id = ctx.trace_id
+        if (trace_id is not None and isinstance(payload, dict)
+                and isinstance(payload.get("error"), dict)):
+            payload["error"].setdefault("trace_id", trace_id)
         elapsed = time.perf_counter() - tick
         self._m_requests.labels(route=path, code=status).inc()
         self._m_latency.observe(elapsed)
+        self.slo.observe(path, elapsed, status)
         logger.info("%s %s -> %d in %.1f ms", method, path, status, 1e3 * elapsed)
-        return status, payload
+        return status, payload, trace_id
 
     # ------------------------------------------------------------------
     # Routes
@@ -213,6 +263,7 @@ class ServiceApp:
             "server": server,
             "engine": self.engine.stats(),
             "batcher": self.batcher.stats() if self.batcher else None,
+            "slo": self.slo.stats(),
         }
 
     def _resolve(self, vocab, token, what: str) -> int:
@@ -331,7 +382,8 @@ class ServeHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _respond(self, status: int, payload: dict | str) -> None:
+    def _respond(self, status: int, payload: dict | str,
+                 extra_headers: dict | None = None) -> None:
         if isinstance(payload, str):  # pre-rendered text (Prometheus /metrics)
             data = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -341,6 +393,9 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(data)
 
@@ -364,8 +419,11 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._respond(exc.status,
                           {"error": {"code": exc.code, "message": exc.message}})
             return
-        status, payload = self.server.app.handle(method, self.path, body)
-        self._respond(status, payload)
+        status, payload, trace_id = self.server.app.handle_traced(
+            method, self.path, body,
+            traceparent=self.headers.get("traceparent"))
+        self._respond(status, payload,
+                      {"X-Trace-Id": trace_id} if trace_id else None)
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         self._dispatch("GET")

@@ -190,3 +190,53 @@ class TestValidation:
 
         with pytest.raises(TypeError, match="cannot shard"):
             _num_batches(Opaque())
+
+
+class TestEpochTracing:
+    """Worker spans fan home on epoch_done and join the dist.epoch trace."""
+
+    def test_worker_spans_join_the_epoch_trace(self, mkg, model_factory):
+        from repro.obs import build_trace_trees, disable_tracing, tracing
+
+        model, rng = model_factory()
+        engine = DistributedEngine(model, mkg.split, rng,
+                                   OneToNObjective(batch_size=64),
+                                   world_size=2)
+        try:
+            with tracing() as tracer:
+                engine.train_epoch()
+                spans = list(tracer.spans)
+        finally:
+            disable_tracing()
+            engine.shutdown()
+        epochs = [s for s in spans if s["name"] == "dist.epoch"]
+        assert len(epochs) == 1
+        worker_epochs = [s for s in spans if s["name"] == "dist.worker.epoch"]
+        assert len(worker_epochs) == 2
+        assert sorted(s["rank"] for s in worker_epochs) == [0, 1]
+        for span in worker_epochs:
+            assert span["trace_id"] == epochs[0]["trace_id"]
+            assert span["parent_id"] == epochs[0]["span_id"]
+            assert span["pid"] != epochs[0]["pid"]
+        batches = [s for s in spans if s["name"] == "dist.worker.batch"]
+        assert batches
+        worker_ids = {s["span_id"] for s in worker_epochs}
+        assert all(s["parent_id"] in worker_ids for s in batches)
+        [tree] = [t for t in build_trace_trees(spans)
+                  if t["trace_id"] == epochs[0]["trace_id"]]
+        assert len(tree["pids"]) == 3  # parent + 2 workers
+
+    def test_disabled_tracing_ships_no_spans(self, mkg, model_factory):
+        from repro.obs import get_tracer
+
+        get_tracer().reset()  # drop spans recorded by earlier tests
+        model, rng = model_factory()
+        engine = DistributedEngine(model, mkg.split, rng,
+                                   OneToNObjective(batch_size=64),
+                                   world_size=2)
+        try:
+            assert not get_tracer().enabled
+            engine.train_epoch()
+        finally:
+            engine.shutdown()
+        assert len(get_tracer().spans) == 0

@@ -1,0 +1,117 @@
+"""W3C traceparent parsing/formatting and cross-boundary context adoption."""
+
+import pytest
+
+from repro.obs import (
+    SpanContext,
+    activate,
+    current_context,
+    current_traceparent,
+    detach_context,
+    disable_tracing,
+    format_traceparent,
+    get_tracer,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    trace,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    get_tracer().reset()
+    yield
+    disable_tracing()
+
+
+class TestIds:
+    def test_id_shapes(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)  # hex
+        int(new_span_id(), 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+        assert len({new_span_id() for _ in range(64)}) == 64
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = SpanContext("ab" * 16, "cd" * 8)
+        header = format_traceparent(ctx)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        parsed = parse_traceparent(header)
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    @pytest.mark.parametrize("bad", [
+        None,
+        "",
+        "garbage",
+        "00-short-cd" * 2,
+        "00-" + "g" * 32 + "-" + "cd" * 8 + "-01",   # non-hex
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",   # all-zero trace id
+        "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span id
+    ])
+    def test_malformed_headers_parse_to_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_uppercase_header_is_normalized(self):
+        parsed = parse_traceparent(f"00-{'AB' * 16}-{'CD' * 8}-01")
+        assert parsed.trace_id == "ab" * 16
+        assert parsed.span_id == "cd" * 8
+
+    def test_current_traceparent_reflects_open_span(self):
+        assert current_traceparent() is None
+        with tracing():
+            with trace("req") as span:
+                header = current_traceparent()
+                assert header == f"00-{span.trace_id}-{span.span_id}-01"
+        assert current_traceparent() is None
+
+
+class TestSpanContext:
+    def test_immutable(self):
+        ctx = SpanContext(new_trace_id(), new_span_id())
+        with pytest.raises(AttributeError):
+            ctx.trace_id = "other"
+
+    def test_remote_parent_semantics(self):
+        ctx = SpanContext(new_trace_id(), new_span_id())
+        assert ctx.depth == -1   # children land at depth 0
+        assert ctx.name is None
+        ctx.set_attr("ignored", 1)  # no-op, must not raise
+
+
+class TestActivate:
+    def test_activate_none_is_noop(self):
+        with activate(None):
+            assert current_context() is None
+
+    def test_activated_context_parents_new_spans(self):
+        remote = SpanContext(new_trace_id(), new_span_id())
+        with tracing() as tracer:
+            with activate(remote):
+                assert current_context() is remote
+                with trace("local.child"):
+                    pass
+            assert current_context() is None
+        [span] = tracer.spans
+        assert span["trace_id"] == remote.trace_id
+        assert span["parent_id"] == remote.span_id
+        assert span["depth"] == 0
+
+    def test_detach_context_swaps_live_span_for_remote(self):
+        with tracing():
+            with trace("live") as span:
+                detach_context()
+                ctx = current_context()
+                assert isinstance(ctx, SpanContext)
+                assert ctx.trace_id == span.trace_id
+                assert ctx.span_id == span.span_id
+                # idempotent: already detached stays put
+                detach_context()
+                assert current_context() is ctx

@@ -6,11 +6,12 @@ import sys
 
 import pytest
 
-from repro.obs import load_events, render_report
+from repro.obs import build_trace_trees, load_events, render_report
 from repro.obs.report import (
     main,
     render_metrics_table,
     render_op_table,
+    render_slowest_traces,
     render_span_table,
 )
 
@@ -98,3 +99,109 @@ def test_module_entry_point(mixed_file):
         capture_output=True, text=True)
     assert proc.returncode == 0
     assert "train.epoch" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Distributed trace stitching
+# ---------------------------------------------------------------------------
+
+def _span(name, ts, dur, trace_id, span_id, parent_id=None, pid=1, **attrs):
+    return {"type": "span", "name": name, "ts": ts, "dur": dur,
+            "trace_id": trace_id, "span_id": span_id, "parent_id": parent_id,
+            "depth": 0, "parent": None, "thread": 1, "pid": pid, **attrs}
+
+
+@pytest.fixture()
+def stitched_files(tmp_path):
+    """A front-end file and a worker file holding one shared trace plus a
+    second single-span trace."""
+    t1, t2 = "ab" * 16, "cd" * 16
+    frontend = tmp_path / "trace.jsonl"
+    worker = tmp_path / "trace.jsonl.w0"
+    with open(frontend, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_span("pool.request", 10.0, 0.050, t1,
+                                  "f" * 16, pid=100)) + "\n")
+        fh.write(json.dumps(_span("other.request", 20.0, 0.005, t2,
+                                  "e" * 16, pid=100)) + "\n")
+    with open(worker, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(_span("serve.request", 10.01, 0.030, t1,
+                                  "a" * 16, parent_id="f" * 16, pid=200)) + "\n")
+        fh.write(json.dumps(_span("serve.predict", 10.02, 0.010, t1,
+                                  "b" * 16, parent_id="a" * 16, pid=200,
+                                  cache_hits=1)) + "\n")
+    return str(frontend), str(worker), t1, t2
+
+
+class TestTraceTrees:
+    def test_cross_file_stitching(self, stitched_files):
+        frontend, worker, t1, t2 = stitched_files
+        trees = build_trace_trees(load_events([frontend, worker]))
+        assert [t["trace_id"] for t in trees] == [t1, t2]  # slowest first
+        tree = trees[0]
+        assert tree["span_count"] == 3
+        assert tree["pids"] == [100, 200]
+        [root] = tree["roots"]
+        assert root["record"]["name"] == "pool.request"
+        [child] = root["children"]
+        assert child["record"]["name"] == "serve.request"
+        [grandchild] = child["children"]
+        assert grandchild["record"]["name"] == "serve.predict"
+
+    def test_self_time_subtracts_children(self, stitched_files):
+        frontend, worker, t1, _ = stitched_files
+        trees = build_trace_trees(load_events([frontend, worker]))
+        [root] = trees[0]["roots"]
+        assert root["self"] == pytest.approx(0.050 - 0.030)
+        [child] = root["children"]
+        assert child["self"] == pytest.approx(0.030 - 0.010)
+
+    def test_missing_parent_becomes_extra_root(self, tmp_path):
+        path = tmp_path / "orphan.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(_span("orphan", 1.0, 0.01, "11" * 16,
+                                      "22" * 8, parent_id="33" * 8)) + "\n")
+        [tree] = build_trace_trees(load_events([str(path)]))
+        assert len(tree["roots"]) == 1  # not lost
+
+    def test_slowest_traces_render(self, stitched_files):
+        frontend, worker, t1, _ = stitched_files
+        text = render_slowest_traces(load_events([frontend, worker]))
+        assert f"trace {t1}" in text
+        assert "pool.request" in text
+        assert "serve.predict cache_hits=1" in text
+
+
+class TestTraceCli:
+    def test_trace_drill_down_by_prefix(self, stitched_files, capsys):
+        frontend, worker, t1, _ = stitched_files
+        assert main(["report", "--trace", t1[:8], frontend, worker]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {t1}" in out
+        assert "serve.request" in out
+        assert "other.request" not in out
+
+    def test_trace_not_found(self, stitched_files, capsys):
+        frontend, worker, _, _ = stitched_files
+        assert main(["report", "--trace", "ff" * 16, frontend, worker]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_json_format(self, stitched_files, capsys):
+        frontend, worker, t1, t2 = stitched_files
+        assert main(["report", "--format", "json", frontend, worker]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_count"] == 2
+        ids = [t["trace_id"] for t in payload["traces"]]
+        assert ids == [t1, t2]
+        deep = payload["traces"][0]["roots"][0]["children"][0]["children"][0]
+        assert deep["name"] == "serve.predict"
+        assert deep["attrs"] == {"cache_hits": 1}
+        stats = payload["span_stats"]["serve.request"]
+        assert stats["count"] == 1
+        assert stats["self_total_s"] == pytest.approx(0.020)
+
+    def test_json_format_single_trace(self, stitched_files, capsys):
+        frontend, worker, t1, _ = stitched_files
+        assert main(["report", "--format", "json", "--trace", t1[:6],
+                     frontend, worker]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [t["trace_id"] for t in payload["traces"]] == [t1]

@@ -1,0 +1,125 @@
+"""SLO tracker: windowed attainment, burn rates, expiry, gauge exposition."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLOTracker, render_prometheus
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def tracker():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    slo = SLOTracker(registry, scope="serve",
+                     objectives={"/predict": 0.100},
+                     latency_target=0.99, availability_target=0.999,
+                     window=300.0, slots=30, clock=clock)
+    return slo, registry, clock
+
+
+class TestObjectives:
+    def test_route_and_default_objectives(self, tracker):
+        slo, _, _ = tracker
+        assert slo.objective("/predict") == 0.100
+        assert slo.objective("/unknown") == slo.default_objective
+
+    def test_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            SLOTracker(registry, latency_target=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(registry, availability_target=0.0)
+        with pytest.raises(ValueError):
+            SLOTracker(registry, slots=1)
+
+
+class TestAttainmentAndBurn:
+    def test_all_fast_requests_attain(self, tracker):
+        slo, _, _ = tracker
+        for _ in range(10):
+            slo.observe("/predict", 0.010, 200)
+        stats = slo.stats()["routes"]["/predict"]
+        assert stats["requests"] == 10
+        assert stats["latency_attainment"] == 1.0
+        assert stats["latency_burn_rate"] == 0.0
+        assert stats["availability"] == 1.0
+        assert stats["error_burn_rate"] == 0.0
+
+    def test_slow_requests_burn_latency_budget(self, tracker):
+        slo, _, _ = tracker
+        for _ in range(9):
+            slo.observe("/predict", 0.010, 200)
+        slo.observe("/predict", 0.500, 200)  # 1 of 10 over the objective
+        stats = slo.stats()["routes"]["/predict"]
+        assert stats["latency_attainment"] == 0.9
+        # bad_fraction / (1 - target) = 0.1 / 0.01
+        assert stats["latency_burn_rate"] == pytest.approx(10.0)
+        assert stats["availability"] == 1.0  # 200s: latency only
+
+    def test_5xx_burn_error_budget_4xx_do_not(self, tracker):
+        slo, _, _ = tracker
+        for _ in range(8):
+            slo.observe("/predict", 0.010, 200)
+        slo.observe("/predict", 0.010, 429)  # shedding: not an error
+        slo.observe("/predict", 0.010, 504)  # deadline miss: is one
+        stats = slo.stats()["routes"]["/predict"]
+        assert stats["availability"] == pytest.approx(0.9)
+        assert stats["error_burn_rate"] == pytest.approx(0.1 / 0.001)
+
+    def test_exactly_on_objective_is_fast(self, tracker):
+        slo, _, _ = tracker
+        slo.observe("/predict", 0.100, 200)  # boundary: > not >=
+        assert slo.stats()["routes"]["/predict"]["latency_attainment"] == 1.0
+
+
+class TestWindow:
+    def test_old_observations_expire(self, tracker):
+        slo, _, clock = tracker
+        slo.observe("/predict", 0.500, 500)  # slow AND failed
+        assert slo.stats()["routes"]["/predict"]["requests"] == 1
+        clock.advance(301.0)  # past the whole window
+        slo.observe("/predict", 0.010, 200)
+        stats = slo.stats()["routes"]["/predict"]
+        assert stats["requests"] == 1  # old bucket lazily reset
+        assert stats["latency_attainment"] == 1.0
+        assert stats["availability"] == 1.0
+
+    def test_partial_window_keeps_recent(self, tracker):
+        slo, _, clock = tracker
+        slo.observe("/predict", 0.500, 200)
+        clock.advance(100.0)  # still inside the 300 s window
+        slo.observe("/predict", 0.010, 200)
+        stats = slo.stats()["routes"]["/predict"]
+        assert stats["requests"] == 2
+        assert stats["latency_attainment"] == 0.5
+
+
+class TestExposition:
+    def test_gauges_land_on_metrics_with_scope_label(self, tracker):
+        slo, registry, _ = tracker
+        slo.observe("/predict", 0.010, 200)
+        text = render_prometheus(registry)
+        assert 'slo_latency_attainment{route="/predict",scope="serve"} 1' in text
+        assert "slo_error_burn_rate" in text
+        assert 'slo_window_requests{route="/predict",scope="serve"} 1' in text
+
+    def test_stats_shape(self, tracker):
+        slo, _, _ = tracker
+        slo.observe("/predict", 0.010, 200)
+        stats = slo.stats()
+        assert stats["scope"] == "serve"
+        assert stats["window_seconds"] == 300.0
+        assert stats["latency_target"] == 0.99
+        assert set(stats["routes"]["/predict"]) == {
+            "objective_ms", "requests", "latency_attainment",
+            "latency_burn_rate", "availability", "error_burn_rate"}

@@ -1,10 +1,17 @@
-"""Span tracing: nesting, timing, JSONL round-trip, no-op fast path."""
+"""Span tracing: nesting, ids, JSONL buffering, concurrency, fork, no-op path."""
 
+import asyncio
+import multiprocessing as mp
+import os
+import re
+import threading
 import time
 
 import pytest
 
 from repro.obs import (
+    current_context,
+    current_span,
     disable_tracing,
     enable_tracing,
     get_tracer,
@@ -13,7 +20,11 @@ from repro.obs import (
     traced,
     tracing,
 )
+from repro.obs.context import SpanContext
 from repro.obs.trace import _NOOP
+
+_HEX32 = re.compile(r"^[0-9a-f]{32}$")
+_HEX16 = re.compile(r"^[0-9a-f]{16}$")
 
 
 @pytest.fixture(autouse=True)
@@ -90,11 +101,11 @@ class TestDisabledFastPath:
 class TestJsonl:
     def test_round_trip_through_file(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
-        enable_tracing(path)
+        enable_tracing(path, flush_every=1)
         with trace("epoch", epoch=1):
             with trace("batch", size=32):
                 pass
-        # line-flushed: readable before disable_tracing closes the handle
+        # flush_every=1 restores line-per-span: readable before disable
         events = read_trace(path)
         assert [e["name"] for e in events] == ["batch", "epoch"]
         assert all(e["type"] == "span" for e in events)
@@ -109,7 +120,7 @@ class TestJsonl:
         import numpy as np
 
         path = str(tmp_path / "trace.jsonl")
-        enable_tracing(path)
+        enable_tracing(path, flush_every=1)
         with trace("np", count=np.int64(5), value=np.float32(0.5)):
             pass
         events = read_trace(path)
@@ -125,3 +136,204 @@ class TestJsonl:
                 pass
         assert len(tracer.spans) == 4
         assert [s["i"] for s in tracer.spans] == [6, 7, 8, 9]
+
+
+class TestIds:
+    def test_root_span_mints_trace_and_span_ids(self):
+        with tracing() as tracer:
+            with trace("root"):
+                pass
+        [span] = tracer.spans
+        assert _HEX32.match(span["trace_id"])
+        assert _HEX16.match(span["span_id"])
+        assert span["parent_id"] is None
+
+    def test_children_share_trace_id_and_chain_parent_ids(self):
+        with tracing() as tracer:
+            with trace("a"):
+                with trace("b"):
+                    with trace("c"):
+                        pass
+        spans = {s["name"]: s for s in tracer.spans}
+        assert spans["a"]["trace_id"] == spans["b"]["trace_id"] \
+            == spans["c"]["trace_id"]
+        assert spans["b"]["parent_id"] == spans["a"]["span_id"]
+        assert spans["c"]["parent_id"] == spans["b"]["span_id"]
+        assert len({spans[n]["span_id"] for n in "abc"}) == 3
+
+    def test_recursion_gets_distinct_span_ids(self):
+        def descend(n):
+            with trace("recurse", level=n):
+                if n:
+                    descend(n - 1)
+
+        with tracing() as tracer:
+            descend(3)
+        spans = sorted(tracer.spans, key=lambda s: s["depth"])
+        assert [s["depth"] for s in spans] == [0, 1, 2, 3]
+        for child, parent in zip(spans[1:], spans):
+            assert child["parent_id"] == parent["span_id"]
+        assert len({s["span_id"] for s in spans}) == 4
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        with tracing() as tracer:
+            with trace("first"):
+                pass
+            with trace("second"):
+                pass
+        first, second = tracer.spans
+        assert first["trace_id"] != second["trace_id"]
+
+
+class TestConcurrency:
+    def test_two_threads_build_disjoint_trees(self):
+        """Spans opened on different threads never parent across threads."""
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            barrier.wait()
+            with trace("thread.root", tag=tag):
+                with trace("thread.child", tag=tag):
+                    time.sleep(0.01)
+
+        with tracing() as tracer:
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in ("x", "y")]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        spans = list(tracer.spans)
+        assert len(spans) == 4
+        by_tag = {}
+        for s in spans:
+            by_tag.setdefault(s["tag"], {})[s["name"]] = s
+        assert by_tag["x"]["thread.root"]["trace_id"] \
+            != by_tag["y"]["thread.root"]["trace_id"]
+        for tag in ("x", "y"):
+            root, child = by_tag[tag]["thread.root"], by_tag[tag]["thread.child"]
+            assert root["parent_id"] is None
+            assert child["trace_id"] == root["trace_id"]
+            assert child["parent_id"] == root["span_id"]
+
+    def test_interleaved_asyncio_tasks_nest_correctly(self):
+        """Tasks copy the context: each task's spans parent to its own
+        request span even when the event loop interleaves them."""
+
+        async def request(tag):
+            with trace("task.request", tag=tag) as root:
+                await asyncio.sleep(0.005)
+                with trace("task.step", tag=tag):
+                    await asyncio.sleep(0.005)
+                return root.trace_id
+
+        async def main():
+            return await asyncio.gather(request("a"), request("b"))
+
+        with tracing() as tracer:
+            trace_ids = asyncio.run(main())
+        assert trace_ids[0] != trace_ids[1]
+        by_tag = {}
+        for s in tracer.spans:
+            by_tag.setdefault(s["tag"], {})[s["name"]] = s
+        for tag, tid in zip(("a", "b"), trace_ids):
+            root, step = by_tag[tag]["task.request"], by_tag[tag]["task.step"]
+            assert root["trace_id"] == tid
+            assert step["trace_id"] == tid
+            assert step["parent_id"] == root["span_id"]
+
+
+def _fork_probe(queue):
+    """Forked child: report tracer state and open one span."""
+    tracer = get_tracer()
+    ctx = current_context()
+    with tracer.span("child.work") as span:
+        pass
+    queue.put({
+        "enabled": tracer.enabled,
+        "path": tracer.path,
+        "ring_before": len(tracer.spans) - 1,  # child.work just landed
+        "ctx_is_detached": isinstance(ctx, SpanContext),
+        "ctx_trace_id": ctx.trace_id if ctx is not None else None,
+        "ctx_span_id": ctx.span_id if ctx is not None else None,
+        "span_trace_id": span.trace_id,
+        "span_parent_id": span._parent_id,
+        "span_depth": span.depth,
+    })
+
+
+class TestForkInheritance:
+    def test_forked_child_keeps_trace_id_with_fresh_stack(self, tmp_path):
+        if not hasattr(os, "register_at_fork"):
+            pytest.skip("fork hooks unavailable")
+        mp_ctx = mp.get_context("fork")
+        path = str(tmp_path / "parent.jsonl")
+        queue = mp_ctx.Queue()
+        with tracing(path=path):
+            with trace("parent.request") as parent:
+                proc = mp_ctx.Process(target=_fork_probe, args=(queue,))
+                proc.start()
+                report = queue.get(timeout=10)
+                proc.join(timeout=10)
+                parent_ids = (parent.trace_id, parent.span_id)
+        # at-fork hook: tracing off, no export file, empty ring
+        assert report["enabled"] is False
+        assert report["path"] is None
+        assert report["ring_before"] == 0
+        # the live parent span was swapped for a detached SpanContext …
+        assert report["ctx_is_detached"] is True
+        assert report["ctx_trace_id"] == parent_ids[0]
+        assert report["ctx_span_id"] == parent_ids[1]
+        # … so a new child span continues the trace at a fresh depth
+        assert report["span_trace_id"] == parent_ids[0]
+        assert report["span_parent_id"] == parent_ids[1]
+        assert report["span_depth"] == 0
+
+
+class TestBuffering:
+    def test_spans_buffer_until_flush_every(self, tmp_path):
+        path = str(tmp_path / "buffered.jsonl")
+        enable_tracing(path, flush_every=4)
+        for i in range(3):
+            with trace("buffered", i=i):
+                pass
+        assert read_trace(path) == []  # still in the in-process buffer
+        with trace("buffered", i=3):
+            pass
+        assert len(read_trace(path)) == 4  # hit flush_every -> one write
+        disable_tracing()
+
+    def test_flush_forces_partial_buffer_out(self, tmp_path):
+        path = str(tmp_path / "flush.jsonl")
+        tracer = enable_tracing(path, flush_every=100)
+        with trace("pending"):
+            pass
+        assert read_trace(path) == []
+        tracer.flush()
+        assert [e["name"] for e in read_trace(path)] == ["pending"]
+        disable_tracing()
+
+    def test_disable_flushes_remaining_buffer(self, tmp_path):
+        path = str(tmp_path / "ondisable.jsonl")
+        enable_tracing(path, flush_every=100)
+        with trace("tail"):
+            pass
+        disable_tracing()
+        assert [e["name"] for e in read_trace(path)] == ["tail"]
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            enable_tracing(str(tmp_path / "x.jsonl"), flush_every=0)
+        disable_tracing()
+
+
+class TestCurrentSpan:
+    def test_current_span_inside_block_is_live(self):
+        with tracing() as tracer:
+            with trace("req"):
+                current_span().set_attr("cache_hits", 7)
+        assert tracer.spans[0]["cache_hits"] == 7
+
+    def test_current_span_outside_block_is_noop(self):
+        assert current_span() is _NOOP
+        current_span().set_attr("ignored", 1)  # must not raise

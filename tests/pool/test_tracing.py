@@ -1,0 +1,136 @@
+"""End-to-end distributed tracing across the pool front-end and workers."""
+
+import glob
+
+import pytest
+
+from repro.obs import (
+    build_trace_trees,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    read_trace,
+)
+
+from .conftest import http
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    get_tracer().reset()
+    yield
+    disable_tracing()
+
+
+def _drain(server):
+    """Drain-shutdown so workers flush their per-rank export files."""
+    server.request_shutdown(drain=True)
+    server.join(timeout=30)
+
+
+def _all_events(path):
+    events = read_trace(path)
+    for worker_file in sorted(glob.glob(path + ".w*")):
+        events += read_trace(worker_file)
+    return events
+
+
+class TestStitchedTraces:
+    def test_one_predict_is_one_cross_process_trace(self, pool_factory,
+                                                    tmp_path):
+        path = str(tmp_path / "pool.jsonl")
+        enable_tracing(path, flush_every=1)
+        server = pool_factory(workers=2)
+        status, payload, headers = http(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+        _drain(server)
+        disable_tracing()
+        trees = build_trace_trees(_all_events(path))
+        [tree] = [t for t in trees if t["trace_id"] == trace_id]
+        # front-end pid + one worker pid
+        assert len(tree["pids"]) == 2
+        [root] = tree["roots"]
+        assert root["record"]["name"] == "pool.request"
+        assert root["record"]["status"] == 200
+        [child] = [c for c in root["children"]
+                   if c["record"]["name"] == "serve.request"]
+        assert child["record"]["pid"] != root["record"]["pid"]
+        assert child["record"]["parent_id"] == root["record"]["span_id"]
+        # the worker's engine spans nest under its serve.request span
+        assert any(g["record"]["name"] == "serve.predict"
+                   for g in child["children"])
+
+    def test_client_traceparent_is_adopted(self, pool_factory, tmp_path):
+        path = str(tmp_path / "pool.jsonl")
+        enable_tracing(path, flush_every=1)
+        server = pool_factory(workers=1)
+        supplied_trace, supplied_span = "ab" * 16, "cd" * 8
+        status, _, headers = http(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3},
+            headers={"traceparent": f"00-{supplied_trace}-{supplied_span}-01"})
+        assert status == 200
+        assert headers["X-Trace-Id"] == supplied_trace
+        _drain(server)
+        disable_tracing()
+        [root] = [e for e in _all_events(path) if e["name"] == "pool.request"]
+        assert root["trace_id"] == supplied_trace
+        assert root["parent_id"] == supplied_span
+
+    def test_error_envelope_carries_trace_id_from_worker(self, pool_factory,
+                                                         tmp_path):
+        path = str(tmp_path / "pool.jsonl")
+        enable_tracing(path, flush_every=1)
+        server = pool_factory(workers=1)
+        status, payload, headers = http(
+            server, "POST", "/predict", {"head": 0})  # missing relation
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert payload["error"]["trace_id"] == headers["X-Trace-Id"]
+
+    def test_shed_429_carries_trace_id_and_retry_after(self, pool_factory):
+        server = pool_factory(workers=1, rate_limit=0.001, rate_burst=1)
+        enable_tracing()  # ring only: no export file needed for envelopes
+        first = http(server, "POST", "/predict",
+                     {"head": 0, "relation": 0, "k": 3})
+        assert first[0] == 200
+        status, payload, headers = http(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 429
+        assert payload["error"]["code"] == "rate_limited"
+        assert "Retry-After" in headers
+        assert payload["error"]["trace_id"] == headers["X-Trace-Id"]
+
+    def test_disabled_tracing_has_no_header_or_worker_files(self, pool_factory,
+                                                            tmp_path):
+        server = pool_factory(workers=1)
+        status, payload, headers = http(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 200
+        assert "X-Trace-Id" not in headers
+        assert glob.glob(str(tmp_path / "*.w*")) == []
+
+
+class TestPoolSLO:
+    def test_stats_exposes_front_end_slo(self, pool_factory):
+        server = pool_factory(workers=1)
+        assert http(server, "POST", "/predict",
+                    {"head": 0, "relation": 0, "k": 3})[0] == 200
+        status, payload, _ = http(server, "GET", "/stats")
+        assert status == 200
+        slo = payload["slo"]
+        assert slo["scope"] == "pool"
+        route = slo["routes"]["/predict"]
+        assert route["requests"] >= 1
+        assert route["availability"] == 1.0
+
+    def test_metrics_have_pool_scope_gauges(self, pool_factory):
+        server = pool_factory(workers=1)
+        assert http(server, "POST", "/predict",
+                    {"head": 0, "relation": 0, "k": 3})[0] == 200
+        status, text, _ = http(server, "GET", "/metrics")
+        assert status == 200
+        assert 'slo_latency_attainment{route="/predict",scope="pool"}' in text

@@ -346,3 +346,147 @@ class TestEnvelopeStorm:
         # The server is still healthy after the storm.
         status, payload = _request(server, "GET", "/healthz")
         assert status == 200 and payload["status"] == "ok"
+
+
+class TestTracing:
+    """Request-scoped trace context on the threaded tier."""
+
+    @pytest.fixture(autouse=True)
+    def _tracing_off(self):
+        from repro.obs import disable_tracing, get_tracer
+
+        get_tracer().reset()
+        yield
+        disable_tracing()
+
+    def _request_headers(self, server, method, path, body=None, headers=None):
+        port = server.server_address[1]
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json", **(headers or {})})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return (response.status, json.loads(response.read()),
+                        dict(response.headers))
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read()), dict(error.headers)
+
+    def test_x_trace_id_header_matches_recorded_span(self, service, tmp_path):
+        from repro.obs import disable_tracing, enable_tracing, read_trace
+
+        server, _, _ = service
+        path = str(tmp_path / "serve.jsonl")
+        enable_tracing(path, flush_every=1)
+        status, _, headers = self._request_headers(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 200
+        trace_id = headers.get("X-Trace-Id")
+        assert trace_id and len(trace_id) == 32
+        disable_tracing()
+        requests = [e for e in read_trace(path)
+                    if e["name"] == "serve.request"]
+        assert [e["trace_id"] for e in requests] == [trace_id]
+        assert requests[0]["route"] == "/predict"
+        assert requests[0]["parent_id"] is None
+
+    def test_client_traceparent_is_honored(self, service, tmp_path):
+        from repro.obs import disable_tracing, enable_tracing, read_trace
+
+        server, _, _ = service
+        path = str(tmp_path / "serve.jsonl")
+        enable_tracing(path, flush_every=1)
+        supplied_trace, supplied_span = "ab" * 16, "cd" * 8
+        status, _, headers = self._request_headers(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3},
+            headers={"traceparent": f"00-{supplied_trace}-{supplied_span}-01"})
+        assert status == 200
+        assert headers.get("X-Trace-Id") == supplied_trace
+        disable_tracing()
+        [span] = [e for e in read_trace(path) if e["name"] == "serve.request"]
+        assert span["trace_id"] == supplied_trace
+        assert span["parent_id"] == supplied_span
+
+    def test_error_envelope_carries_trace_id(self, service, tmp_path):
+        from repro.obs import enable_tracing
+
+        server, _, _ = service
+        enable_tracing(str(tmp_path / "serve.jsonl"), flush_every=1)
+        status, payload, headers = self._request_headers(
+            server, "POST", "/predict", {"head": 0})  # missing relation
+        assert status == 400
+        assert payload["error"]["trace_id"] == headers["X-Trace-Id"]
+
+    def test_disabled_tracing_leaves_envelopes_clean(self, service):
+        server, _, _ = service
+        status, payload, headers = self._request_headers(
+            server, "POST", "/predict", {"head": 0})
+        assert status == 400
+        assert "X-Trace-Id" not in headers
+        assert "trace_id" not in payload["error"]
+
+    def test_request_span_carries_engine_attrs(self, service, tmp_path):
+        """/score runs on the request thread, so the engine hangs its
+        cache counters off the serve.request span itself."""
+        from repro.obs import disable_tracing, enable_tracing, read_trace
+
+        server, _, _ = service
+        path = str(tmp_path / "serve.jsonl")
+        enable_tracing(path, flush_every=1)
+        status, _, _ = self._request_headers(
+            server, "POST", "/score", {"triples": [[0, 0, 1]]})
+        assert status == 200
+        # warm the (0, 0) score row via the row-caching predict path
+        status, _, _ = self._request_headers(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 200
+        status, _, _ = self._request_headers(
+            server, "POST", "/score", {"triples": [[0, 0, 1]]})
+        assert status == 200
+        disable_tracing()
+        spans = [e for e in read_trace(path)
+                 if e["name"] == "serve.request" and e["route"] == "/score"]
+        assert len(spans) == 2
+        assert spans[0]["cache_misses"] == 1  # cold: per-cell path
+        assert spans[1]["cache_hits"] == 1    # cached row from /predict
+
+    def test_batched_predicts_link_their_traces(self, service, tmp_path):
+        """The serve.batch span runs on the batcher thread (its own
+        trace) and records the coalesced requests' trace ids instead."""
+        from repro.obs import disable_tracing, enable_tracing, read_trace
+
+        server, _, _ = service
+        path = str(tmp_path / "serve.jsonl")
+        enable_tracing(path, flush_every=1)
+        status, _, headers = self._request_headers(
+            server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        assert status == 200
+        trace_id = headers["X-Trace-Id"]
+        disable_tracing()
+        batches = [e for e in read_trace(path) if e["name"] == "serve.batch"]
+        assert any(trace_id in e.get("trace_links", "") for e in batches)
+
+
+class TestSLO:
+    def test_stats_exposes_slo_block(self, service):
+        server, _, _ = service
+        _request(server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        status, payload = _request(server, "GET", "/stats")
+        assert status == 200
+        slo = payload["slo"]
+        assert slo["scope"] == "serve"
+        route = slo["routes"]["/predict"]
+        assert route["requests"] >= 1
+        assert 0.0 <= route["latency_attainment"] <= 1.0
+        assert route["availability"] == 1.0
+
+    def test_slo_gauges_on_metrics(self, service):
+        server, _, _ = service
+        _request(server, "POST", "/predict", {"head": 0, "relation": 0, "k": 3})
+        port = server.server_address[1]
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=30) as response:
+            text = response.read().decode()
+        assert "slo_latency_attainment" in text
+        assert 'route="/predict",scope="serve"' in text
+        assert "slo_error_burn_rate" in text
