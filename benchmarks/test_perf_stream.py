@@ -1,0 +1,139 @@
+"""Streaming benchmark: append latency, inductive-embed throughput, parity.
+
+Times the three costs the ``repro.stream`` tier adds to a live engine on
+the smoke-scale DRKG-MM graph, recording them into
+``benchmarks/results/BENCH_stream.json``:
+
+* **append latency** — p50/p99 over a run of sequential single-entity
+  ``apply_append`` calls against a live :class:`PredictionEngine`
+  (parse -> plan -> inductive embed -> commit under the engine lock,
+  cache invalidation, filter fold);
+* **inductive-embed throughput** — entities/sec through
+  :func:`plan_append` for a batch of unseen compounds with text +
+  molecule modalities (plan mutates nothing, so one encoder amortises
+  across the whole batch);
+* **post-append query overhead** — exact top-k latency for a
+  pre-existing query before vs after the appends, plus a bit-identity
+  check that the appends never perturbed pre-existing scores.
+
+The overhead ratio is asserted loosely (< 2x) because on a 1-core CI
+box the timings are dominated by scheduler noise at this scale; the
+parity check is exact everywhere.  Set ``BENCH_STREAM_QUICK=1`` (CI)
+for a shorter run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.baselines import build_model
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.serve import PredictionEngine
+from repro.stream import EntitySpec, apply_append, default_encoder, plan_append
+
+from conftest import RESULTS_DIR
+
+QUICK = bool(os.environ.get("BENCH_STREAM_QUICK"))
+NUM_APPENDS = 8 if QUICK else 64
+EMBED_BATCH = 32 if QUICK else 256
+QUERY_ROUNDS = 50 if QUICK else 300
+MAX_OVERHEAD = 2.0
+
+
+def _specs(feats, count: int, prefix: str) -> list[EntitySpec]:
+    d_m = feats.molecular.shape[1]
+    return [EntitySpec(name=f"{prefix}::{i}", entity_type="Compound",
+                       description=f"streamed benchmark compound {i}",
+                       molecule=np.linspace(0.0, 1.0, d_m) * (i + 1))
+            for i in range(count)]
+
+
+def _quantiles(seconds: list[float]) -> dict:
+    arr = np.asarray(seconds)
+    return {"p50_ms": float(np.percentile(arr, 50) * 1e3),
+            "p99_ms": float(np.percentile(arr, 99) * 1e3),
+            "mean_ms": float(arr.mean() * 1e3)}
+
+
+def _time_query(engine, head: int, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        tick = time.perf_counter()
+        engine.top_k_tails(head, 0, 10)
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def test_stream_append_and_embed_throughput():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.3))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6,
+                           d_s=6, gin_epochs=1, compgcn_epochs=1)
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(1),
+                           dim=32)
+    engine = PredictionEngine(model, mkg.split, model_name="TransE")
+    old_n = engine.num_entities
+    record = {"quick": QUICK, "num_entities": old_n,
+              "num_appends": NUM_APPENDS, "embed_batch": EMBED_BATCH}
+
+    probe_head = 3
+    baseline_scores = engine.scores(np.array([probe_head]), np.array([0]))
+    before_seconds = _time_query(engine, probe_head, QUERY_ROUNDS)
+
+    # Sequential single-entity appends: the serving-path hot loop.
+    tail = mkg.split.graph.entities.name(3)
+    timings = []
+    for i in range(NUM_APPENDS):
+        spec = _specs(feats, 1, f"BENCH::{i}")[0]
+        body = {"entities": [{"name": spec.name, "type": spec.entity_type,
+                              "description": spec.description,
+                              "molecule": spec.molecule.tolist()}],
+                "triples": [[spec.name, 0, tail]]}
+        tick = time.perf_counter()
+        delta = apply_append(engine, body, source="bench")
+        timings.append(time.perf_counter() - tick)
+        assert delta.generation == i + 1
+    record["append_latency"] = _quantiles(timings)
+    record["appends_per_sec"] = NUM_APPENDS / sum(timings)
+
+    # Batched inductive embedding through plan_append (no commit).
+    encoder = default_encoder(engine.model, engine.split)
+    specs = _specs(feats, EMBED_BATCH, "EMBED")
+    raw = [[s.name, 0, tail] for s in specs]
+    plan_append(engine.model, engine.split, specs, raw, encoder=encoder)
+    tick = time.perf_counter()
+    plan = plan_append(engine.model, engine.split, specs, raw,
+                       encoder=encoder)
+    embed_seconds = time.perf_counter() - tick
+    assert plan.rows.entity.shape == (EMBED_BATCH, 32)
+    record["embed"] = {"seconds": embed_seconds,
+                       "entities_per_sec": EMBED_BATCH / embed_seconds}
+
+    # Post-append parity: pre-existing scores bit-identical, exact-path
+    # latency within budget of the pre-append baseline.
+    after_scores = engine.scores(np.array([probe_head]), np.array([0]))
+    np.testing.assert_array_equal(after_scores[:, :old_n], baseline_scores)
+    assert engine.num_entities == old_n + NUM_APPENDS
+    after_seconds = _time_query(engine, probe_head, QUERY_ROUNDS)
+    record["query"] = {
+        "before_ms": before_seconds * 1e3,
+        "after_ms": after_seconds * 1e3,
+        "overhead_ratio": after_seconds / before_seconds,
+        "entities_added_pct": 100.0 * NUM_APPENDS / old_n,
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_stream.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\n[stream] append p50={record['append_latency']['p50_ms']:.2f}ms "
+          f"p99={record['append_latency']['p99_ms']:.2f}ms "
+          f"embed={record['embed']['entities_per_sec']:.0f} ent/s "
+          f"query_overhead={record['query']['overhead_ratio']:.2f}x "
+          f"[written to {path}]")
+
+    assert record["query"]["overhead_ratio"] < MAX_OVERHEAD, record

@@ -7,6 +7,13 @@ and per-relation-family breakdowns (:mod:`repro.eval.per_relation`).
 """
 
 from .evaluator import CSRFilter, RankingEvaluator, build_csr_filter
+from .inductive import (
+    InductiveReport,
+    InductiveSplit,
+    UnseenEntity,
+    evaluate_inductive,
+    make_unseen_split,
+)
 from .metrics import RankingMetrics
 from .per_relation import (
     evaluate_per_relation_family,
@@ -34,4 +41,9 @@ __all__ = [
     "evaluate_per_relation_family",
     "family_of_triples",
     "family_triple_counts",
+    "InductiveReport",
+    "InductiveSplit",
+    "UnseenEntity",
+    "evaluate_inductive",
+    "make_unseen_split",
 ]

@@ -114,6 +114,37 @@ class CSRFilter:
         starts, ends = self.lookup(np.array([head]), np.array([rel]))
         return self.indices[int(starts[0]):int(ends[0])]
 
+    def append_rows(self, triples: np.ndarray, *, num_relations: int,
+                    num_entities: int) -> "CSRFilter":
+        """A new filter additionally covering ``triples`` (both directions).
+
+        The structure is frozen, so streaming appends build a fresh one:
+        the existing ``(code, value)`` pairs are reconstructed from the
+        CSR arrays, the new triples contribute ``(h, r) -> t`` and
+        ``(t, r + num_relations) -> h`` exactly like
+        :func:`build_csr_filter`, and the union is re-packed through the
+        shared :func:`repro.graph.pack_csr_rows` pass (which also
+        de-duplicates already-known cells).  ``num_entities`` must be
+        the *post-append* entity count so appended ids pack correctly.
+        """
+        if 2 * num_relations != self.code_mult:
+            raise ValueError(
+                f"filter was built with code_mult={self.code_mult}, not "
+                f"2 * {num_relations}; relation count cannot change")
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        if len(triples) == 0:
+            return self
+        counts = np.diff(self.indptr)
+        old_codes = np.repeat(self.keys, counts)
+        h, r, t = triples[:, 0], triples[:, 1], triples[:, 2]
+        codes = np.concatenate([
+            old_codes, h * self.code_mult + r,
+            t * self.code_mult + (r + num_relations)])
+        values = np.concatenate([self.indices, t, h])
+        keys, indptr, indices = pack_csr_rows(codes, values, num_entities)
+        return CSRFilter(keys=keys, indptr=indptr, indices=indices,
+                         code_mult=self.code_mult)
+
 
 def build_csr_filter(split: KGSplit,
                      parts: tuple[str, ...] = ("train", "valid", "test")) -> CSRFilter:

@@ -31,6 +31,25 @@ class Vocabulary:
         self._id_to_name.append(name)
         return idx
 
+    def extend(self, names: Iterable[str]) -> list[int]:
+        """Append strictly-new names atomically and return their ids.
+
+        Unlike the idempotent :meth:`add`, a name that is already
+        registered (or repeated within ``names``) raises ``ValueError``
+        — the streaming append path must not silently alias two
+        different entities onto one embedding row.  Nothing is mutated
+        when the batch is rejected, and an empty batch returns ``[]``.
+        """
+        batch = list(names)
+        dupes = sorted({n for n in batch if n in self._name_to_id})
+        if dupes:
+            raise ValueError(f"names already registered: {dupes}")
+        if len(set(batch)) != len(batch):
+            seen: set[str] = set()
+            repeated = sorted({n for n in batch if n in seen or seen.add(n)})
+            raise ValueError(f"duplicate names within batch: {repeated}")
+        return [self.add(name) for name in batch]
+
     def id(self, name: str) -> int:
         """Return the id of ``name``; raises ``KeyError`` if absent."""
         return self._name_to_id[name]

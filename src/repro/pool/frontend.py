@@ -26,6 +26,17 @@ Failure behaviour (the matrix DESIGN.md §12 documents):
 * **SIGTERM** — graceful drain: stop accepting, finish in-flight work,
   stop workers, release the shared segment.
 
+``POST /append`` (streaming, :mod:`repro.stream`) is handled in the
+parent, not dispatched: the parent model/vocabulary/filter grow first,
+then :meth:`ReplicaPool.republish` publishes a fresh shared segment
+from the grown model and rolls the workers onto it one generation
+forward — new workers spawn against the new segment, in-flight requests
+on the old generation drain (stragglers are requeued once, like a
+worker loss), and the old segment is released.  Replicas therefore pick
+up appends via generation-stamped republish; ``/healthz`` exposes the
+stream generation and per-replica generations so clients can watch the
+roll complete.
+
 ``/healthz`` reports per-replica liveness; ``/stats`` and ``/metrics``
 merge every worker's :class:`~repro.obs.MetricsRegistry` snapshot with
 the front-end's own counters (``MetricsRegistry.merge``), so pool-wide
@@ -182,6 +193,9 @@ class ReplicaPool:
         self._c_late = self.metrics.counter(
             "pool_late_responses_total",
             "worker responses discarded after the request was answered")
+        self._c_republishes = self.metrics.counter(
+            "pool_republishes_total",
+            "replica republish rolls (streaming appends adopted)")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -430,6 +444,87 @@ class ReplicaPool:
             self._c_requeues.inc()
 
     # ------------------------------------------------------------------
+    # Republish (streaming appends)
+    # ------------------------------------------------------------------
+    async def republish(self) -> None:
+        """Roll every worker onto a fresh segment of the (grown) model.
+
+        Called after the parent model/split/filter have adopted a
+        streaming append.  Sequence:
+
+        1. publish a new shared segment from the current parent model;
+        2. spawn replacement workers (next generation) against it — the
+           pool never drops below full strength on the new generation;
+        3. let requests in flight on the old generation drain (bounded
+           by ``drain_timeout``), requeueing stragglers once exactly as
+           a worker loss would;
+        4. stop the old workers and release the old segment.
+
+        ``attach_replica`` hard-fails on a shape mismatch, which is why
+        a whole new segment (not an in-place overwrite) is required:
+        the entity table changed shape.
+        """
+        from .replica import publish_replica
+
+        old_segment = self.segment
+        old_handles = [h for h in self.handles.values() if h.alive]
+        victims = [p for h in old_handles for p in h.inflight.values()]
+        self.segment = publish_replica(self.model)
+        for rank in list(self.handles):
+            self._spawn(rank)  # replaces the handle; old one kept above
+        self._c_republishes.inc()
+        logger.info("republished %d-byte segment at generation %d; rolling "
+                    "%d worker(s)", self.segment.nbytes, self._generation,
+                    len(old_handles))
+        deadline = time.monotonic() + self.config.drain_timeout
+        while (any(not p.future.done() for p in victims)
+               and time.monotonic() < deadline):
+            await asyncio.sleep(0.01)
+        for handle in old_handles:
+            handle.alive = False
+            try:
+                handle.cmd.put(("stop",))
+            except Exception:  # pragma: no cover - broken queue
+                pass
+        for handle in old_handles:
+            handle.proc.join(timeout=2.0)
+            if handle.proc.is_alive():  # pragma: no cover - hung worker
+                handle.proc.terminate()
+                handle.proc.join(timeout=1.0)
+            handle.cmd.cancel_join_thread()
+            handle.cmd.close()
+        if old_segment is not None:
+            old_segment.close()
+        self._g_alive.set(self.num_live())
+        # Stragglers lost with their worker: requeue once onto the new
+        # generation, mirroring the worker-death policy.
+        for pending in victims:
+            if pending.future.done():
+                continue
+            self._pending.pop(pending.req_id, None)
+            if pending.kind != "req":
+                self._fail(pending, 503, _envelope(
+                    "worker_lost", "worker rolled during republish"))
+                continue
+            if pending.requeued:
+                self._c_lost.inc()
+                self._fail(pending, 503, _envelope(
+                    "worker_lost", "request lost across a republish roll "
+                    "(already requeued once)"))
+                continue
+            pending.requeued = True
+            try:
+                target = self._pick_worker()
+            except NoLiveWorkers:
+                self._c_lost.inc()
+                self._fail(pending, 503, _envelope(
+                    "worker_lost", "no live replica workers after republish"))
+                continue
+            self._pending[pending.req_id] = pending
+            self._send(target, pending)
+            self._c_requeues.inc()
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     async def gather_worker_stats(self) -> list[dict]:
@@ -462,7 +557,8 @@ class PoolServer:
 
     def __init__(self, model, split, config: PoolConfig, *,
                  model_name: str = "model", ann=None,
-                 bundle_version: int | None = None) -> None:
+                 bundle_version: int | None = None,
+                 appended=None, stream_generation: int = 0) -> None:
         self.config = config
         self.model = model
         self.split = split
@@ -471,7 +567,20 @@ class PoolServer:
         self.bundle_version = bundle_version
         self.started = time.time()
         self.metrics = MetricsRegistry()
+        #: Streaming delta-log generation the parent (and, after each
+        #: republish roll, every replica) has adopted.
+        self.stream_generation = int(stream_generation)
+        self._append_lock = asyncio.Lock()
+        csr_filter = None
+        if appended is not None and len(appended):
+            # v3 bundles: appended known triples join the filter without
+            # belonging to any train/valid/test part.
+            csr_filter = build_csr_filter(
+                split, ("train", "valid", "test")).append_rows(
+                    appended, num_relations=split.num_relations,
+                    num_entities=split.num_entities)
         self.pool = ReplicaPool(model, split, config, model_name=model_name,
+                                csr_filter=csr_filter,
                                 ann=ann, bundle_version=bundle_version,
                                 registry=self.metrics)
         self.limiter = RateLimiter(config.rate_limit, config.rate_burst,
@@ -529,7 +638,9 @@ class PoolServer:
         serving = resolve_ann_policy(bundle, model, ann)
         return cls(model, bundle.split, config, model_name=bundle.model_name,
                    ann=serving,
-                   bundle_version=bundle.manifest.get("format_version"))
+                   bundle_version=bundle.manifest.get("format_version"),
+                   appended=bundle.appended,
+                   stream_generation=bundle.stream_generation)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -772,6 +883,8 @@ class PoolServer:
             elif method == "POST" and path in DISPATCH_ROUTES:
                 status, payload, extra = await self._dispatch_post(
                     path, headers, raw, client_ip)
+            elif method == "POST" and path == "/append":
+                status, payload = await self._append(raw)
             else:
                 status, payload = 404, _envelope(
                     "not_found", f"no route for {method} {path}")
@@ -837,6 +950,52 @@ class PoolServer:
             ticket.release()
             self._g_depth.labels(route=path).set(self.admission.depth(path))
 
+    async def _append(self, raw: bytes) -> tuple[int, dict]:
+        """Apply a streaming append on the parent, then roll the replicas.
+
+        Handled locally: workers hold read-only replicas, so the
+        mutation happens on the parent model/vocabulary/filter and
+        propagates via :meth:`ReplicaPool.republish` (a fresh shared
+        segment + generation-stamped worker roll).  Serialised by a
+        lock so concurrent appends commit in generation order.
+        """
+        from ..stream import (StreamError, StreamMetrics, apply_append_to_model,
+                              default_encoder)
+
+        try:
+            body = json.loads(raw) if raw else None
+        except json.JSONDecodeError as exc:
+            return 400, _envelope("bad_json", f"invalid JSON body: {exc}")
+        if self._draining:
+            return 503, _envelope("draining", "server is draining; retry later")
+        async with self._append_lock:
+            encoder = getattr(self, "_stream_encoder", None)
+            if encoder is None:
+                encoder = default_encoder(self.model, self.split)
+                self._stream_encoder = encoder
+            try:
+                delta, _ = apply_append_to_model(
+                    self.model, self.split, body, encoder=encoder,
+                    generation=self.stream_generation + 1, source="pool")
+            except StreamError as exc:
+                return exc.status, _envelope(exc.code, exc.message)
+            if len(delta.triples):
+                self.pool.csr_filter = self.pool.csr_filter.append_rows(
+                    delta.triples, num_relations=self.split.num_relations,
+                    num_entities=self.split.num_entities)
+            self.stream_generation = delta.generation
+            StreamMetrics(self.metrics).record(delta)
+            with trace("pool.republish", generation=delta.generation):
+                await self.pool.republish()
+        return 200, {
+            "applied": delta.log_entry(),
+            "stream_generation": self.stream_generation,
+            "num_entities": int(self.split.num_entities),
+            "replicas": [h.liveness() for h in
+                         sorted(self.pool.handles.values(),
+                                key=lambda h: h.rank)],
+        }
+
     # ------------------------------------------------------------------
     # Local routes
     # ------------------------------------------------------------------
@@ -864,6 +1023,7 @@ class PoolServer:
             "uptime_seconds": round(time.time() - self.started, 3),
             "version": __version__,
             "bundle": {"version": self.bundle_version},
+            "stream": {"generation": int(self.stream_generation)},
             "ann": ann_info,
             "replicas": replicas,
         }

@@ -101,15 +101,23 @@ class AnnServing:
             raise AnnError(
                 f"index metric {self.index.metric!r} does not match model "
                 f"metric {model.ann_metric!r}")
-        if self.index.num_vectors != num_entities:
+        if self.index.num_vectors > num_entities:
             raise AnnError(
                 f"index covers {self.index.num_vectors} entities but the "
-                f"bundle has {num_entities}")
+                f"bundle has only {num_entities}")
+        # Fewer indexed rows than entities is a *stale prefix*, which is
+        # legal: streaming appends add rows at the end of the entity
+        # table, and the engine serves unindexed rows through the exact
+        # path until the rebuild-threshold policy refreshes the index.
         dim = np.shape(model.ann_vectors())[1]
         if self.index.dim != dim:
             raise AnnError(
                 f"index dim {self.index.dim} does not match entity table "
                 f"dim {dim}")
+
+    def stale_rows(self, num_entities: int) -> int:
+        """Entity rows appended after this index was built (0 = fresh)."""
+        return max(0, int(num_entities) - int(self.index.num_vectors))
 
     # ------------------------------------------------------------------
     # Serving

@@ -26,6 +26,18 @@ precomputed IVF index + quantized entity table
 directory layout / ``ann::``-prefixed arrays in the single-file layout,
 described by an ``"ann"`` manifest section carrying its own format
 version.  Version-1 bundles (no ``"ann"`` section) load unchanged.
+
+Format version 3 adds *optional* streaming-append state
+(:mod:`repro.stream`): a ``split::appended`` array of known triples
+added after training (they join the graph and the known-triple filter
+but no train/valid/test part), and a ``"stream"`` manifest section —
+``{"generation": N, "log": [...]}`` — the monotonically versioned
+delta log of every applied append
+(:meth:`repro.stream.AppendDelta.log_entry`).  The appended entities'
+vocabulary rows, feature rows, and embedding rows are saved in place in
+the regular sections, so a v3 bundle is self-contained: loading it
+reproduces the post-append serving state exactly.  Version-1/2 bundles
+(no ``"stream"`` section) load unchanged.
 """
 
 from __future__ import annotations
@@ -46,7 +58,7 @@ from ..obs import trace
 __all__ = ["BUNDLE_VERSION", "BundleError", "CheckpointBundle",
            "save_bundle", "load_bundle"]
 
-BUNDLE_VERSION = 2
+BUNDLE_VERSION = 3
 
 _MANIFEST = "manifest.json"
 _VOCAB = "vocab.json"
@@ -77,6 +89,10 @@ class CheckpointBundle:
     features: ModalityFeatures
     state: dict[str, np.ndarray]
     ann_arrays: dict[str, np.ndarray] | None = None
+    #: Known triples appended after training (v3 ``split::appended``);
+    #: always a ``(n, 3)`` array, empty for v1/v2 bundles.
+    appended: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.empty((0, 3), dtype=np.int64))
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -108,6 +124,16 @@ class CheckpointBundle:
         if not meta or self.ann_arrays is None:
             return None
         return meta, self.ann_arrays
+
+    @property
+    def stream_generation(self) -> int:
+        """Streaming delta-log generation (0 for pristine / v1-v2 bundles)."""
+        return int(self.manifest.get("stream", {}).get("generation", 0))
+
+    @property
+    def stream_log(self) -> list[dict[str, Any]]:
+        """The append delta log, oldest first (empty for v1-v2 bundles)."""
+        return list(self.manifest.get("stream", {}).get("log", []))
 
     @property
     def train_report(self):
@@ -156,7 +182,8 @@ class CheckpointBundle:
 def save_bundle(path: str, model, model_name: str, split: KGSplit,
                 features: ModalityFeatures, dim: int,
                 extra: dict[str, Any] | None = None,
-                report=None, ann=None) -> str:
+                report=None, ann=None, appended: np.ndarray | None = None,
+                stream: dict[str, Any] | None = None) -> str:
     """Write ``model`` (+ everything needed to rebuild it) to ``path``.
 
     ``path`` ending in ``.npz`` selects the single-file layout, anything
@@ -166,7 +193,10 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
     :attr:`CheckpointBundle.train_report`.  ``ann`` (an
     :class:`repro.serve.AnnServing`) embeds a precomputed IVF index +
     quantized entity table so servers can answer approximate top-k
-    without rebuilding it on load.  Returns ``path``.
+    without rebuilding it on load.  ``appended`` (streaming appends,
+    v3) stores known triples added after training as
+    ``split::appended``; ``stream`` embeds the delta-log manifest
+    section (``{"generation": N, "log": [...]}``).  Returns ``path``.
     """
     state = model.state_dict()
     config = None
@@ -191,6 +221,9 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
         "extra": extra or {},
         "train_report": report.to_dict() if report is not None else None,
     }
+    if stream is not None:
+        manifest["stream"] = {"generation": int(stream.get("generation", 0)),
+                              "log": list(stream.get("log", []))}
     ann_arrays: dict[str, np.ndarray] = {}
     if ann is not None:
         ann_meta, ann_arrays = ann.to_payload()
@@ -209,6 +242,9 @@ def save_bundle(path: str, model, model_name: str, split: KGSplit,
         "features::structural": features.structural,
         "features::has_molecule": features.has_molecule,
     }
+    if appended is not None and len(appended):
+        data["split::appended"] = np.asarray(
+            appended, dtype=np.int64).reshape(-1, 3)
     if _is_single_file(path):
         arrays = {f"state::{k}": v for k, v in state.items()}
         arrays.update(data)
@@ -325,9 +361,15 @@ def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
     train = data["split::train"]
     valid = data["split::valid"]
     test = data["split::test"]
+    appended = data.get("split::appended")
+    if appended is None:
+        appended = np.empty((0, 3), dtype=np.int64)
+    appended = np.asarray(appended, dtype=np.int64).reshape(-1, 3)
     graph = KnowledgeGraph(
         entities=entities, relations=relations,
-        triples=np.concatenate([train, valid, test]),
+        # Appended triples are part of the known graph (and the serving
+        # filter) without belonging to any train/valid/test part.
+        triples=np.concatenate([train, valid, test, appended]),
         entity_types=list(vocab.get("entity_types", [])),
         name=manifest.get("dataset", {}).get("name", "bundle"),
     )
@@ -340,4 +382,5 @@ def _load_bundle_inner(path: str, strict: bool) -> CheckpointBundle:
     )
     return CheckpointBundle(manifest=manifest, split=split,
                             features=features, state=state,
-                            ann_arrays=ann_arrays or None)
+                            ann_arrays=ann_arrays or None,
+                            appended=appended)

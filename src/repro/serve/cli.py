@@ -5,6 +5,9 @@ Subcommands::
     export  Train a registry model at a scale preset and write a bundle.
     query   Load a bundle and answer one top-k query from the shell.
     serve   Load a bundle and run the JSON HTTP service.
+    append  Apply a streaming append (unseen entities + known triples)
+            to a bundle offline and re-export it as bundle v3.
+    inspect Print a bundle's manifest.
 
 Example session (tiny DRKG-MM split)::
 
@@ -113,6 +116,64 @@ def _cmd_query(args: argparse.Namespace) -> int:
               f"{payload['relation']}) [filter_known={args.filter_known}]")
         for rank, item in enumerate(payload["results"], start=1):
             print(f"  {rank:3d}. {item['entity']:<32s} {item['score']:.6f}")
+    return 0
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    """Offline append: grow a bundle's model/vocab/features on disk.
+
+    Reads the same request JSON the ``POST /append`` route accepts,
+    applies it through the inductive encoder, and re-exports the bundle
+    (v3) with the delta journaled in the manifest's ``stream`` log.  A
+    bundled ANN index is carried over as-is — its stale-prefix rows are
+    served through the exact fallback until a rebuild.
+    """
+    import sys
+
+    import numpy as np
+
+    from ..stream import StreamError, apply_append_to_model
+    from .ann import AnnServing
+
+    bundle = load_bundle(args.bundle)
+    model = bundle.build_model()
+    if args.request == "-":
+        body = json.load(sys.stdin)
+    else:
+        with open(args.request, encoding="utf-8") as handle:
+            body = json.load(handle)
+    try:
+        delta, feats = apply_append_to_model(
+            model, bundle.split, body, features=bundle.features,
+            generation=bundle.stream_generation + 1, source="cli")
+    except StreamError as exc:
+        raise SystemExit(f"append rejected ({exc.code}): {exc.message}")
+    ann = None
+    payload = bundle.ann_payload()
+    if payload is not None:
+        ann = AnnServing.from_payload(*payload)
+        if args.rebuild_ann:
+            ann = AnnServing.build(model, nlist=ann.index.nlist,
+                                   nprobe=ann.index.default_nprobe,
+                                   store=ann.index.store)
+    appended = np.concatenate(
+        [bundle.appended, delta.triples]) if len(delta.triples) \
+        else bundle.appended
+    stream = {"generation": delta.generation,
+              "log": bundle.stream_log + [delta.log_entry()]}
+    out = args.out or args.bundle
+    save_bundle(out, model, bundle.model_name, bundle.split, feats,
+                dim=bundle.dim, extra=bundle.manifest.get("extra"),
+                ann=ann, appended=appended, stream=stream)
+    print(json.dumps({
+        "bundle": out,
+        "applied": delta.log_entry(),
+        "stream_generation": delta.generation,
+        "num_entities": int(bundle.split.num_entities),
+        "ann": None if ann is None else
+        {"num_vectors": ann.index.num_vectors,
+         "stale_rows": ann.stale_rows(bundle.split.num_entities)},
+    }, indent=2))
     return 0
 
 
@@ -254,6 +315,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pool: seconds a graceful shutdown waits for "
                             "in-flight requests")
     serve.set_defaults(func=_cmd_serve)
+
+    append = sub.add_parser(
+        "append", help="apply a streaming append to a bundle offline (v3)")
+    append.add_argument("--bundle", required=True,
+                        help="bundle to grow (dir or *.npz)")
+    append.add_argument("--request", required=True,
+                        help="append request JSON file ('-' reads stdin): "
+                             "{'entities': [{'name', 'type'?, 'description'?, "
+                             "'molecule'?}], 'triples': [[h, r, t], ...]}")
+    append.add_argument("--out", default=None,
+                        help="output bundle path (default: rewrite in place)")
+    append.add_argument("--rebuild-ann", action="store_true",
+                        help="retrain a bundled ANN index over the grown "
+                             "entity table instead of carrying the stale one")
+    append.set_defaults(func=_cmd_append)
 
     inspect = sub.add_parser("inspect", help="print a bundle's manifest")
     inspect.add_argument("--bundle", required=True)

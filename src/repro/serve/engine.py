@@ -99,11 +99,21 @@ class PredictionEngine:
         self.cache_size = int(cache_size)
         self.filter_parts = filter_parts
         self._filter: CSRFilter | None = None
+        #: Triples known to the engine but absent from the split parts
+        #: (streaming appends); folded in when the filter is lazily built.
+        self._extra_filter_triples: list[np.ndarray] = []
+        #: Bumped whenever the known-triple filter changes; cached score
+        #: rows from an older epoch were already dropped by the matching
+        #: ``invalidate`` call, so readers can assert freshness cheaply.
+        self.filter_epoch = 0
+        #: Streaming delta-log generation this engine has applied.
+        self.stream_generation = 0
         self._cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
         self._lock = threading.Lock()
         if ann is not None:
             ann.validate_for(model, self.num_entities)
         self.ann = ann
+        self.ann_rebuild_threshold: float | None = None
         self.approx_default = bool(approx_default)
         self.metrics = registry if registry is not None else MetricsRegistry()
         cache_result = self.metrics.counter(
@@ -146,6 +156,16 @@ class PredictionEngine:
         self._g_ann_recall = self.metrics.gauge(
             "serve_ann_recall_check",
             "recall@k of the ANN path vs the exact path (last self-check)")
+        self._g_ann_stale = self.metrics.gauge(
+            "ann_stale_rows",
+            "entity rows appended after the attached ANN index was built")
+        self._m_invalidations = self.metrics.counter(
+            "serve_cache_invalidations_total",
+            "score rows dropped by explicit cache invalidation")
+        self._m_ann_rebuilds = self.metrics.counter(
+            "serve_ann_rebuilds_total",
+            "ANN index rebuilds triggered by the staleness threshold")
+        self._refresh_ann_staleness()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -174,20 +194,115 @@ class PredictionEngine:
         logger.info("loaded bundle %s (model=%s, entities=%d, relations=%d)",
                     path, bundle.model_name, bundle.split.num_entities,
                     bundle.split.num_relations)
-        return cls(model, bundle.split, model_name=bundle.model_name,
-                   ann=serving,
-                   bundle_version=bundle.manifest.get("format_version"),
-                   **kwargs)
+        engine = cls(model, bundle.split, model_name=bundle.model_name,
+                     ann=serving,
+                     bundle_version=bundle.manifest.get("format_version"),
+                     **kwargs)
+        if len(bundle.appended):
+            # v3 streaming appends: part of the known graph (and filter)
+            # without belonging to any train/valid/test part.
+            engine.append_filter_rows(bundle.appended)
+        engine.stream_generation = bundle.stream_generation
+        return engine
 
     @property
     def filter(self) -> CSRFilter:
         """Known-triple CSR filter, built lazily on first filtered query."""
         if self._filter is None:
             tick = time.perf_counter()
-            self._filter = build_csr_filter(self.split, self.filter_parts)
+            built = build_csr_filter(self.split, self.filter_parts)
+            for triples in self._extra_filter_triples:
+                built = built.append_rows(triples,
+                                          num_relations=self.num_relations,
+                                          num_entities=self.num_entities)
+            self._filter = built
             logger.info("built CSR filter: %d known cells in %.1f ms",
                         self._filter.nnz, 1e3 * (time.perf_counter() - tick))
         return self._filter
+
+    # ------------------------------------------------------------------
+    # Streaming mutation hooks
+    # ------------------------------------------------------------------
+    def _invalidate_unlocked(self, keys) -> int:
+        if keys is None:
+            dropped = len(self._cache)
+            self._cache.clear()
+        else:
+            dropped = 0
+            for key in keys:
+                if self._cache.pop((int(key[0]), int(key[1])), None) is not None:
+                    dropped += 1
+        self._g_cache_entries.set(len(self._cache))
+        return dropped
+
+    def _fold_filter_unlocked(self, triples: np.ndarray) -> None:
+        if self._filter is None:
+            self._extra_filter_triples.append(triples)
+        else:
+            self._filter = self._filter.append_rows(
+                triples, num_relations=self.num_relations,
+                num_entities=self.num_entities)
+        self.filter_epoch += 1
+
+    def invalidate(self, keys=None) -> int:
+        """Drop cached score rows; returns the number of rows dropped.
+
+        ``keys=None`` clears the whole cache (required whenever the
+        entity count changes: resident rows have the old width).  With
+        an iterable of ``(head, rel)`` pairs only those rows are
+        dropped — the cheap path when a mutation touched a handful of
+        ``(h, r)`` filter cells but left the entity table alone.
+        """
+        with self._lock:
+            dropped = self._invalidate_unlocked(keys)
+        if dropped:
+            self._m_invalidations.inc(dropped)
+        return dropped
+
+    def append_filter_rows(self, triples: np.ndarray) -> None:
+        """Fold appended known triples into the filter and stamp an epoch.
+
+        New cells only *add* ``-inf`` masks, so cached score rows stay
+        correct for ranking but would stop matching filtered queries —
+        callers pair this with :meth:`invalidate` on the touched keys
+        (the streaming applier does).  When the filter has not been
+        built yet the triples are stashed for the lazy build instead of
+        forcing construction now.
+        """
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        if len(triples) == 0:
+            return
+        with self._lock:
+            self._fold_filter_unlocked(triples)
+
+    def adopt_append(self, grow, num_new_entities: int, triples: np.ndarray,
+                     touched_keys=()) -> None:
+        """Atomically adopt one streaming append.
+
+        ``grow`` is a thunk that mutates the model/vocabulary (row
+        growth happens *under the scoring lock*, so no concurrent
+        ``scores`` call can mix old- and new-width rows).  Afterwards
+        the entity count is bumped, the score cache is cleared (or only
+        ``touched_keys`` dropped when no entities were added), the
+        appended known triples are folded into the CSR filter, and the
+        ANN staleness gauge / rebuild policy are refreshed.
+
+        Pre-existing predictions stay bit-identical: every model scores
+        candidate columns independently, so extra rows never perturb
+        old cells.
+        """
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        with self._lock:
+            grow()
+            self.num_entities = int(self.num_entities) + int(num_new_entities)
+            dropped = self._invalidate_unlocked(
+                None if num_new_entities else touched_keys)
+            if len(triples):
+                self._fold_filter_unlocked(triples)
+        if dropped:
+            self._m_invalidations.inc(dropped)
+        self._refresh_ann_staleness()
+        self.maybe_rebuild_ann()
 
     # ------------------------------------------------------------------
     # Score rows (cached)
@@ -315,6 +430,14 @@ class PredictionEngine:
         request_span.set_attr("ann_nprobe", probed)
         with trace("serve.ann_search", nprobe=probed, k=k):
             cands = self.ann.candidates(self.model, [head], [rel], probed)[0]
+            if index.num_vectors < self.num_entities:
+                # Stale-prefix degradation: rows appended after the index
+                # was built are always exact-reranked candidates, so a
+                # stale index can never silently hide a new entity.
+                cands = np.concatenate([
+                    np.asarray(cands, dtype=np.int64),
+                    np.arange(index.num_vectors, self.num_entities,
+                              dtype=np.int64)])
             if filter_known and len(cands):
                 known = self.filter.row(head, rel)
                 if len(known):
@@ -404,12 +527,56 @@ class PredictionEngine:
     # ------------------------------------------------------------------
     # ANN management
     # ------------------------------------------------------------------
-    def attach_ann(self, ann: AnnServing, approx_default: bool | None = None) -> None:
-        """Attach (and validate) an ANN index after construction."""
+    def attach_ann(self, ann: AnnServing, approx_default: bool | None = None,
+                   rebuild_threshold: float | None = None) -> None:
+        """Attach (and validate) an ANN index after construction.
+
+        ``rebuild_threshold`` sets the staleness policy for streaming
+        appends: when the fraction of entity rows *not* covered by the
+        index (``ann_stale_rows / num_entities``) exceeds the threshold,
+        the index is rebuilt from the live entity table with the same
+        ``nlist`` / ``nprobe`` / quantization settings.  Below the
+        threshold stale rows are served through the exact-rerank
+        fallback (they are appended to every probe's candidate set), so
+        approximate serving degrades gracefully — recall on old rows is
+        unchanged and new rows are always visible — at ``O(stale)``
+        extra rerank cost per query.  ``None`` (default) never rebuilds
+        automatically.
+        """
         ann.validate_for(self.model, self.num_entities)
         self.ann = ann
         if approx_default is not None:
             self.approx_default = bool(approx_default)
+        if rebuild_threshold is not None:
+            if not 0.0 < rebuild_threshold <= 1.0:
+                raise ValueError(
+                    f"rebuild_threshold must be in (0, 1], got {rebuild_threshold}")
+            self.ann_rebuild_threshold = float(rebuild_threshold)
+        self._refresh_ann_staleness()
+        self.maybe_rebuild_ann()
+
+    def _refresh_ann_staleness(self) -> int:
+        """Recompute the ``ann_stale_rows`` gauge; returns the stale count."""
+        stale = self.ann.stale_rows(self.num_entities) if self.ann is not None else 0
+        self._g_ann_stale.set(stale)
+        return stale
+
+    def maybe_rebuild_ann(self) -> bool:
+        """Apply the ``rebuild_threshold`` policy; True when rebuilt."""
+        if self.ann is None or self.ann_rebuild_threshold is None:
+            return False
+        stale = self.ann.stale_rows(self.num_entities)
+        if stale == 0 or stale / self.num_entities <= self.ann_rebuild_threshold:
+            return False
+        index = self.ann.index
+        self.ann = AnnServing.build(
+            self.model, nlist=index.nlist, nprobe=index.default_nprobe,
+            store=index.store)
+        self._m_ann_rebuilds.inc()
+        self._refresh_ann_staleness()
+        logger.info("rebuilt ANN index after %d stale rows crossed the "
+                    "%.2f threshold", stale, self.ann_rebuild_threshold)
+        return True
 
     def ann_self_check(self, num_queries: int = 32, k: int = 10,
                        nprobe: int | None = None, seed: int = 0) -> float:
@@ -484,6 +651,9 @@ class PredictionEngine:
                 "fallbacks": int(self._m_ann_fallbacks.value),
                 "mean_rerank_candidates": round(reranked.mean, 3),
                 "recall_check": round(float(self._g_ann_recall.value), 4),
+                "stale_rows": self.ann.stale_rows(self.num_entities),
+                "rebuild_threshold": self.ann_rebuild_threshold,
+                "rebuilds": int(self._m_ann_rebuilds.value),
             })
         return {
             "model": self.model_name,
@@ -505,4 +675,7 @@ class PredictionEngine:
             },
             "ann": ann,
             "filter_built": self._filter is not None,
+            "filter_epoch": self.filter_epoch,
+            "stream_generation": self.stream_generation,
+            "cache_invalidations": int(self._m_invalidations.value),
         }

@@ -10,7 +10,10 @@ No third-party dependencies: a ``ThreadingHTTPServer`` dispatches to one
 * ``POST /predict`` — top-k tail or head prediction (micro-batched;
   optional ``"approx"`` / ``"nprobe"`` fields route through the engine's
   ANN index instead, bypassing the batcher);
-* ``POST /score``   — explicit triple scoring.
+* ``POST /score``   — explicit triple scoring;
+* ``POST /append``  — streaming append (:mod:`repro.stream`): register
+  unseen entities from their modalities plus known triples; the engine
+  adopts them atomically and they become rankable immediately.
 
 Every error is a JSON envelope ``{"error": {"code", "message"}}`` with
 a matching HTTP status, so clients never have to parse HTML tracebacks.
@@ -43,6 +46,7 @@ import numpy as np
 from .. import __version__
 from ..obs import (SLOTracker, activate, current_context, parse_traceparent,
                    render_prometheus, trace)
+from ..stream import StreamError, apply_append
 from .ann import supports_ann
 from .batcher import BatcherClosedError, MicroBatcher
 from .engine import PredictionEngine
@@ -187,6 +191,8 @@ class ServiceApp:
                     status, payload = 200, self._predict(body, deadline)
                 elif method == "POST" and path == "/score":
                     status, payload = 200, self._score(body)
+                elif method == "POST" and path == "/append":
+                    status, payload = 200, self._append(body)
                 else:
                     raise ApiError(404, "not_found",
                                    f"no route for {method} {path}")
@@ -236,6 +242,7 @@ class ServiceApp:
             "uptime_seconds": round(time.time() - self.started, 3),
             "version": __version__,
             "bundle": {"version": engine.bundle_version},
+            "stream": {"generation": int(engine.stream_generation)},
             "ann": ann_info,
             "replicas": [{
                 "rank": 0,
@@ -350,6 +357,24 @@ class ServiceApp:
                 {"id": int(i), "entity": entities.name(int(i)), "score": float(s)}
                 for i, s in zip(ids, scores)
             ],
+        }
+
+    def _append(self, body: dict | None) -> dict:
+        """Apply one streaming append to the live engine.
+
+        Validation failures surface as the standard JSON error envelope
+        (400 for malformed requests / unknown references, 409 for name
+        conflicts); success returns the applied delta-log entry so the
+        client learns the assigned entity ids and generation.
+        """
+        try:
+            delta = apply_append(self.engine, body, source="api")
+        except StreamError as exc:
+            raise _ApiError(exc.status, exc.code, exc.message) from None
+        return {
+            "applied": delta.log_entry(),
+            "stream_generation": int(self.engine.stream_generation),
+            "num_entities": int(self.engine.num_entities),
         }
 
     def _score(self, body: dict | None) -> dict:

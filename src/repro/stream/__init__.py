@@ -1,0 +1,38 @@
+"""``repro.stream`` — streaming KG updates + inductive unseen entities.
+
+The streaming tier lets a deployed bundle grow without retraining:
+unseen entities arrive with their modalities (text description,
+optional molecular feature row) plus known triples, get embedded
+inductively through the frozen encoders
+(:class:`~repro.stream.InductiveEncoder`), and become first-class
+citizens of every serving path — exact, cached, ANN, filtered.
+
+Layering: this package sits on ``kg`` / ``datasets`` / ``text`` /
+``obs`` and is imported *by* ``serve`` / ``pool`` / ``train`` — it
+never imports the serving tier itself (the engine is duck-typed in
+:func:`apply_append`).
+"""
+
+from .apply import (AppendPlan, apply_append, apply_append_to_model,
+                    commit_append, default_encoder, grow_features,
+                    plan_append)
+from .delta import AppendDelta, EntitySpec, StreamError, parse_append_request
+from .inductive import InductiveEncoder, InductiveRows
+from .metrics import StreamMetrics
+
+__all__ = [
+    "AppendDelta",
+    "AppendPlan",
+    "EntitySpec",
+    "InductiveEncoder",
+    "InductiveRows",
+    "StreamError",
+    "StreamMetrics",
+    "apply_append",
+    "apply_append_to_model",
+    "commit_append",
+    "default_encoder",
+    "grow_features",
+    "parse_append_request",
+    "plan_append",
+]

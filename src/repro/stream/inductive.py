@@ -1,0 +1,221 @@
+"""Inductive entity rows: embed unseen entities from their modalities.
+
+CamE's central property — entities are encoded from *fixed* per-entity
+modality features through learned encoders — makes unseen entities
+embeddable without retraining (the BioBLP recipe): re-derive the
+deterministic feature pipeline for the new entity's text/molecule,
+append the rows to the frozen model's tables, and every downstream
+scoring path works unchanged.
+
+Row derivations, all deterministic:
+
+* **molecular** — the caller-provided feature row (the GIN readout
+  space used at training time), or the zero row for entities without a
+  molecule, matching :func:`repro.datasets.build_features`;
+* **textual** — the same :class:`repro.text.NgramHashEncoder` hash +
+  fixed Gaussian projection used at training time (fully re-derivable
+  from its constructor arguments), column-standardised against a
+  calibration corpus of existing entity texts so new rows land on the
+  training feature scale;
+* **structural** — the mean of the structural rows of the entity's
+  existing neighbours in the appended triples (new entities have no
+  pretrained CompGCN row), falling back to the table mean when the
+  entity arrives with no known neighbours;
+* **learned entity row** — for translational models (``ann_metric ==
+  "l1"``) the TransE identity ``e_t - e_r`` / ``e_h + e_r`` averaged
+  over the appended triples; otherwise the mean of the neighbour
+  entities' learned rows.  Fallback: the table column mean;
+* **entity bias** — zero, the bias initialisation.
+
+Appending rows never perturbs existing predictions: every model scores
+candidate columns independently (and batch-norm runs off frozen
+running stats under ``inference_mode``), so old cells are bit-identical
+before and after the append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import trace
+from ..text import NgramHashEncoder
+from .delta import EntitySpec, StreamError
+
+__all__ = ["InductiveEncoder", "InductiveRows"]
+
+
+@dataclass
+class InductiveRows:
+    """Per-table new rows for one append batch (``n`` new entities)."""
+
+    entity: np.ndarray                    # (n, entity_dim)
+    bias: np.ndarray | None               # (n,) or None (model has no bias)
+    molecular: np.ndarray | None          # (n, d_m) or None (no feature tables)
+    textual: np.ndarray | None
+    structural: np.ndarray | None
+    has_molecule: np.ndarray | None       # (n,) bool
+
+
+def _feature_dims(model, features) -> tuple[int, int, int] | None:
+    if getattr(model, "h_m_table", None) is not None:
+        return (model.h_m_table.shape[1], model.h_t_table.shape[1],
+                model.h_s_table.shape[1])
+    if features is not None:
+        return tuple(features.dims)
+    return None
+
+
+class InductiveEncoder:
+    """Derives new table rows for unseen entities through frozen encoders.
+
+    Parameters
+    ----------
+    model:
+        The loaded (frozen) model whose tables will be grown.
+    features:
+        The bundle's :class:`~repro.datasets.ModalityFeatures`, when the
+        caller also wants feature rows for a model without its own
+        tables (bundle re-export).  Optional.
+    calibration_texts:
+        Existing entity texts used to standardise the text encoder's
+        output columns onto the training feature scale.  Typically the
+        bundled vocabulary's names; encoded once and cached.
+    """
+
+    def __init__(self, model, *, features=None,
+                 calibration_texts: list[str] | None = None) -> None:
+        self.model = model
+        self.features = features
+        self.dims = _feature_dims(model, features)
+        self._calibration_texts = calibration_texts
+        self._text_encoder: NgramHashEncoder | None = None
+        self._text_mu: np.ndarray | None = None
+        self._text_sigma: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Modality rows
+    # ------------------------------------------------------------------
+    def _text_rows(self, specs: list[EntitySpec], d_t: int) -> np.ndarray:
+        if self._text_encoder is None:
+            self._text_encoder = NgramHashEncoder(dim=d_t)
+            if self._calibration_texts:
+                reference = self._text_encoder.encode(self._calibration_texts)
+                self._text_mu = reference.mean(axis=0)
+                sigma = reference.std(axis=0)
+                sigma[sigma < 1e-8] = 1.0
+                self._text_sigma = sigma
+        raw = self._text_encoder.encode([s.text for s in specs])
+        if self._text_mu is not None:
+            raw = (raw - self._text_mu) / self._text_sigma
+        return raw
+
+    def _molecule_rows(self, specs: list[EntitySpec],
+                       d_m: int) -> tuple[np.ndarray, np.ndarray]:
+        rows = np.zeros((len(specs), d_m))
+        present = np.zeros(len(specs), dtype=bool)
+        for i, spec in enumerate(specs):
+            if spec.molecule is None:
+                continue
+            if len(spec.molecule) != d_m:
+                raise StreamError(
+                    400, "bad_request",
+                    f"entity {spec.name!r}: molecule feature row has "
+                    f"{len(spec.molecule)} dims, model expects {d_m}")
+            rows[i] = spec.molecule
+            present[i] = True
+        return rows, present
+
+    # ------------------------------------------------------------------
+    # Neighbour aggregation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _incident(triples: np.ndarray, entity_id: int,
+                  known_below: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(neighbour_ids, relation_ids, is_tail_side) for one new entity.
+
+        Only neighbours that already have trained rows (``id <
+        known_below``) contribute; a triple linking two brand-new
+        entities gives neither a usable anchor.
+        """
+        if len(triples) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        h, r, t = triples[:, 0], triples[:, 1], triples[:, 2]
+        as_head = (h == entity_id) & (t < known_below)
+        as_tail = (t == entity_id) & (h < known_below)
+        neighbours = np.concatenate([t[as_head], h[as_tail]])
+        rels = np.concatenate([r[as_head], r[as_tail]])
+        tail_side = np.concatenate([
+            np.ones(int(as_head.sum()), dtype=np.int64),
+            np.zeros(int(as_tail.sum()), dtype=np.int64)])
+        return neighbours, rels, tail_side
+
+    def _entity_rows(self, specs: list[EntitySpec], triples: np.ndarray,
+                     old_num_entities: int) -> np.ndarray:
+        table = np.asarray(self.model.entity_embedding.weight.data)
+        translational = getattr(self.model, "ann_metric", None) == "l1"
+        rel_table = None
+        if translational:
+            rel_table = np.asarray(self.model.relation_embedding.weight.data)
+            if rel_table.shape[1] != table.shape[1]:
+                translational = False  # factored relation layouts: fall back
+        fallback = table.mean(axis=0)
+        rows = np.empty((len(specs), table.shape[1]))
+        for i in range(len(specs)):
+            nid = old_num_entities + i
+            neighbours, rels, tail_side = self._incident(
+                triples, nid, old_num_entities)
+            if len(neighbours) == 0:
+                rows[i] = fallback
+                continue
+            anchors = table[neighbours]
+            if translational:
+                # (new, r, t) wants e_new ~ e_t - e_r; (h, r, new) wants
+                # e_new ~ e_h + e_r — the TransE translation identity.
+                signs = np.where(tail_side[:, None] == 1, -1.0, 1.0)
+                anchors = anchors + signs * rel_table[rels]
+            rows[i] = anchors.mean(axis=0)
+        return rows
+
+    def _structural_rows(self, specs: list[EntitySpec], triples: np.ndarray,
+                         old_num_entities: int, d_s: int) -> np.ndarray:
+        table = getattr(self.model, "h_s_table", None)
+        if table is None and self.features is not None:
+            table = self.features.structural
+        if table is None or not len(table):
+            return np.zeros((len(specs), d_s))
+        table = np.asarray(table)
+        fallback = table.mean(axis=0)
+        rows = np.empty((len(specs), d_s))
+        for i in range(len(specs)):
+            nid = old_num_entities + i
+            neighbours, _, _ = self._incident(triples, nid, old_num_entities)
+            rows[i] = table[neighbours].mean(axis=0) if len(neighbours) \
+                else fallback
+        return rows
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def encode_entities(self, specs: list[EntitySpec], triples: np.ndarray,
+                        old_num_entities: int) -> InductiveRows:
+        """All new table rows for one append batch (deterministic)."""
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        with trace("stream.inductive_embed", entities=len(specs)):
+            entity = self._entity_rows(specs, triples, old_num_entities)
+            bias = None
+            if getattr(self.model, "entity_bias", None) is not None:
+                bias = np.zeros(len(specs))
+            molecular = textual = structural = has_molecule = None
+            if self.dims is not None:
+                d_m, d_t, d_s = self.dims
+                molecular, has_molecule = self._molecule_rows(specs, d_m)
+                textual = self._text_rows(specs, d_t)
+                structural = self._structural_rows(
+                    specs, triples, old_num_entities, d_s)
+            return InductiveRows(entity=entity, bias=bias,
+                                 molecular=molecular, textual=textual,
+                                 structural=structural,
+                                 has_molecule=has_molecule)

@@ -34,6 +34,14 @@ from .callbacks import (
 from .engine import TrainingEngine, TrainState
 from .objectives import NegativeSamplingObjective, Objective, OneToNObjective
 from .report import TrainReport
+from .warmstart import (
+    FrozenRowsAdam,
+    WarmStartObjective,
+    apply_row_delta,
+    entity_row_parameters,
+    export_row_delta,
+    warm_start,
+)
 
 __all__ = [
     "TrainingEngine",
@@ -51,4 +59,10 @@ __all__ = [
     "MetricsCallback",
     "BundleExport",
     "read_telemetry",
+    "FrozenRowsAdam",
+    "WarmStartObjective",
+    "entity_row_parameters",
+    "warm_start",
+    "export_row_delta",
+    "apply_row_delta",
 ]

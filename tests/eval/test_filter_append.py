@@ -1,0 +1,84 @@
+"""CSRFilter.append_rows: streaming growth of the known-triple filter."""
+
+import numpy as np
+import pytest
+
+from repro.eval import build_csr_filter
+from repro.kg import KGSplit, KnowledgeGraph, Vocabulary
+
+
+def tiny_split(num_entities=6, num_relations=2):
+    graph = KnowledgeGraph(
+        entities=Vocabulary(f"e{i}" for i in range(num_entities)),
+        relations=Vocabulary(f"r{i}" for i in range(num_relations)),
+        triples=np.array([[0, 0, 1], [1, 1, 2], [2, 0, 3]]))
+    return KGSplit(graph=graph,
+                   train=np.array([[0, 0, 1], [1, 1, 2]]),
+                   valid=np.array([[2, 0, 3]]),
+                   test=np.empty((0, 3), dtype=np.int64))
+
+
+class TestAppendRows:
+    def test_covers_both_directions(self):
+        split = tiny_split()
+        filt = build_csr_filter(split)
+        new = np.array([[4, 0, 1], [0, 1, 5]])
+        grown = filt.append_rows(new, num_relations=2, num_entities=6)
+        np.testing.assert_array_equal(grown.row(4, 0), [1])
+        np.testing.assert_array_equal(grown.row(1, 0 + 2), [0, 4])  # inverse
+        np.testing.assert_array_equal(grown.row(0, 1), [5])
+        np.testing.assert_array_equal(grown.row(5, 1 + 2), [0])
+
+    def test_original_rows_survive_and_structure_is_immutable(self):
+        split = tiny_split()
+        filt = build_csr_filter(split)
+        grown = filt.append_rows(np.array([[4, 0, 1]]),
+                                 num_relations=2, num_entities=6)
+        assert grown is not filt
+        np.testing.assert_array_equal(grown.row(0, 0), filt.row(0, 0))
+        np.testing.assert_array_equal(grown.row(2, 0), [3])
+        # The source filter never learned the appended triple.
+        assert len(filt.row(4, 0)) == 0
+
+    def test_duplicate_cells_collapse(self):
+        split = tiny_split()
+        filt = build_csr_filter(split)
+        grown = filt.append_rows(np.array([[0, 0, 1], [0, 0, 1]]),
+                                 num_relations=2, num_entities=6)
+        np.testing.assert_array_equal(grown.row(0, 0), [1])
+        assert grown.nnz == filt.nnz
+
+    def test_new_entity_ids_pack_with_grown_count(self):
+        split = tiny_split()
+        filt = build_csr_filter(split)
+        grown = filt.append_rows(np.array([[7, 1, 0]]),
+                                 num_relations=2, num_entities=8)
+        np.testing.assert_array_equal(grown.row(7, 1), [0])
+        np.testing.assert_array_equal(grown.row(0, 1 + 2), [7])
+
+    def test_empty_append_returns_self(self):
+        filt = build_csr_filter(tiny_split())
+        assert filt.append_rows(np.empty((0, 3)), num_relations=2,
+                                num_entities=6) is filt
+
+    def test_relation_count_cannot_change(self):
+        filt = build_csr_filter(tiny_split())
+        with pytest.raises(ValueError, match="relation count"):
+            filt.append_rows(np.array([[0, 0, 1]]), num_relations=3,
+                             num_entities=6)
+
+    def test_matches_filter_built_from_scratch(self):
+        split = tiny_split()
+        new = np.array([[4, 1, 2], [3, 0, 5]])
+        grown = build_csr_filter(split).append_rows(
+            new, num_relations=2, num_entities=6)
+        full_graph = KnowledgeGraph(
+            entities=split.graph.entities, relations=split.graph.relations,
+            triples=np.concatenate([split.graph.triples, new]))
+        scratch = build_csr_filter(KGSplit(
+            graph=full_graph,
+            train=np.concatenate([split.train, new]),
+            valid=split.valid, test=split.test))
+        np.testing.assert_array_equal(grown.keys, scratch.keys)
+        np.testing.assert_array_equal(grown.indptr, scratch.indptr)
+        np.testing.assert_array_equal(grown.indices, scratch.indices)

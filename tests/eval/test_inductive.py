@@ -1,0 +1,104 @@
+"""The unseen_entities split and inductive evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TransE
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.eval import evaluate_inductive, make_unseen_split
+
+
+@pytest.fixture(scope="module")
+def world():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.2))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6, d_s=6,
+                           gin_epochs=1, compgcn_epochs=1)
+    return mkg, feats
+
+
+@pytest.fixture(scope="module")
+def ind(world):
+    mkg, feats = world
+    return make_unseen_split(mkg.split, fraction=0.1,
+                             rng=np.random.default_rng(3), features=feats)
+
+
+class TestMakeUnseenSplit:
+    def test_seen_world_is_reindexed_and_closed(self, ind):
+        seen = ind.seen
+        assert seen.num_entities == ind.num_seen
+        for part in (seen.train, seen.valid, seen.test):
+            if len(part):
+                assert part[:, [0, 2]].max() < ind.num_seen
+        assert len(seen.graph.entities) == ind.num_seen
+
+    def test_unseen_ids_are_deterministic_and_final(self, ind):
+        for i, u in enumerate(ind.unseen):
+            assert u.entity_id == ind.num_seen + i
+            assert len(u.context) >= 1 and len(u.eval_triples) >= 1
+            for block in (u.context, u.eval_triples):
+                touches = (block[:, 0] == u.entity_id) | \
+                          (block[:, 2] == u.entity_id)
+                assert touches.all()
+                others = np.where(block[:, 0] == u.entity_id,
+                                  block[:, 2], block[:, 0])
+                assert (others < ind.num_seen).all()  # other endpoint seen
+
+    def test_names_and_features_align(self, ind, world):
+        mkg, feats = world
+        names = mkg.split.graph.entities.names()
+        for u in ind.unseen:
+            assert names[u.original_id] == u.name
+            assert ind.seen.graph.entities.get(u.name) is None
+        assert ind.features.molecular.shape[0] == ind.num_seen
+        seen_names = ind.seen.graph.entities.names()
+        # Feature rows were sliced in the same order as the vocabulary.
+        orig_row = names.index(seen_names[0])
+        np.testing.assert_array_equal(ind.features.textual[0],
+                                      feats.textual[orig_row])
+
+    def test_same_rng_is_reproducible(self, world):
+        mkg, _ = world
+        a = make_unseen_split(mkg.split, fraction=0.1,
+                              rng=np.random.default_rng(3))
+        b = make_unseen_split(mkg.split, fraction=0.1,
+                              rng=np.random.default_rng(3))
+        assert [u.name for u in a.unseen] == [u.name for u in b.unseen]
+        np.testing.assert_array_equal(a.eval_triples(), b.eval_triples())
+
+    def test_impossible_requests_raise(self, world):
+        mkg, _ = world
+        with pytest.raises(ValueError, match="incident"):
+            make_unseen_split(mkg.split, num_unseen=10 ** 6)
+
+
+class TestEvaluateInductive:
+    def test_reports_both_regimes_without_mutating_inputs(self, ind):
+        model = TransE(ind.num_seen, ind.seen.num_relations, dim=16,
+                       rng=np.random.default_rng(1))
+        snap = model.entity_embedding.weight.data.copy()
+        vocab_size = len(ind.seen.graph.entities)
+        report = evaluate_inductive(model, ind, rng=np.random.default_rng(5))
+        assert model.num_entities == ind.num_seen  # deep-copied inside
+        np.testing.assert_array_equal(model.entity_embedding.weight.data, snap)
+        assert len(ind.seen.graph.entities) == vocab_size
+        assert report.num_unseen == ind.num_unseen
+        assert report.inductive.num_queries == 2 * len(ind.eval_triples())
+        assert np.isfinite(report.inductive.mrr)
+        assert np.isfinite(report.transductive.mrr)
+        summary = report.summary()
+        assert set(summary) == {"num_unseen", "num_context", "num_eval",
+                                "transductive", "inductive"}
+
+    def test_warm_start_path_runs(self, ind):
+        model = TransE(ind.num_seen, ind.seen.num_relations, dim=16,
+                       rng=np.random.default_rng(1))
+        report = evaluate_inductive(model, ind, warm_start_epochs=2,
+                                    rng=np.random.default_rng(5))
+        assert np.isfinite(report.inductive.mrr)
+
+    def test_wrong_model_size_rejected(self, ind):
+        model = TransE(ind.num_seen + 5, ind.seen.num_relations, dim=16,
+                       rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="seen split"):
+            evaluate_inductive(model, ind)

@@ -33,3 +33,59 @@ class TestResolve:
             vocab.resolve(99)
         with pytest.raises(IndexError):
             vocab.resolve("99")
+
+
+class TestExtend:
+    """Streaming-append edge cases: the vocabulary end of POST /append."""
+
+    def test_appended_names_get_contiguous_ids(self, vocab):
+        assert vocab.extend(["heparin", "insulin"]) == [3, 4]
+        assert vocab.resolve("heparin") == 3
+        assert len(vocab) == 5
+
+    def test_zero_appends_is_a_noop(self, vocab):
+        before = vocab.names()
+        assert vocab.extend([]) == []
+        assert vocab.names() == before
+
+    def test_existing_name_rejected_atomically(self, vocab):
+        with pytest.raises(ValueError, match="aspirin"):
+            vocab.extend(["heparin", "aspirin"])
+        # Nothing from the rejected batch leaked in.
+        assert vocab.get("heparin") is None
+        assert len(vocab) == 3
+
+    def test_duplicate_within_batch_rejected(self, vocab):
+        with pytest.raises(ValueError, match="duplicate.*heparin"):
+            vocab.extend(["heparin", "heparin"])
+        assert vocab.get("heparin") is None
+
+    def test_close_match_resolves_against_appended_names(self, vocab):
+        vocab.extend(["rivaroxaban"])
+        with pytest.raises(KeyError) as excinfo:
+            vocab.resolve("rivaroxiban")
+        assert "rivaroxaban" in excinfo.value.args[0]
+
+    def test_ids_stable_across_save_load_round_trip(self, vocab, tmp_path):
+        import numpy as np
+
+        from repro.kg import KnowledgeGraph
+        from repro.kg.io import load_kg, save_kg
+
+        vocab.extend(["heparin", "insulin"])
+        graph = KnowledgeGraph(
+            entities=vocab, relations=Vocabulary(["treats"]),
+            triples=np.array([[3, 0, 0], [4, 0, 2]]),
+            entity_types=["Compound"] * len(vocab))
+        save_kg(str(tmp_path), graph)
+        loaded = load_kg(str(tmp_path))
+        assert loaded.entities.names() == vocab.names()
+        assert loaded.entities.resolve("heparin") == 3
+        np.testing.assert_array_equal(loaded.triples, graph.triples)
+        # A second round trip after another append keeps earlier ids.
+        loaded.entities.extend(["metformin"])
+        loaded.entity_types.append("Compound")
+        save_kg(str(tmp_path), loaded)
+        again = load_kg(str(tmp_path))
+        assert again.entities.resolve("metformin") == 5
+        assert again.entities.resolve("aspirin") == 0

@@ -119,12 +119,21 @@ class TestFallback:
         assert supports_ann(transe)
         assert not supports_ann(object())
 
-    def test_validate_rejects_mismatched_index(self, transe, prepared, ann):
+    def test_validate_rejects_index_larger_than_model(self, prepared, ann):
         mkg, _ = prepared
-        other = TransE(mkg.num_entities + 1, mkg.num_relations, dim=16,
-                       rng=np.random.default_rng(9))
+        shrunk = TransE(mkg.num_entities - 1, mkg.num_relations, dim=16,
+                        rng=np.random.default_rng(9))
         with pytest.raises(AnnError, match="entities"):
-            ann.validate_for(other, mkg.num_entities + 1)
+            ann.validate_for(shrunk, mkg.num_entities - 1)
+
+    def test_validate_accepts_stale_prefix(self, prepared, ann):
+        """Fewer indexed rows than entities = streamed appends, legal."""
+        mkg, _ = prepared
+        grown = TransE(mkg.num_entities + 2, mkg.num_relations, dim=16,
+                       rng=np.random.default_rng(9))
+        ann.validate_for(grown, mkg.num_entities + 2)  # must not raise
+        assert ann.stale_rows(mkg.num_entities + 2) == 2
+        assert ann.stale_rows(mkg.num_entities) == 0
 
     def test_attach_ann_validates_then_enables(self, engine, ann):
         engine.attach_ann(ann, approx_default=True)

@@ -120,18 +120,23 @@ class TestValidation:
         assert bundle.ann_payload() is None
         assert "ann" not in bundle.manifest
 
-    def test_version_2_written_and_version_1_still_read(self, transe_bundle):
+    def test_version_3_written_and_older_versions_still_read(self, transe_bundle):
         bundle = load_bundle(transe_bundle)
-        assert bundle.manifest["format_version"] == BUNDLE_VERSION == 2
+        assert bundle.manifest["format_version"] == BUNDLE_VERSION == 3
         assert bundle.ann_payload() is None  # optional artifact absent
+        assert bundle.stream_generation == 0  # optional stream state absent
+        assert len(bundle.appended) == 0
         manifest_path = os.path.join(transe_bundle, "manifest.json")
         with open(manifest_path) as handle:
             manifest = json.load(handle)
-        manifest["format_version"] = 1
-        with open(manifest_path, "w") as handle:
-            json.dump(manifest, handle)
         try:
-            assert load_bundle(transe_bundle).manifest["format_version"] == 1
+            for old_version in (1, 2):
+                manifest["format_version"] = old_version
+                with open(manifest_path, "w") as handle:
+                    json.dump(manifest, handle)
+                old = load_bundle(transe_bundle)
+                assert old.manifest["format_version"] == old_version
+                assert old.stream_generation == 0
         finally:
             manifest["format_version"] = BUNDLE_VERSION
             with open(manifest_path, "w") as handle:

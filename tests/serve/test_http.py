@@ -53,7 +53,8 @@ class TestRoutes:
                            "num_relations": engine.num_relations,
                            "version": repro.__version__,
                            "bundle": {"version": engine.bundle_version},
-                           "ann": {"supports_ann": True, "attached": False}}
+                           "ann": {"supports_ann": True, "attached": False},
+                           "stream": {"generation": 0}}
         # threaded mode is exactly one in-process replica
         assert len(replicas) == 1
         assert replicas[0]["alive"] is True

@@ -1,0 +1,210 @@
+"""Streaming on the serving tier: POST /append, bundle v3, CLI append.
+
+Appends mutate the model and vocabulary, so nothing here touches the
+session-scoped ``prepared``/``transe`` fixtures — every test gets a
+private world.
+"""
+
+import copy
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+from repro.serve import (
+    AnnServing,
+    MicroBatcher,
+    PredictionEngine,
+    load_bundle,
+    make_server,
+    save_bundle,
+)
+from repro.serve.cli import main
+
+
+@pytest.fixture(scope="module")
+def base():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.12))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6, d_s=6,
+                           gin_epochs=1, compgcn_epochs=1)
+    return mkg, feats
+
+
+@pytest.fixture()
+def world(base):
+    mkg, feats = copy.deepcopy(base)
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(1),
+                           dim=16)
+    return mkg, feats, model
+
+
+@pytest.fixture()
+def service(world):
+    mkg, _, model = world
+    engine = PredictionEngine(model, mkg.split, model_name="TransE")
+    batcher = MicroBatcher(engine, max_batch=8, max_delay=0.002)
+    server = make_server(engine, batcher, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server, engine, mkg
+    server.shutdown()
+    server.server_close()
+    batcher.close()
+    thread.join(timeout=5)
+
+
+def _request(server, method, path, body=None):
+    import urllib.error
+    import urllib.request
+
+    port = server.server_address[1]
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def append_body(mkg, name="HTTP::1"):
+    tail = mkg.split.graph.entities.name(3)
+    return {"entities": [{"name": name, "type": "Compound",
+                          "description": "streamed over http"}],
+            "triples": [[name, 0, tail]]}
+
+
+class TestHttpAppend:
+    def test_append_then_query(self, service):
+        server, engine, mkg = service
+        old = engine.num_entities
+        _, before = _request(server, "POST", "/predict",
+                             {"head": 5, "relation": 0, "k": 5})
+        status, payload = _request(server, "POST", "/append",
+                                   append_body(mkg))
+        assert status == 200
+        assert payload["stream_generation"] == 1
+        assert payload["num_entities"] == old + 1
+        assert payload["applied"]["entity_ids"] == [old]
+        # Pre-existing predictions identical; new entity rankable.
+        _, after = _request(server, "POST", "/predict",
+                            {"head": 5, "relation": 0, "k": 5})
+        assert after["results"] == before["results"]
+        status, ranked = _request(server, "POST", "/predict",
+                                  {"head": "HTTP::1", "relation": 0, "k": 5})
+        assert status == 200 and len(ranked["results"]) == 5
+        status, health = _request(server, "GET", "/healthz")
+        assert health["stream"]["generation"] == 1
+        assert health["num_entities"] == old + 1
+
+    def test_error_envelopes(self, service):
+        server, _, mkg = service
+        status, payload = _request(server, "POST", "/append", {})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        _request(server, "POST", "/append", append_body(mkg))
+        status, payload = _request(server, "POST", "/append",
+                                   append_body(mkg))  # duplicate name
+        assert status == 409
+        assert payload["error"]["code"] == "conflict"
+
+
+class TestBundleV3:
+    def test_appended_triples_and_log_round_trip(self, world, tmp_path):
+        mkg, feats, model = world
+        path = str(tmp_path / "bundle")
+        old_triples = len(mkg.split.graph.triples)
+        appended = np.array([[model.num_entities - 1, 0, 3]])
+        stream = {"generation": 2, "log": [
+            {"generation": 1, "entities": ["a"]},
+            {"generation": 2, "entities": ["b"]}]}
+        save_bundle(path, model, "TransE", mkg.split, feats, dim=16,
+                    appended=appended, stream=stream)
+        bundle = load_bundle(path)
+        assert bundle.stream_generation == 2
+        assert [e["generation"] for e in bundle.stream_log] == [1, 2]
+        np.testing.assert_array_equal(bundle.appended, appended)
+        # Appended rows joined the graph's triple set for filter builds.
+        assert len(bundle.split.graph.triples) == old_triples + 1
+        np.testing.assert_array_equal(bundle.split.graph.triples[-1],
+                                      appended[0])
+
+    def test_engine_from_bundle_restores_stream_state(self, world, tmp_path):
+        mkg, feats, model = world
+        path = str(tmp_path / "bundle")
+        appended = np.array([[5, 0, 3]])
+        save_bundle(path, model, "TransE", mkg.split, feats, dim=16,
+                    appended=appended, stream={"generation": 3, "log": []})
+        engine = PredictionEngine.from_bundle(path)
+        assert engine.stream_generation == 3
+        np.testing.assert_array_equal(engine.filter.row(5, 0), [3])
+
+
+class TestCliAppend:
+    def run_append(self, bundle_path, request, out, capsys):
+        req = out + ".request.json"
+        with open(req, "w", encoding="utf-8") as handle:
+            json.dump(request, handle)
+        assert main(["append", "--bundle", bundle_path,
+                     "--request", req, "--out", out]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_append_re_exports_v3_with_ann_carried(self, world, tmp_path,
+                                                   capsys):
+        mkg, feats, model = world
+        src = str(tmp_path / "src")
+        out = str(tmp_path / "out")
+        save_bundle(src, model, "TransE", mkg.split, feats, dim=16,
+                    ann=AnnServing.build(model, nlist=4, seed=0))
+        old = model.num_entities
+        before = model.predict_tails(np.array([5]), np.array([0]))
+        payload = self.run_append(src, append_body(mkg, "CLI::1"), out, capsys)
+        assert payload["stream_generation"] == 1
+        assert payload["num_entities"] == old + 1
+        assert payload["ann"]["stale_rows"] == 1  # carried, not rebuilt
+
+        bundle = load_bundle(out)
+        assert bundle.stream_generation == 1
+        assert bundle.stream_log[0]["entities"] == ["CLI::1"]
+        assert len(bundle.features.molecular) == old + 1
+        clone = bundle.build_model()
+        assert clone.num_entities == old + 1
+        after = clone.predict_tails(np.array([5]), np.array([0]))
+        np.testing.assert_array_equal(after[:, :old], before)
+
+        # The appended entity resolves and ranks on a reloaded engine.
+        engine = PredictionEngine.from_bundle(out)
+        new_id = engine.split.graph.entities.resolve("CLI::1")
+        assert new_id == old
+        ids, _ = engine.top_k_tails(new_id, 0, k=3)
+        assert len(ids) == 3
+        # ... and its known triple is filtered.
+        ids, _ = engine.top_k_tails(new_id, 0, k=old + 1, filter_known=True)
+        assert 3 not in ids
+
+    def test_second_append_extends_the_log(self, world, tmp_path, capsys):
+        mkg, feats, model = world
+        src = str(tmp_path / "src")
+        save_bundle(src, model, "TransE", mkg.split, feats, dim=16)
+        self.run_append(src, append_body(mkg, "CLI::1"), src, capsys)
+        payload = self.run_append(src, append_body(mkg, "CLI::2"), src, capsys)
+        assert payload["stream_generation"] == 2
+        bundle = load_bundle(src)
+        assert [e["generation"] for e in bundle.stream_log] == [1, 2]
+        assert len(bundle.appended) == 2
+
+    def test_rejected_append_exits_nonzero(self, world, tmp_path):
+        mkg, feats, model = world
+        src = str(tmp_path / "src")
+        save_bundle(src, model, "TransE", mkg.split, feats, dim=16)
+        req = str(tmp_path / "bad.json")
+        taken = mkg.split.graph.entities.name(0)
+        with open(req, "w", encoding="utf-8") as handle:
+            json.dump({"entities": [{"name": taken}]}, handle)
+        with pytest.raises(SystemExit, match="conflict"):
+            main(["append", "--bundle", src, "--request", req])

@@ -1,0 +1,37 @@
+"""Fixtures for the streaming-append tests.
+
+Append tests mutate the vocabulary and the model tables, so unlike the
+serve/pool suites nothing here is session-scoped: ``fresh`` hands every
+test its own deep-copied world.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_model
+from repro.datasets import DRKGConfig, build_features, generate_drkg_mm
+
+
+@pytest.fixture(scope="module")
+def base():
+    mkg = generate_drkg_mm(DRKGConfig().scaled(0.12))
+    feats = build_features(mkg, np.random.default_rng(0), d_m=6, d_t=6, d_s=6,
+                           gin_epochs=1, compgcn_epochs=1)
+    return mkg, feats
+
+
+@pytest.fixture()
+def fresh(base):
+    """A private (mkg, features, TransE model) triple, safe to mutate."""
+    mkg, feats = copy.deepcopy(base)
+    model, _ = build_model("TransE", mkg, feats, np.random.default_rng(1), dim=16)
+    return mkg, feats, model
+
+
+@pytest.fixture()
+def fresh_came(base):
+    mkg, feats = copy.deepcopy(base)
+    model, _ = build_model("CamE", mkg, feats, np.random.default_rng(2), dim=16)
+    return mkg, feats, model

@@ -1,0 +1,101 @@
+"""Inductive row derivation: determinism, anchors, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.stream import EntitySpec, InductiveEncoder, StreamError
+
+
+def encoder_for(model, mkg, feats=None):
+    return InductiveEncoder(
+        model, features=feats,
+        calibration_texts=mkg.split.graph.entities.names())
+
+
+class TestEntityRows:
+    def test_deterministic(self, fresh):
+        mkg, feats, model = fresh
+        specs = [EntitySpec(name="N::1", description="probe")]
+        triples = np.array([[model.num_entities, 0, 3]])
+        a = encoder_for(model, mkg).encode_entities(specs, triples,
+                                                    model.num_entities)
+        b = encoder_for(model, mkg).encode_entities(specs, triples,
+                                                    model.num_entities)
+        np.testing.assert_array_equal(a.entity, b.entity)
+
+    def test_translational_anchor_identity(self, fresh):
+        """TransE rows follow e_t - e_r (new head) / e_h + e_r (new tail)."""
+        mkg, _, model = fresh
+        n = model.num_entities
+        ent = model.entity_embedding.weight.data
+        rel = model.relation_embedding.weight.data
+        specs = [EntitySpec(name="N::1"), EntitySpec(name="N::2")]
+        triples = np.array([[n, 0, 3],        # N::1 as head
+                            [5, 1, n + 1]])   # N::2 as tail
+        rows = encoder_for(model, mkg).encode_entities(specs, triples, n)
+        np.testing.assert_allclose(rows.entity[0], ent[3] - rel[0])
+        np.testing.assert_allclose(rows.entity[1], ent[5] + rel[1])
+
+    def test_no_neighbours_falls_back_to_table_mean(self, fresh):
+        mkg, _, model = fresh
+        n = model.num_entities
+        rows = encoder_for(model, mkg).encode_entities(
+            [EntitySpec(name="lonely")], np.empty((0, 3), dtype=np.int64), n)
+        np.testing.assert_allclose(
+            rows.entity[0], model.entity_embedding.weight.data.mean(axis=0))
+
+    def test_new_to_new_triples_give_no_anchor(self, fresh):
+        mkg, _, model = fresh
+        n = model.num_entities
+        specs = [EntitySpec(name="N::1"), EntitySpec(name="N::2")]
+        # Only triple links the two new entities -> both use the fallback.
+        rows = encoder_for(model, mkg).encode_entities(
+            specs, np.array([[n, 0, n + 1]]), n)
+        mean = model.entity_embedding.weight.data.mean(axis=0)
+        np.testing.assert_allclose(rows.entity[0], mean)
+        np.testing.assert_allclose(rows.entity[1], mean)
+
+
+class TestModalityRows:
+    def test_came_rows_cover_every_table(self, fresh_came):
+        mkg, _, model = fresh_came
+        n = model.num_entities
+        d_m = model.h_m_table.shape[1]
+        specs = [EntitySpec(name="N::1", description="a compound",
+                            molecule=np.linspace(0, 1, d_m)),
+                 EntitySpec(name="N::2")]
+        triples = np.array([[n, 0, 3], [5, 1, n + 1]])
+        rows = encoder_for(model, mkg).encode_entities(specs, triples, n)
+        assert rows.bias is not None and np.all(rows.bias == 0.0)
+        np.testing.assert_allclose(rows.molecular[0], np.linspace(0, 1, d_m))
+        assert np.all(rows.molecular[1] == 0.0)  # no molecule -> zero row
+        np.testing.assert_array_equal(rows.has_molecule, [True, False])
+        assert rows.textual.shape == (2, model.h_t_table.shape[1])
+        # Structural rows are neighbour means over the trained table.
+        np.testing.assert_allclose(rows.structural[0], model.h_s_table[3])
+        np.testing.assert_allclose(rows.structural[1], model.h_s_table[5])
+
+    def test_molecule_dim_mismatch_is_400(self, fresh_came):
+        mkg, _, model = fresh_came
+        spec = EntitySpec(name="N::1", molecule=np.zeros(99))
+        with pytest.raises(StreamError) as excinfo:
+            encoder_for(model, mkg).encode_entities(
+                [spec], np.empty((0, 3), dtype=np.int64), model.num_entities)
+        assert excinfo.value.status == 400
+
+    def test_plain_model_without_features_skips_modality_rows(self, fresh):
+        mkg, _, model = fresh
+        rows = encoder_for(model, mkg).encode_entities(
+            [EntitySpec(name="N::1")], np.empty((0, 3), dtype=np.int64),
+            model.num_entities)
+        assert rows.molecular is None and rows.textual is None
+        assert rows.structural is None and rows.has_molecule is None
+        assert rows.bias is None  # TransE has no entity bias
+
+    def test_features_supply_dims_for_plain_models(self, fresh):
+        mkg, feats, model = fresh
+        rows = encoder_for(model, mkg, feats).encode_entities(
+            [EntitySpec(name="N::1")], np.empty((0, 3), dtype=np.int64),
+            model.num_entities)
+        assert rows.textual.shape == (1, feats.textual.shape[1])
+        assert rows.structural.shape == (1, feats.structural.shape[1])
